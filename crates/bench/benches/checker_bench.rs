@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the verification substrate itself: cost of
+//! one fully checked execution (schedule + ghost validation) and of one
+//! crash-sweep pass for each verified system. These back the checker
+//! statistics column of the harness's Table 3 output.
+
+use crash_patterns::shadow::ShadowHarness;
+use crash_patterns::wal::WalHarness;
+use criterion::{criterion_group, criterion_main, Criterion};
+use perennial_checker::{check, run_scenario, CheckConfig};
+use repldisk::harness::{RdHarness, RdWorkload};
+
+fn one_execution(c: &mut Criterion) {
+    let cfg = CheckConfig::default();
+    c.bench_function("checker/one_execution_repldisk", |b| {
+        let h = RdHarness {
+            workload: RdWorkload::SingleWrite,
+            after_round: false,
+            ..RdHarness::default()
+        };
+        b.iter(|| {
+            let (outcome, _) = run_scenario(&h, &[], &cfg);
+            assert!(!outcome.is_failure(), "unexpected {outcome:?}");
+        })
+    });
+    c.bench_function("checker/one_execution_with_crash", |b| {
+        let h = RdHarness {
+            workload: RdWorkload::SingleWrite,
+            after_round: false,
+            ..RdHarness::default()
+        };
+        b.iter(|| {
+            let (outcome, _) = run_scenario(&h, &[4], &cfg);
+            assert!(!outcome.is_failure(), "unexpected {outcome:?}");
+        })
+    });
+}
+
+fn sweep_passes(c: &mut Criterion) {
+    let quick = CheckConfig {
+        dfs_max_executions: 50,
+        random_samples: 5,
+        random_crash_samples: 5,
+        nested_crash_sweep: false,
+        ..CheckConfig::default()
+    };
+    c.bench_function("checker/sweep_shadow", |b| {
+        let h = ShadowHarness {
+            with_reader: false,
+            ..ShadowHarness::default()
+        };
+        b.iter(|| {
+            let r = check(&h, &quick);
+            assert!(r.passed());
+        })
+    });
+    c.bench_function("checker/sweep_wal", |b| {
+        let h = WalHarness {
+            with_reader: false,
+            ..WalHarness::default()
+        };
+        b.iter(|| {
+            let r = check(&h, &quick);
+            assert!(r.passed());
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = one_execution, sweep_passes
+}
+criterion_main!(benches);

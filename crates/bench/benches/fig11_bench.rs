@@ -1,0 +1,88 @@
+//! Criterion benchmarks backing Figure 11: per-request latency of the
+//! three mail servers on the native in-memory file system. The harness
+//! binary composes these costs into the full throughput-vs-cores curves.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use goose_rt::fs::NativeFs;
+use goose_rt::runtime::NativeRt;
+use mailboat::gomail::{CMailSim, GoMail};
+use mailboat::server::{mail_dirs, MailServer, Mailboat};
+use std::sync::Arc;
+
+const USERS: u64 = 100;
+const MSG: &[u8] = &[b'x'; 256];
+
+fn fresh_fs() -> Arc<NativeFs> {
+    let dirs = mail_dirs(USERS);
+    let dir_refs: Vec<&str> = dirs.iter().map(String::as_str).collect();
+    NativeFs::new(&dir_refs)
+}
+
+fn bench_server<S: MailServer + 'static>(
+    c: &mut Criterion,
+    name: &str,
+    make: impl Fn() -> Arc<S>,
+) {
+    // Separate server instances per benchmark: the deliver benchmark
+    // floods mailboxes with criterion's many iterations, which would
+    // make a shared pickup benchmark read thousands of messages.
+    {
+        let server = make();
+        let mut user = 0u64;
+        c.bench_function(&format!("{name}/deliver"), |b| {
+            b.iter(|| {
+                user = (user + 1) % USERS;
+                server.deliver(user, MSG);
+            })
+        });
+    }
+    {
+        let server = make();
+        let mut user = 0u64;
+        // Steady-state pickup: deliver exactly one, then pick up and
+        // delete all (mailboxes stay one message deep).
+        c.bench_function(&format!("{name}/pickup_cycle"), |b| {
+            b.iter_batched(
+                || {
+                    user = (user + 1) % USERS;
+                    server.deliver(user, MSG);
+                    user
+                },
+                |u| {
+                    let msgs = server.pickup(u);
+                    for m in &msgs {
+                        server.delete(u, &m.id);
+                    }
+                    server.unlock(u);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn fig11_benches(c: &mut Criterion) {
+    bench_server(c, "mailboat", || {
+        Arc::new(Mailboat::init(fresh_fs(), NativeRt::new(), USERS).unwrap())
+    });
+    bench_server(c, "gomail", || {
+        Arc::new(GoMail::init(fresh_fs(), NativeRt::new(), USERS).unwrap())
+    });
+    bench_server(c, "cmail_sim", || {
+        Arc::new(CMailSim::init(fresh_fs(), NativeRt::new(), USERS).unwrap())
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = fig11_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the substrates: native file-system
+//! operations (the cost model feeding the Figure 11 simulator) and the
+//! replicated disk's operations on the native two-disk device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goose_rt::fs::{FileSys, NativeFs};
+use goose_rt::runtime::NativeRt;
+use perennial_disk::two::{NativeTwoDisks, TwoDisks};
+use repldisk::ReplDisk;
+use std::sync::Arc;
+
+fn fs_ops(c: &mut Criterion) {
+    let fs = NativeFs::new(&["d0", "d1"]);
+    let d0 = fs.resolve("d0").unwrap();
+    let d1 = fs.resolve("d1").unwrap();
+    let mut i = 0u64;
+    c.bench_function("fs/create_close", |b| {
+        b.iter(|| {
+            i += 1;
+            let fd = fs.create(d0, &format!("f{i}")).unwrap().unwrap();
+            fs.close(fd).unwrap();
+        })
+    });
+    c.bench_function("fs/link", |b| {
+        b.iter(|| {
+            i += 1;
+            let fd = fs.create(d0, &format!("l{i}")).unwrap().unwrap();
+            fs.close(fd).unwrap();
+            assert!(fs.link(d0, &format!("l{i}"), d1, &format!("t{i}")).unwrap());
+        })
+    });
+    c.bench_function("fs/resolve", |b| {
+        b.iter(|| {
+            criterion::black_box(fs.resolve("d1").unwrap());
+        })
+    });
+    c.bench_function("fs/append_4k", |b| {
+        // Criterion may invoke this closure several times; the append
+        // target needs a fresh name each time (create is exclusive).
+        i += 1;
+        let fd = fs.create(d0, &format!("appendee{i}")).unwrap().unwrap();
+        let buf = vec![7u8; 4096];
+        b.iter(|| fs.append(fd, &buf).unwrap())
+    });
+}
+
+fn repldisk_ops(c: &mut Criterion) {
+    let disks = NativeTwoDisks::new(1024, 4096);
+    let rt = NativeRt::new();
+    let rd = Arc::new(ReplDisk::new(&*rt, disks as Arc<dyn TwoDisks>));
+    let block = vec![9u8; 4096];
+    let mut a = 0u64;
+    c.bench_function("repldisk/rd_write", |b| {
+        b.iter(|| {
+            a = (a + 1) % 1024;
+            rd.rd_write(a, &block);
+        })
+    });
+    c.bench_function("repldisk/rd_read", |b| {
+        b.iter(|| {
+            a = (a + 1) % 1024;
+            criterion::black_box(rd.rd_read(a));
+        })
+    });
+    c.bench_function("repldisk/rd_recover_1024", |b| b.iter(|| rd.rd_recover()));
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = fs_ops, repldisk_ops
+}
+criterion_main!(benches);

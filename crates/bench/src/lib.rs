@@ -1,0 +1,22 @@
+//! Benchmark and experiment-regeneration support for the Perennial
+//! reproduction (DESIGN.md §3's per-experiment index).
+//!
+//! - [`loc`] — LoC accounting for Tables 2–4;
+//! - [`sim`] — the discrete-event multicore contention simulator
+//!   substituting for the paper's 12-core testbed (DESIGN.md §1);
+//! - [`fig11`] — the Figure 11 experiment (measured single-core anchors
+//!   plus simulated scaling curves);
+//! - [`tables`] — rendering and the Table 1/Table 3 drivers.
+//!
+//! [`ablation`] additionally re-checks every mutant under each
+//! exploration pass in isolation, demonstrating which passes are
+//! load-bearing.
+//!
+//! The `harness` binary regenerates every table and figure:
+//! `cargo run -p perennial-bench --release --bin harness -- all`.
+
+pub mod ablation;
+pub mod fig11;
+pub mod loc;
+pub mod sim;
+pub mod tables;

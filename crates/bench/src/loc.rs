@@ -1,0 +1,256 @@
+//! Lines-of-code accounting for Tables 2–4.
+//!
+//! The paper's tables report Coq/Go line counts; the reproduced claim is
+//! the *relative* conciseness story, so the harness prints our counts
+//! next to the paper's. Counting rule: non-blank lines of `.rs` files
+//! (comments included, as `wc -l`-style counts in papers typically are).
+
+use std::path::{Path, PathBuf};
+
+/// Counts non-blank lines in one file.
+pub fn count_file(path: &Path) -> u64 {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s.lines().filter(|l| !l.trim().is_empty()).count() as u64,
+        Err(_) => 0,
+    }
+}
+
+/// Counts non-blank lines across `.rs` files under `path` (recursively
+/// if it is a directory).
+pub fn count_path(path: &Path) -> u64 {
+    if path.is_file() {
+        return count_file(path);
+    }
+    let mut total = 0;
+    let Ok(entries) = std::fs::read_dir(path) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            total += count_path(&p);
+        } else if p.extension().map(|e| e == "rs").unwrap_or(false) {
+            total += count_file(&p);
+        }
+    }
+    total
+}
+
+/// Locates the workspace root by walking up from the current exe/cwd
+/// until a `Cargo.toml` with `[workspace]` appears.
+pub fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(s) = std::fs::read_to_string(&manifest) {
+                if s.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            panic!("workspace root not found (run from inside the repository)");
+        }
+    }
+}
+
+/// One row of a LoC comparison table.
+#[derive(Debug, Clone)]
+pub struct LocRow {
+    /// Component name (the paper's wording).
+    pub component: String,
+    /// The paper's count (None = not applicable to our architecture).
+    pub paper: Option<u64>,
+    /// Our count (None = not applicable).
+    pub ours: Option<u64>,
+    /// Note explaining the mapping.
+    pub note: String,
+}
+
+fn row(component: &str, paper: Option<u64>, ours: Option<u64>, note: &str) -> LocRow {
+    LocRow {
+        component: component.to_string(),
+        paper,
+        ours,
+        note: note.to_string(),
+    }
+}
+
+/// Table 2: framework and Goose line counts.
+pub fn table2_rows() -> Vec<LocRow> {
+    let root = workspace_root();
+    let spec = count_path(&root.join("crates/spec/src"));
+    let core = count_path(&root.join("crates/core/src"));
+    let checker = count_path(&root.join("crates/checker/src"));
+    let goose = count_path(&root.join("crates/goose/src"));
+    vec![
+        row(
+            "Transition system language",
+            Some(1710),
+            Some(spec),
+            "crates/spec: the transition DSL, spec trait, histories",
+        ),
+        row(
+            "Core framework",
+            Some(7220),
+            Some(core + checker),
+            "crates/core (ghost capabilities) + crates/checker (the \
+             for-all-executions substitute)",
+        ),
+        row(
+            "Perennial total",
+            Some(8930),
+            Some(spec + core + checker),
+            "sum of the two rows above",
+        ),
+        row(
+            "Goose translator (Go)",
+            Some(1790),
+            None,
+            "no translator: systems are written directly against the \
+             Goose model (DESIGN.md §1)",
+        ),
+        row(
+            "Goose library (Go)",
+            Some(220),
+            None,
+            "folded into the runtime below",
+        ),
+        row(
+            "Go semantics",
+            Some(2020),
+            Some(goose),
+            "crates/goose: scheduler, heap with UB detection, FS model, \
+             native runtime",
+        ),
+    ]
+}
+
+/// Table 3: per-pattern line counts.
+pub fn table3_rows() -> Vec<LocRow> {
+    let root = workspace_root();
+    vec![
+        row(
+            "Two-disk semantics",
+            Some(1350),
+            Some(count_path(&root.join("crates/disk/src/two.rs"))),
+            "crates/disk/src/two.rs",
+        ),
+        row(
+            "Replicated disk",
+            Some(1180),
+            Some(count_path(&root.join("crates/repldisk"))),
+            "crates/repldisk (spec + impl + proof + harness + checks)",
+        ),
+        row(
+            "Single-disk semantics",
+            Some(1310),
+            Some(count_path(&root.join("crates/disk/src/single.rs"))),
+            "crates/disk/src/single.rs",
+        ),
+        row(
+            "Shadow copy",
+            Some(390),
+            Some(count_path(&root.join("crates/patterns/src/shadow.rs"))),
+            "crates/patterns/src/shadow.rs",
+        ),
+        row(
+            "Write-ahead logging",
+            Some(930),
+            Some(count_path(&root.join("crates/patterns/src/wal.rs"))),
+            "crates/patterns/src/wal.rs",
+        ),
+        row(
+            "Group commit",
+            Some(1410),
+            Some(count_path(
+                &root.join("crates/patterns/src/group_commit.rs"),
+            )),
+            "crates/patterns/src/group_commit.rs",
+        ),
+        row(
+            "Transactional WAL (ext.)",
+            None,
+            Some(count_path(&root.join("crates/patterns/src/txn_wal.rs"))),
+            "extension: multi-block transactions (not in the paper)",
+        ),
+        row(
+            "Synced log (ext.)",
+            None,
+            Some(count_path(&root.join("crates/patterns/src/synced_log.rs"))),
+            "extension: deferred-durability log (paper §6.2 future work)",
+        ),
+        row(
+            "Node KV store (ext.)",
+            None,
+            Some(count_path(&root.join("crates/kvstore"))),
+            "extension: the §2 Verdi-style node storage",
+        ),
+    ]
+}
+
+/// Table 4: Mailboat vs CMAIL line counts.
+pub fn table4_rows() -> Vec<LocRow> {
+    let root = workspace_root();
+    let implementation = count_path(&root.join("crates/mailboat/src/server.rs"));
+    let proof = count_path(&root.join("crates/mailboat/src/spec.rs"))
+        + count_path(&root.join("crates/mailboat/src/proof.rs"))
+        + count_path(&root.join("crates/mailboat/src/harness.rs"))
+        + count_path(&root.join("crates/mailboat/tests"));
+    let framework = count_path(&root.join("crates/spec/src"))
+        + count_path(&root.join("crates/core/src"))
+        + count_path(&root.join("crates/checker/src"));
+    vec![
+        row(
+            "Implementation",
+            Some(159),
+            Some(implementation),
+            "crates/mailboat/src/server.rs (paper: 159 lines of Go; \
+             CMAIL: 215 of Coq)",
+        ),
+        row(
+            "Proof",
+            Some(3360),
+            Some(proof),
+            "spec + ghost instrumentation + harness + checks (paper: \
+             3,360; CMAIL: 4,050)",
+        ),
+        row(
+            "Framework",
+            Some(8900),
+            Some(framework),
+            "spec + core + checker (paper: 8,900 Perennial; CMAIL: \
+             9,600 CSPEC)",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_nonzero_for_real_components() {
+        for r in table2_rows() {
+            if let Some(ours) = r.ours {
+                assert!(ours > 0, "{} counted zero lines", r.component);
+            }
+        }
+        for r in table3_rows().iter().chain(table4_rows().iter()) {
+            if let Some(ours) = r.ours {
+                assert!(ours > 0, "{} counted zero lines", r.component);
+            }
+        }
+    }
+
+    #[test]
+    fn count_file_skips_blank_lines() {
+        let dir = std::env::temp_dir().join("perennial-loc-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("x.rs");
+        std::fs::write(&f, "a\n\nb\n  \nc\n").unwrap();
+        assert_eq!(count_file(&f), 3);
+        std::fs::remove_file(&f).ok();
+    }
+}

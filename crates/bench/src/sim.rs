@@ -1,0 +1,226 @@
+//! A discrete-event multicore contention simulator.
+//!
+//! The paper's Figure 11 was measured on a 2×6-core Xeon; this
+//! reproduction runs in a single-core container (DESIGN.md §1's hardware
+//! gate). The substitution: measure each server's *single-threaded*
+//! operation costs on the real host, decompose each request into
+//! segments that either run freely in parallel or serialize on a named
+//! lock (a user's mailbox lock, a directory's write lock, the global
+//! lock-file directory, a runtime/GC share), and simulate `n` closed-loop
+//! cores executing those segment streams. Lock contention — the thing
+//! that actually shapes Figure 11's curves — emerges from the segment
+//! structure rather than being assumed.
+//!
+//! The simulator is deliberately simple and auditable: one event per
+//! segment, FIFO lock grants in global-time order.
+
+/// A lock a segment may serialize on.
+pub type SimLockId = usize;
+
+/// One segment of a request: `dur_ns` of work, optionally holding a
+/// lock exclusively for its duration.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// Work duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Lock held for the whole segment, if any.
+    pub lock: Option<SimLockId>,
+}
+
+impl Segment {
+    /// A segment that runs without any shared resource.
+    pub fn parallel(dur_ns: u64) -> Self {
+        Segment { dur_ns, lock: None }
+    }
+
+    /// A segment serialized on `lock`.
+    pub fn locked(dur_ns: u64, lock: SimLockId) -> Self {
+        Segment {
+            dur_ns,
+            lock: Some(lock),
+        }
+    }
+}
+
+/// One request: an ordered list of segments.
+#[derive(Debug, Clone, Default)]
+pub struct RequestProfile {
+    /// The segments, executed in order.
+    pub segments: Vec<Segment>,
+}
+
+impl RequestProfile {
+    /// Total service demand (the no-contention request cost).
+    pub fn demand_ns(&self) -> u64 {
+        self.segments.iter().map(|s| s.dur_ns).sum()
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Cores simulated.
+    pub cores: usize,
+    /// Requests completed.
+    pub requests: u64,
+    /// Simulated makespan in nanoseconds.
+    pub makespan_ns: u64,
+}
+
+impl SimResult {
+    /// Simulated throughput in requests per second.
+    pub fn req_per_sec(&self) -> f64 {
+        self.requests as f64 / (self.makespan_ns as f64 / 1e9)
+    }
+}
+
+/// Simulates `total_requests` requests over `cores` closed-loop workers.
+///
+/// `next_request(worker, index)` produces the profile of the `index`-th
+/// request overall (the caller encodes its workload mix and user choice
+/// there, typically with a seeded RNG).
+pub fn simulate(
+    cores: usize,
+    total_requests: u64,
+    num_locks: usize,
+    mut next_request: impl FnMut(usize, u64) -> RequestProfile,
+) -> SimResult {
+    assert!(cores > 0, "at least one core");
+
+    struct WState {
+        t: u64,
+        segs: Vec<Segment>,
+        idx: usize,
+        done: bool,
+    }
+
+    let mut workers: Vec<WState> = (0..cores)
+        .map(|_| WState {
+            t: 0,
+            segs: Vec::new(),
+            idx: 0,
+            done: false,
+        })
+        .collect();
+    let mut lock_free = vec![0u64; num_locks];
+    let mut issued = 0u64;
+    let mut makespan = 1u64;
+
+    // Closed loop, advanced one *segment* at a time on the globally
+    // earliest worker, so lock grants happen in (approximately) true
+    // time order — a request holding a lock twice with parallel work in
+    // between does not reserve the lock across the gap.
+    while let Some(w) = workers
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.done)
+        .min_by_key(|(_, s)| s.t)
+        .map(|(i, _)| i)
+    {
+        let ws = &mut workers[w];
+        if ws.idx == ws.segs.len() {
+            if issued < total_requests {
+                ws.segs = next_request(w, issued).segments;
+                ws.idx = 0;
+                issued += 1;
+                if ws.segs.is_empty() {
+                    makespan = makespan.max(ws.t);
+                }
+                continue;
+            }
+            ws.done = true;
+            makespan = makespan.max(ws.t);
+            continue;
+        }
+        let seg = ws.segs[ws.idx];
+        ws.idx += 1;
+        match seg.lock {
+            None => ws.t += seg.dur_ns,
+            Some(l) => {
+                let start = ws.t.max(lock_free[l]);
+                let end = start + seg.dur_ns;
+                lock_free[l] = end;
+                ws.t = end;
+            }
+        }
+    }
+    SimResult {
+        cores,
+        requests: total_requests,
+        makespan_ns: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_profile(dur: u64) -> RequestProfile {
+        RequestProfile {
+            segments: vec![Segment::parallel(dur)],
+        }
+    }
+
+    #[test]
+    fn fully_parallel_work_scales_linearly() {
+        let t1 = simulate(1, 1000, 0, |_, _| flat_profile(1000));
+        let t4 = simulate(4, 1000, 0, |_, _| flat_profile(1000));
+        let speedup = t4.req_per_sec() / t1.req_per_sec();
+        assert!((3.8..=4.2).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn fully_serial_work_does_not_scale() {
+        let serial = |_, _| RequestProfile {
+            segments: vec![Segment::locked(1000, 0)],
+        };
+        let t1 = simulate(1, 1000, 1, serial);
+        let t8 = simulate(8, 1000, 1, serial);
+        let speedup = t8.req_per_sec() / t1.req_per_sec();
+        assert!(speedup < 1.1, "serial bottleneck must not scale: {speedup}");
+    }
+
+    #[test]
+    fn amdahl_shape_for_mixed_work() {
+        // 20% serial, 80% parallel → Amdahl limit 5×.
+        let mixed = |_, _| RequestProfile {
+            segments: vec![Segment::locked(200, 0), Segment::parallel(800)],
+        };
+        let t1 = simulate(1, 4000, 1, mixed);
+        let t4 = simulate(4, 4000, 1, mixed);
+        let t16 = simulate(16, 4000, 1, mixed);
+        let s4 = t4.req_per_sec() / t1.req_per_sec();
+        let s16 = t16.req_per_sec() / t1.req_per_sec();
+        assert!(s4 > 2.0 && s4 < 4.0, "s4 = {s4}");
+        assert!(s16 > s4 && s16 <= 5.2, "s16 = {s16}");
+    }
+
+    #[test]
+    fn per_user_locks_spread_contention() {
+        // The same serial demand split over 8 user locks scales far
+        // better than over one.
+        let one_lock = |_, _i: u64| RequestProfile {
+            segments: vec![Segment::locked(500, 0), Segment::parallel(500)],
+        };
+        let many_locks = |_, i: u64| RequestProfile {
+            segments: vec![
+                Segment::locked(500, (i % 8) as usize),
+                Segment::parallel(500),
+            ],
+        };
+        let base1 = simulate(1, 4000, 1, one_lock);
+        let base8 = simulate(1, 4000, 8, many_locks);
+        let s_one = simulate(8, 4000, 1, one_lock).req_per_sec() / base1.req_per_sec();
+        let s_many = simulate(8, 4000, 8, many_locks).req_per_sec() / base8.req_per_sec();
+        assert!(
+            s_many > s_one + 1.0,
+            "many locks {s_many} vs one lock {s_one}"
+        );
+    }
+
+    #[test]
+    fn makespan_counts_all_work_on_one_core() {
+        let r = simulate(1, 100, 0, |_, _| flat_profile(1_000));
+        assert_eq!(r.makespan_ns, 100_000);
+    }
+}

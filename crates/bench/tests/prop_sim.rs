@@ -1,0 +1,67 @@
+//! Property tests for the multicore contention simulator: physical
+//! sanity laws that must hold for any workload.
+
+use perennial_bench::sim::{simulate, RequestProfile, Segment};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = Vec<Segment>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..2000).prop_map(Segment::parallel),
+            (1u64..2000, 0usize..4).prop_map(|(d, l)| Segment::locked(d, l)),
+        ],
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Throughput (essentially) never decreases when adding cores. The
+    /// greedy earliest-worker schedule can reorder lock grants slightly
+    /// as workers are added, so small (<2%) dips are within the
+    /// heuristic's tolerance; anything larger is a simulator bug.
+    #[test]
+    fn throughput_monotone_in_cores(segs in arb_profile()) {
+        let profile = RequestProfile { segments: segs };
+        let mut last = 0.0f64;
+        for cores in [1usize, 2, 4, 8] {
+            let r = simulate(cores, 800, 4, |_, _| profile.clone());
+            let tput = r.req_per_sec();
+            prop_assert!(
+                tput >= last * 0.98,
+                "throughput dropped from {} to {} at {} cores", last, tput, cores
+            );
+            last = tput;
+        }
+    }
+
+    /// One core's makespan equals the total service demand exactly.
+    #[test]
+    fn single_core_makespan_is_total_demand(segs in arb_profile(), n in 1u64..200) {
+        let profile = RequestProfile { segments: segs };
+        let demand = profile.demand_ns();
+        let r = simulate(1, n, 4, |_, _| profile.clone());
+        prop_assert_eq!(r.makespan_ns, demand * n);
+    }
+
+    /// Speedup never exceeds the core count (no superlinear scaling).
+    #[test]
+    fn speedup_bounded_by_cores(segs in arb_profile(), cores in 2usize..10) {
+        let profile = RequestProfile { segments: segs };
+        let t1 = simulate(1, 500, 4, |_, _| profile.clone()).req_per_sec();
+        let tn = simulate(cores, 500, 4, |_, _| profile.clone()).req_per_sec();
+        prop_assert!(tn <= t1 * cores as f64 * 1.001, "superlinear: {} vs {}", tn, t1);
+    }
+
+    /// A fully-serial workload's throughput is capped by the bottleneck
+    /// lock's demand, regardless of cores.
+    #[test]
+    fn serial_bottleneck_caps_throughput(dur in 10u64..1000, cores in 1usize..12) {
+        let profile = RequestProfile { segments: vec![Segment::locked(dur, 0)] };
+        let r = simulate(cores, 500, 1, |_, _| profile.clone());
+        let cap = 1e9 / dur as f64;
+        prop_assert!(r.req_per_sec() <= cap * 1.001);
+        prop_assert!(r.req_per_sec() >= cap * 0.9, "under-utilized bottleneck");
+    }
+}

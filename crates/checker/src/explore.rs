@@ -1,0 +1,573 @@
+//! The explorer: bounded model checking over schedules and crash points.
+//!
+//! This is the reproduction's substitute for the paper's Coq proofs (see
+//! DESIGN.md §1): instead of a theorem over *all* executions, the
+//! explorer enumerates a bounded set — exhaustive DFS over interleavings
+//! for small configurations, randomized sampling beyond that, and a
+//! systematic sweep of crash points including crashes during recovery —
+//! and requires the ghost discipline (Theorem 2's obligations) to hold on
+//! every one.
+
+use crate::harness::{Harness, World};
+use goose_rt::sched::{ModelRt, PanicKind, StepResult, Tid};
+use perennial::{Ghost, GhostError};
+use perennial_spec::SpecTS;
+use std::sync::Arc;
+
+/// Explorer configuration.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Base seed for deterministic randomness (model RNG and random
+    /// schedules).
+    pub seed: u64,
+    /// Per-execution step bound (livelock backstop).
+    pub max_steps: u64,
+    /// Cap on DFS-enumerated schedules (0 disables DFS).
+    pub dfs_max_executions: usize,
+    /// Number of random schedules to sample (crash-free).
+    pub random_samples: usize,
+    /// Sweep a crash at every step of the baseline schedule.
+    pub crash_sweep: bool,
+    /// Additionally sweep one nested crash during each recovery.
+    pub nested_crash_sweep: bool,
+    /// Random schedules to sample *with* a random crash point each.
+    pub random_crash_samples: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            seed: 0,
+            max_steps: 100_000,
+            dfs_max_executions: 2_000,
+            random_samples: 50,
+            crash_sweep: true,
+            nested_crash_sweep: true,
+            random_crash_samples: 100,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// A quick configuration for unit tests (small bounds).
+    pub fn quick() -> Self {
+        CheckConfig {
+            dfs_max_executions: 200,
+            random_samples: 10,
+            random_crash_samples: 20,
+            nested_crash_sweep: false,
+            ..CheckConfig::default()
+        }
+    }
+}
+
+/// How one explored execution ended.
+#[derive(Debug, Clone)]
+pub enum ExecOutcome {
+    /// Ghost validation and the final check both passed.
+    Ok,
+    /// A ghost capability rule or end-of-execution obligation failed —
+    /// a refinement violation.
+    Violation(GhostError),
+    /// Modelled undefined behaviour was triggered.
+    Ub(String),
+    /// A plain panic in the code under test.
+    Bug(String),
+    /// No runnable thread but unfinished work: a deadlock.
+    Deadlock,
+    /// The harness's final predicate failed.
+    FinalCheckFailed(String),
+}
+
+impl ExecOutcome {
+    /// Whether this outcome counts as a verification failure.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, ExecOutcome::Ok)
+    }
+}
+
+/// A failing execution, with enough context to reproduce and debug it.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// What failed.
+    pub outcome: ExecOutcome,
+    /// Which exploration pass produced it.
+    pub pass: &'static str,
+    /// The schedule prefix (choice indices) that reproduces it.
+    pub schedule_prefix: Vec<usize>,
+    /// Injected crash points (absolute grant counts).
+    pub crash_points: Vec<u64>,
+    /// Rendered ghost trace at failure.
+    pub trace: String,
+}
+
+/// Aggregate result of checking one scenario.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Scenario name.
+    pub name: String,
+    /// Executions explored.
+    pub executions: usize,
+    /// Total scheduled steps across executions.
+    pub total_steps: u64,
+    /// Crashes injected across executions.
+    pub crashes_injected: usize,
+    /// Distinct crash points swept.
+    pub crash_points: usize,
+    /// Operations helped by recovery across executions.
+    pub helped_ops: u64,
+    /// First counterexample found, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl CheckReport {
+    /// Whether every explored execution passed.
+    pub fn passed(&self) -> bool {
+        self.counterexample.is_none()
+    }
+
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} executions, {} steps, {} crashes over {} crash points, {} helped ops — {}",
+            self.name,
+            self.executions,
+            self.total_steps,
+            self.crashes_injected,
+            self.crash_points,
+            self.helped_ops,
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Schedule policy for one execution.
+enum Policy {
+    /// Deterministic: follow the recorded prefix, then always pick the
+    /// first runnable (DFS order).
+    DfsPrefix(Vec<usize>),
+    /// Round-robin over runnable threads.
+    RoundRobin,
+    /// Seeded pseudo-random choice.
+    Random(u64),
+}
+
+struct ScheduleState {
+    policy: Policy,
+    /// (choice index, number of runnable options) per decision.
+    decisions: Vec<(usize, usize)>,
+    rr_next: usize,
+    rng: u64,
+}
+
+impl ScheduleState {
+    fn new(policy: Policy) -> Self {
+        let rng = match &policy {
+            Policy::Random(s) => *s | 1,
+            _ => 1,
+        };
+        ScheduleState {
+            policy,
+            decisions: Vec::new(),
+            rr_next: 0,
+            rng,
+        }
+    }
+
+    fn choose(&mut self, runnable: &[Tid]) -> Tid {
+        let n = runnable.len();
+        let idx = match &self.policy {
+            Policy::DfsPrefix(prefix) => {
+                let d = self.decisions.len();
+                if d < prefix.len() {
+                    prefix[d].min(n - 1)
+                } else {
+                    0
+                }
+            }
+            Policy::RoundRobin => {
+                let idx = self.rr_next % n;
+                self.rr_next += 1;
+                idx
+            }
+            Policy::Random(_) => {
+                // xorshift64*
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 7;
+                self.rng ^= self.rng << 17;
+                (self.rng as usize) % n
+            }
+        };
+        self.decisions.push((idx, n));
+        runnable[idx]
+    }
+}
+
+/// Phase of one execution's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Main,
+    Recovering,
+    After,
+}
+
+struct RunResult {
+    outcome: ExecOutcome,
+    decisions: Vec<(usize, usize)>,
+    steps: u64,
+    crashes: usize,
+    helped: u64,
+    trace: String,
+}
+
+/// Runs one execution under `policy`, injecting crashes at the given
+/// absolute grant counts.
+fn run_one<S: SpecTS, H: Harness<S>>(
+    harness: &H,
+    policy: Policy,
+    crash_points: &[u64],
+    seed: u64,
+    max_steps: u64,
+) -> RunResult {
+    let rt = ModelRt::new(seed, max_steps);
+    let ghost = Ghost::new(harness.spec());
+    let w = World {
+        rt: Arc::clone(&rt),
+        ghost: Arc::clone(&ghost),
+    };
+    let mut exec = harness.make(&w);
+    exec.boot(&w);
+    for (name, body) in exec.threads(&w) {
+        rt.spawn(name, body);
+    }
+
+    let mut sched = ScheduleState::new(policy);
+    let mut steps: u64 = 0;
+    let mut crashes = 0usize;
+    let mut crash_iter = crash_points.iter().copied().peekable();
+    let mut phase = Phase::Main;
+    let mut recovery_tid: Option<Tid> = None;
+    let mut after_spawned = false;
+
+    let finish = |outcome: ExecOutcome,
+                  sched: &ScheduleState,
+                  steps: u64,
+                  crashes: usize,
+                  ghost: &Arc<Ghost<S>>| RunResult {
+        outcome,
+        decisions: sched.decisions.clone(),
+        steps,
+        crashes,
+        helped: 0,
+        trace: ghost.trace().render(),
+    };
+
+    loop {
+        // Crash injection at this step boundary?
+        if crash_iter.peek() == Some(&steps) {
+            crash_iter.next();
+            crashes += 1;
+            rt.crash_all();
+            ghost.crash();
+            exec.crash_reset(&w);
+            exec.boot(&w);
+            let body = exec.recovery(&w);
+            recovery_tid = Some(rt.spawn("recovery", body));
+            phase = Phase::Recovering;
+            // A crash consumes a "step" so nested sweeps can target
+            // positions inside recovery distinctly.
+            steps += 1;
+            continue;
+        }
+
+        let runnable = rt.runnable();
+        if runnable.is_empty() {
+            if rt.all_done() {
+                // Pending crash points beyond the end are simply unused.
+                break;
+            }
+            return finish(ExecOutcome::Deadlock, &sched, steps, crashes, &ghost);
+        }
+        let tid = sched.choose(&runnable);
+        let res = rt.grant(tid);
+        steps += 1;
+        match res {
+            StepResult::Yielded | StepResult::Blocked => {}
+            StepResult::Finished => {
+                if phase == Phase::Recovering && recovery_tid == Some(tid) {
+                    phase = Phase::After;
+                    if !after_spawned {
+                        after_spawned = true;
+                        for (name, body) in exec.after_recovery(&w) {
+                            rt.spawn(name, body);
+                        }
+                    }
+                }
+            }
+            StepResult::Panicked(PanicKind::Ghost(e)) => {
+                return finish(ExecOutcome::Violation(e), &sched, steps, crashes, &ghost);
+            }
+            StepResult::Panicked(PanicKind::Ub(msg)) => {
+                return finish(ExecOutcome::Ub(msg), &sched, steps, crashes, &ghost);
+            }
+            StepResult::Panicked(PanicKind::Other(msg)) => {
+                return finish(ExecOutcome::Bug(msg), &sched, steps, crashes, &ghost);
+            }
+            StepResult::Panicked(PanicKind::CrashUnwind) => {
+                // Only reachable via crash_all, which we drive ourselves.
+                unreachable!("crash unwind surfaced outside crash injection");
+            }
+        }
+    }
+    rt.join_all();
+
+    // A crash point scheduled exactly at the end of all work: treat as
+    // unused (nothing was in flight; the sweep's earlier points covered
+    // every interesting boundary).
+
+    let (outcome, helped) = match ghost.validate() {
+        Ok(report) => {
+            let helped = report.helped as u64;
+            match exec.final_check(&w) {
+                Ok(()) => (ExecOutcome::Ok, helped),
+                Err(msg) => (ExecOutcome::FinalCheckFailed(msg), helped),
+            }
+        }
+        Err(e) => (ExecOutcome::Violation(e), 0),
+    };
+    let mut r = finish(outcome, &sched, steps, crashes, &ghost);
+    r.helped = helped;
+    r
+}
+
+/// Advances a DFS prefix to the next unexplored schedule; `None` when the
+/// tree is exhausted.
+fn next_prefix(decisions: &[(usize, usize)]) -> Option<Vec<usize>> {
+    let mut prefix: Vec<usize> = decisions.iter().map(|(i, _)| *i).collect();
+    loop {
+        let last = prefix.len().checked_sub(1)?;
+        let (_, n) = decisions[last];
+        if prefix[last] + 1 < n {
+            prefix[last] += 1;
+            return Some(prefix);
+        }
+        prefix.pop();
+        if prefix.is_empty() {
+            return None;
+        }
+    }
+}
+
+/// Runs all configured exploration passes over a scenario.
+pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> CheckReport {
+    let mut report = CheckReport {
+        name: harness.name().to_string(),
+        ..CheckReport::default()
+    };
+
+    let record = |r: RunResult,
+                  pass: &'static str,
+                  prefix: Vec<usize>,
+                  crash_points: Vec<u64>,
+                  report: &mut CheckReport| {
+        report.executions += 1;
+        report.total_steps += r.steps;
+        report.crashes_injected += r.crashes;
+        report.helped_ops += r.helped;
+        if r.outcome.is_failure() && report.counterexample.is_none() {
+            report.counterexample = Some(Counterexample {
+                outcome: r.outcome.clone(),
+                pass,
+                schedule_prefix: prefix,
+                crash_points,
+                trace: r.trace.clone(),
+            });
+        }
+        r.outcome.is_failure()
+    };
+
+    // Pass 1: DFS over crash-free schedules.
+    if config.dfs_max_executions > 0 {
+        let mut prefix: Vec<usize> = Vec::new();
+        for _ in 0..config.dfs_max_executions {
+            let r = run_one(
+                harness,
+                Policy::DfsPrefix(prefix.clone()),
+                &[],
+                config.seed,
+                config.max_steps,
+            );
+            let decisions = r.decisions.clone();
+            if record(r, "dfs", prefix.clone(), vec![], &mut report) {
+                return report;
+            }
+            match next_prefix(&decisions) {
+                Some(p) => prefix = p,
+                None => break,
+            }
+        }
+    }
+
+    // Pass 2: random crash-free schedules.
+    for i in 0..config.random_samples {
+        let s = config.seed ^ (0x5151_0000 + i as u64);
+        let r = run_one(
+            harness,
+            Policy::Random(s),
+            &[],
+            config.seed,
+            config.max_steps,
+        );
+        if record(r, "random", vec![s as usize], vec![], &mut report) {
+            return report;
+        }
+    }
+
+    // Pass 3: systematic crash sweep on the round-robin schedule.
+    if config.crash_sweep {
+        // Discover the crash-free length first.
+        let base = run_one(
+            harness,
+            Policy::RoundRobin,
+            &[],
+            config.seed,
+            config.max_steps,
+        );
+        let horizon = base.steps;
+        if record(base, "crash-sweep-base", vec![], vec![], &mut report) {
+            return report;
+        }
+        for k in 0..horizon {
+            report.crash_points += 1;
+            let r = run_one(
+                harness,
+                Policy::RoundRobin,
+                &[k],
+                config.seed,
+                config.max_steps,
+            );
+            let steps_after_crash = r.steps.saturating_sub(k + 1);
+            if record(r, "crash-sweep", vec![], vec![k], &mut report) {
+                return report;
+            }
+            // Nested: crash during the recovery that followed the crash
+            // at k, at every recovery step.
+            if config.nested_crash_sweep {
+                for m in 0..steps_after_crash {
+                    report.crash_points += 1;
+                    let second = k + 1 + m;
+                    let r2 = run_one(
+                        harness,
+                        Policy::RoundRobin,
+                        &[k, second],
+                        config.seed,
+                        config.max_steps,
+                    );
+                    if record(
+                        r2,
+                        "nested-crash-sweep",
+                        vec![],
+                        vec![k, second],
+                        &mut report,
+                    ) {
+                        return report;
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 4: random schedules with a random crash point each.
+    for i in 0..config.random_crash_samples {
+        let s = config.seed ^ (0xc4a5_0000 + i as u64);
+        // Probe the schedule's length crash-free, then pick a point.
+        let probe = run_one(
+            harness,
+            Policy::Random(s),
+            &[],
+            config.seed,
+            config.max_steps,
+        );
+        let horizon = probe.steps.max(1);
+        if record(
+            probe,
+            "random-crash-probe",
+            vec![s as usize],
+            vec![],
+            &mut report,
+        ) {
+            return report;
+        }
+        let k = splitmix(s) % horizon;
+        report.crash_points += 1;
+        let r = run_one(
+            harness,
+            Policy::Random(s),
+            &[k],
+            config.seed,
+            config.max_steps,
+        );
+        if record(r, "random-crash", vec![s as usize], vec![k], &mut report) {
+            return report;
+        }
+    }
+
+    report
+}
+
+/// Reruns a single execution (round-robin schedule) with explicit crash
+/// points — used by tests that target one specific interleaving, like the
+/// paper's Figure 6 scenario.
+pub fn run_scenario<S: SpecTS, H: Harness<S>>(
+    harness: &H,
+    crash_points: &[u64],
+    config: &CheckConfig,
+) -> (ExecOutcome, String) {
+    let r = run_one(
+        harness,
+        Policy::RoundRobin,
+        crash_points,
+        config.seed,
+        config.max_steps,
+    );
+    (r.outcome, r.trace)
+}
+
+/// Replays a counterexample: reruns the execution with the recorded
+/// schedule prefix and crash points, returning the (deterministic)
+/// outcome and trace — the debugging entry point for a failing
+/// [`Counterexample`].
+///
+/// DFS counterexamples carry a choice-index prefix; crash-sweep ones
+/// carry an empty prefix (round-robin) plus crash points. Random-pass
+/// counterexamples carry the seed in `schedule_prefix[0]` and are
+/// replayed with the same random policy.
+pub fn replay<S: SpecTS, H: Harness<S>>(
+    harness: &H,
+    cx: &Counterexample,
+    config: &CheckConfig,
+) -> (ExecOutcome, String) {
+    let policy = match cx.pass {
+        "random" | "random-crash" | "random-crash-probe" => {
+            Policy::Random(cx.schedule_prefix.first().copied().unwrap_or(1) as u64)
+        }
+        "crash-sweep" | "crash-sweep-base" | "nested-crash-sweep" => Policy::RoundRobin,
+        _ => Policy::DfsPrefix(cx.schedule_prefix.clone()),
+    };
+    let r = run_one(
+        harness,
+        policy,
+        &cx.crash_points,
+        config.seed,
+        config.max_steps,
+    );
+    (r.outcome, r.trace)
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,93 @@
+//! The harness interface: how a system under test plugs into the
+//! explorer.
+//!
+//! One [`Harness`] describes a *scenario*: the spec, how to build fresh
+//! durable state, the workload threads, and the recovery procedure. The
+//! explorer instantiates it once per explored execution (stateless model
+//! checking), drives the schedule, injects crashes, and validates the
+//! ghost trace at the end.
+//!
+//! The lifecycle of one execution:
+//!
+//! ```text
+//! make() ──► boot() ──► threads() run under the explorer's schedule
+//!                │
+//!                │  (injected crash: rt.crash_all, ghost.crash,
+//!                ▼   crash_reset, boot again)
+//!           recovery() runs as a scheduled thread (crashes here are
+//!                │      explored too — "crash during recovery")
+//!                ▼
+//!          after_recovery() threads (optional) ──► final_check()
+//! ```
+
+use goose_rt::sched::ModelRt;
+use perennial::Ghost;
+use perennial_spec::SpecTS;
+use std::sync::Arc;
+
+/// Shared execution context handed to every harness hook.
+pub struct World<S: SpecTS> {
+    /// The model runtime (scheduler).
+    pub rt: Arc<ModelRt>,
+    /// The ghost engine for this execution.
+    pub ghost: Arc<Ghost<S>>,
+}
+
+impl<S: SpecTS> Clone for World<S> {
+    fn clone(&self) -> Self {
+        World {
+            rt: Arc::clone(&self.rt),
+            ghost: Arc::clone(&self.ghost),
+        }
+    }
+}
+
+/// A workload thread body.
+pub type ThreadBody = Box<dyn FnOnce() + Send + 'static>;
+
+/// One execution of the system under test.
+pub trait Execution<S: SpecTS>: Send {
+    /// (Re)builds in-memory structures — locks, caches, handles — called
+    /// after [`Harness::make`] and again after every crash, modelling the
+    /// process restart.
+    fn boot(&mut self, w: &World<S>);
+
+    /// The main workload threads (called once, after the first boot).
+    fn threads(&mut self, w: &World<S>) -> Vec<(String, ThreadBody)>;
+
+    /// Clears volatile *substrate* state on crash (heap contents, file
+    /// descriptors). The explorer has already unwound the threads and
+    /// called `ghost.crash()`.
+    fn crash_reset(&mut self, w: &World<S>);
+
+    /// The recovery procedure, run as a scheduled virtual thread so
+    /// crashes *during recovery* are explored like any other step. Must
+    /// finish by spending the crash token (`ghost.recovery_done()`).
+    fn recovery(&mut self, w: &World<S>) -> ThreadBody;
+
+    /// Optional workload to run after a completed recovery (checks the
+    /// system still serves requests correctly post-crash).
+    fn after_recovery(&mut self, _w: &World<S>) -> Vec<(String, ThreadBody)> {
+        Vec::new()
+    }
+
+    /// Extra end-of-execution predicate over the real (non-ghost) state,
+    /// e.g. "the two disk platters agree".
+    fn final_check(&self, _w: &World<S>) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A checkable scenario.
+pub trait Harness<S: SpecTS>: Sync {
+    /// A fresh spec instance (defines the initial abstract state).
+    fn spec(&self) -> S;
+
+    /// Builds fresh durable state and ghost resources for one execution.
+    fn make(&self, w: &World<S>) -> Box<dyn Execution<S>>;
+
+    /// Human-readable scenario name (reports and statistics).
+    fn name(&self) -> &str {
+        "unnamed scenario"
+    }
+}

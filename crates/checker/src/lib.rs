@@ -1,0 +1,36 @@
+//! The Perennial reproduction's model checker: bounded exploration of
+//! thread interleavings and crash points with online refinement
+//! validation.
+//!
+//! This crate is the substitute for the paper's "for all executions" Coq
+//! theorem (DESIGN.md §1). A system plugs in as a [`Harness`]; the
+//! [`check`] entry point then:
+//!
+//! 1. enumerates crash-free schedules by DFS (exhaustive for small
+//!    configurations) and random sampling;
+//! 2. sweeps an injected crash at *every* step of a baseline schedule,
+//!    runs the recovery procedure as a scheduled thread, and optionally
+//!    sweeps a *second* crash at every step of recovery ("crashes during
+//!    recovery", §5.5's idempotence obligation);
+//! 3. requires, on every execution, that the ghost capability discipline
+//!    (Table 1) held at each step, that the Theorem 2 end-of-execution
+//!    obligations are met, and that the harness's final-state predicate
+//!    holds.
+//!
+//! A separate Wing–Gong [`linearize`] checker validates histories from
+//! observable events alone, as an independent cross-check of the
+//! commit-point instrumentation.
+
+pub mod explore;
+pub mod harness;
+pub mod linearize;
+pub mod recorder;
+pub mod report;
+
+pub use explore::{
+    check, replay, run_scenario, CheckConfig, CheckReport, Counterexample, ExecOutcome,
+};
+pub use harness::{Execution, Harness, ThreadBody, World};
+pub use linearize::{check_linearizable, HistOp, Verdict};
+pub use recorder::Recorder;
+pub use report::{describe_outcome, render_failure, verdict_line};

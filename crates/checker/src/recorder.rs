@@ -1,0 +1,66 @@
+//! A thread-safe recorder of observable histories, feeding the
+//! standalone linearizability checker.
+
+use crate::linearize::HistOp;
+use parking_lot::Mutex;
+use perennial_spec::Jid;
+use std::fmt::Debug;
+
+struct Inner<Op, Ret> {
+    clock: u64,
+    ops: Vec<HistOp<Op, Ret>>,
+}
+
+/// Records invocations and responses with a global logical clock.
+pub struct Recorder<Op, Ret> {
+    inner: Mutex<Inner<Op, Ret>>,
+}
+
+impl<Op: Clone + Debug, Ret: Clone + Debug> Default for Recorder<Op, Ret> {
+    fn default() -> Self {
+        Recorder {
+            inner: Mutex::new(Inner {
+                clock: 0,
+                ops: Vec::new(),
+            }),
+        }
+    }
+}
+
+impl<Op: Clone + Debug, Ret: Clone + Debug> Recorder<Op, Ret> {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an invocation; returns the op's history index.
+    pub fn invoke(&self, op: Op) -> usize {
+        let mut g = self.inner.lock();
+        g.clock += 1;
+        let at = g.clock;
+        let idx = g.ops.len();
+        g.ops.push(HistOp {
+            jid: Jid(idx as u64),
+            op,
+            ret: None,
+            invoked_at: at,
+            returned_at: u64::MAX,
+        });
+        idx
+    }
+
+    /// Records the response for a previously invoked op.
+    pub fn finish(&self, idx: usize, ret: Ret) {
+        let mut g = self.inner.lock();
+        g.clock += 1;
+        let at = g.clock;
+        let op = &mut g.ops[idx];
+        op.ret = Some(ret);
+        op.returned_at = at;
+    }
+
+    /// Snapshot of the recorded history.
+    pub fn history(&self) -> Vec<HistOp<Op, Ret>> {
+        self.inner.lock().ops.clone()
+    }
+}

@@ -1,0 +1,167 @@
+//! Human-readable counterexample reports.
+//!
+//! When the checker rejects a system, the raw [`crate::Counterexample`]
+//! carries a schedule prefix, crash points, and a ghost trace. This
+//! module turns that into the report a developer actually reads: what
+//! failed, where the crash was injected, the spec-level history up to
+//! the failure, and how to replay it.
+
+use crate::explore::{CheckReport, ExecOutcome};
+use std::fmt::Write as _;
+
+/// Renders a full failure report for a scenario, or `None` if every
+/// explored execution passed. See `tests/selftest.rs` for an end-to-end
+/// example with a real counterexample.
+pub fn render_failure(report: &CheckReport) -> Option<String> {
+    let cx = report.counterexample.as_ref()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "VERIFICATION FAILED: {}", report.name);
+    let _ = writeln!(out, "{}", describe_outcome(&cx.outcome));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Found in pass   : {}", cx.pass);
+    if cx.crash_points.is_empty() {
+        let _ = writeln!(out, "Crash injection : none (crash-free execution)");
+    } else {
+        let _ = writeln!(
+            out,
+            "Crash injection : at step(s) {:?} of the execution",
+            cx.crash_points
+        );
+    }
+    if !cx.schedule_prefix.is_empty() {
+        let _ = writeln!(
+            out,
+            "Schedule prefix : {:?} (choice indices; replay with checker::replay)",
+            cx.schedule_prefix
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Spec-level trace up to the failure:");
+    if cx.trace.is_empty() {
+        let _ = writeln!(out, "  (no ghost events recorded)");
+    } else {
+        out.push_str(&cx.trace);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Explored before failing: {} executions, {} steps, {} injected crashes.",
+        report.executions, report.total_steps, report.crashes_injected
+    );
+    Some(out)
+}
+
+/// One-paragraph description of what an outcome means.
+pub fn describe_outcome(outcome: &ExecOutcome) -> String {
+    match outcome {
+        ExecOutcome::Ok => "No failure: the execution satisfied every obligation.".to_string(),
+        ExecOutcome::Violation(e) => format!(
+            "Ghost capability discipline violated: {e}\n\
+             (a Table 1 rule failed — the runtime analog of a proof\n\
+             obligation that would not typecheck in Coq)"
+        ),
+        ExecOutcome::Ub(msg) => format!(
+            "Modelled undefined behaviour: {msg}\n\
+             (the caller broke a spec precondition — racy shared-memory\n\
+             access or iterator invalidation, §6.1 of the paper)"
+        ),
+        ExecOutcome::Bug(msg) => format!(
+            "Plain panic in the code under test: {msg}\n\
+             (an assertion or unwrap failed — a bug independent of the\n\
+             refinement machinery)"
+        ),
+        ExecOutcome::Deadlock => "Deadlock: no thread is runnable but work remains \
+             (blocked lock cycle)."
+            .to_string(),
+        ExecOutcome::FinalCheckFailed(msg) => format!(
+            "Final-state predicate failed: {msg}\n\
+             (the abstraction relation between physical state and\n\
+             source(σ) does not hold at quiescence)"
+        ),
+    }
+}
+
+/// Compact one-line verdict for dashboards.
+pub fn verdict_line(report: &CheckReport) -> String {
+    match &report.counterexample {
+        None => format!("PASS {}", report.summary()),
+        Some(cx) => format!(
+            "FAIL {} [{} @ crash {:?}]",
+            report.name,
+            cx.pass,
+            cx.crash_points
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{CheckReport, Counterexample, ExecOutcome};
+    use perennial::GhostError;
+
+    fn failing_report() -> CheckReport {
+        CheckReport {
+            name: "demo scenario".into(),
+            executions: 42,
+            total_steps: 1234,
+            crashes_injected: 7,
+            crash_points: 7,
+            helped_ops: 1,
+            counterexample: Some(Counterexample {
+                outcome: ExecOutcome::Violation(GhostError::HelpTokenMissing { key: 3 }),
+                pass: "crash-sweep",
+                schedule_prefix: vec![0, 1, 0],
+                crash_points: vec![5],
+                trace: "  [  0] Invoke { jid: j0, op: Write(3, 9) }\n".into(),
+            }),
+        }
+    }
+
+    #[test]
+    fn failure_report_contains_the_essentials() {
+        let r = failing_report();
+        let text = render_failure(&r).expect("has counterexample");
+        assert!(text.contains("VERIFICATION FAILED: demo scenario"));
+        assert!(text.contains("crash-sweep"));
+        assert!(text.contains("at step(s) [5]"));
+        assert!(text.contains("helping token"));
+        assert!(text.contains("Invoke"));
+        assert!(text.contains("42 executions"));
+    }
+
+    #[test]
+    fn passing_report_renders_nothing() {
+        let r = CheckReport {
+            name: "clean".into(),
+            ..CheckReport::default()
+        };
+        assert!(render_failure(&r).is_none());
+        assert!(verdict_line(&r).starts_with("PASS"));
+    }
+
+    #[test]
+    fn verdict_line_for_failure() {
+        let line = verdict_line(&failing_report());
+        assert!(line.starts_with("FAIL demo scenario"));
+        assert!(line.contains("crash-sweep"));
+    }
+
+    #[test]
+    fn outcome_descriptions_are_distinct() {
+        let outcomes = [
+            ExecOutcome::Ok,
+            ExecOutcome::Violation(GhostError::HelpTokenMissing { key: 0 }),
+            ExecOutcome::Ub("racy write".into()),
+            ExecOutcome::Bug("assert failed".into()),
+            ExecOutcome::Deadlock,
+            ExecOutcome::FinalCheckFailed("AbsR".into()),
+        ];
+        let descs: Vec<String> = outcomes.iter().map(describe_outcome).collect();
+        for (i, a) in descs.iter().enumerate() {
+            for b in descs.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The checker must also detect liveness-adjacent structural failures:
+//! lock-order deadlocks surface as `ExecOutcome::Deadlock` (no runnable
+//! thread, unfinished work) rather than hanging the explorer.
+
+use goose_rt::runtime::ModelRtExt;
+use perennial::GhostUnwrap;
+use perennial_checker::{check, CheckConfig, ExecOutcome, Execution, Harness, ThreadBody, World};
+use perennial_spec::fixtures::{RegOp, RegSpec};
+use std::sync::Arc;
+
+/// A two-lock system where thread A takes (L0, L1) and thread B takes
+/// (L1, L0) — the classic ABBA deadlock, reachable under some schedules.
+struct AbbaHarness;
+
+struct AbbaExec {
+    locks: Vec<Arc<dyn goose_rt::runtime::GLock>>,
+}
+
+impl Execution<RegSpec> for AbbaExec {
+    fn boot(&mut self, w: &World<RegSpec>) {
+        self.locks = vec![w.rt.new_glock(), w.rt.new_glock()];
+    }
+
+    fn threads(&mut self, w: &World<RegSpec>) -> Vec<(String, ThreadBody)> {
+        let mut out: Vec<(String, ThreadBody)> = Vec::new();
+        for (name, first, second) in [("ab", 0usize, 1usize), ("ba", 1, 0)] {
+            let l1 = Arc::clone(&self.locks[first]);
+            let l2 = Arc::clone(&self.locks[second]);
+            let w2 = w.clone();
+            out.push((
+                name.into(),
+                Box::new(move || {
+                    let tok = w2.ghost.begin_op(RegOp::Read(0)).ghost_unwrap();
+                    l1.acquire();
+                    l2.acquire();
+                    let ret = w2.ghost.commit_op(&tok).ghost_unwrap();
+                    l2.release();
+                    l1.release();
+                    w2.ghost.finish_op(tok, &ret).ghost_unwrap();
+                }),
+            ));
+        }
+        out
+    }
+
+    fn crash_reset(&mut self, _w: &World<RegSpec>) {}
+
+    fn recovery(&mut self, w: &World<RegSpec>) -> ThreadBody {
+        let w2 = w.clone();
+        Box::new(move || w2.ghost.recovery_done().ghost_unwrap())
+    }
+}
+
+impl Harness<RegSpec> for AbbaHarness {
+    fn spec(&self) -> RegSpec {
+        RegSpec { size: 1 }
+    }
+
+    fn make(&self, _w: &World<RegSpec>) -> Box<dyn Execution<RegSpec>> {
+        Box::new(AbbaExec { locks: Vec::new() })
+    }
+
+    fn name(&self) -> &str {
+        "ABBA deadlock"
+    }
+}
+
+#[test]
+fn abba_deadlock_is_found_and_classified() {
+    let report = check(
+        &AbbaHarness,
+        &CheckConfig {
+            dfs_max_executions: 200,
+            random_samples: 0,
+            random_crash_samples: 0,
+            crash_sweep: false,
+            nested_crash_sweep: false,
+            ..CheckConfig::default()
+        },
+    );
+    let cx = report
+        .counterexample
+        .expect("DFS must reach the deadlocking interleaving");
+    assert!(
+        matches!(cx.outcome, ExecOutcome::Deadlock),
+        "expected Deadlock, got {:?}",
+        cx.outcome
+    );
+    assert!(
+        !cx.schedule_prefix.is_empty(),
+        "counterexample must carry its schedule for replay"
+    );
+}
+
+/// The same structure with a consistent lock order never deadlocks.
+struct OrderedHarness;
+
+struct OrderedExec {
+    locks: Vec<Arc<dyn goose_rt::runtime::GLock>>,
+}
+
+impl Execution<RegSpec> for OrderedExec {
+    fn boot(&mut self, w: &World<RegSpec>) {
+        self.locks = vec![w.rt.new_glock(), w.rt.new_glock()];
+    }
+
+    fn threads(&mut self, w: &World<RegSpec>) -> Vec<(String, ThreadBody)> {
+        let mut out: Vec<(String, ThreadBody)> = Vec::new();
+        for name in ["t1", "t2"] {
+            let l0 = Arc::clone(&self.locks[0]);
+            let l1 = Arc::clone(&self.locks[1]);
+            let w2 = w.clone();
+            out.push((
+                name.into(),
+                Box::new(move || {
+                    let tok = w2.ghost.begin_op(RegOp::Read(0)).ghost_unwrap();
+                    l0.acquire();
+                    l1.acquire();
+                    let ret = w2.ghost.commit_op(&tok).ghost_unwrap();
+                    l1.release();
+                    l0.release();
+                    w2.ghost.finish_op(tok, &ret).ghost_unwrap();
+                }),
+            ));
+        }
+        out
+    }
+
+    fn crash_reset(&mut self, _w: &World<RegSpec>) {}
+
+    fn recovery(&mut self, w: &World<RegSpec>) -> ThreadBody {
+        let w2 = w.clone();
+        Box::new(move || w2.ghost.recovery_done().ghost_unwrap())
+    }
+}
+
+impl Harness<RegSpec> for OrderedHarness {
+    fn spec(&self) -> RegSpec {
+        RegSpec { size: 1 }
+    }
+
+    fn make(&self, _w: &World<RegSpec>) -> Box<dyn Execution<RegSpec>> {
+        Box::new(OrderedExec { locks: Vec::new() })
+    }
+
+    fn name(&self) -> &str {
+        "ordered locks"
+    }
+}
+
+#[test]
+fn consistent_lock_order_never_deadlocks() {
+    let report = check(
+        &OrderedHarness,
+        &CheckConfig {
+            dfs_max_executions: 500,
+            random_samples: 20,
+            random_crash_samples: 0,
+            crash_sweep: false,
+            nested_crash_sweep: false,
+            ..CheckConfig::default()
+        },
+    );
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.executions > 50, "DFS explored too little");
+}

@@ -1,0 +1,928 @@
+//! The ghost engine: Perennial's capability discipline as an executable,
+//! runtime-checked object.
+//!
+//! One [`Ghost`] instance accompanies one checked execution. Every method
+//! is one *atomic step* of ghost state (internally serialized by a mutex,
+//! mirroring Iris's rule that invariants open and close around a single
+//! atomic step). The engine plays three roles:
+//!
+//! 1. **Capability bookkeeping** — versioned volatile cells, durable
+//!    master/lease cells, durable sets, helping tokens, the crash token.
+//! 2. **Online refinement** — `commit_op` simulates the spec transition
+//!    against `source(σ)` the moment the implementation linearizes, and
+//!    `finish_op` checks the value actually returned; any divergence is an
+//!    immediate verification failure.
+//! 3. **Crash semantics** — `crash()` bumps the version (invalidating all
+//!    volatile capabilities and leases, §5.2/§5.3), aborts in-flight
+//!    uncommitted operations that were not stashed for helping, and arms
+//!    the `⇛Crashing` token that recovery must spend (§5.5).
+
+use crate::error::{GhostError, GhostResult};
+use crate::resource::{
+    check_version, DurCell, DurId, Lease, PointsTo, SetCell, SetId, SetItem, SetLease, VolCell,
+};
+use crate::trace::{Trace, TraceEvent};
+use parking_lot::Mutex;
+use perennial_spec::transition::Outcome;
+use perennial_spec::{Jid, SpecTS, Transition};
+use std::collections::{BTreeSet, HashMap};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Ownership of a pending spec-level operation: the paper's `j ⇛ op`.
+///
+/// Not `Clone`: holding the Rust value is holding the capability.
+#[derive(Debug)]
+pub struct OpToken {
+    jid: Jid,
+}
+
+impl OpToken {
+    /// The operation instance this token names.
+    pub fn jid(&self) -> Jid {
+        self.jid
+    }
+}
+
+/// State of the spec-level crash token (§5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashToken {
+    /// No crash outstanding.
+    Idle,
+    /// `⇛Crashing`: a crash happened; recovery must simulate the spec
+    /// crash transition before normal operation resumes.
+    Crashing,
+    /// `⇛Done`: recovery spent the token; normal operation may resume.
+    Done,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum OpPhase<Ret> {
+    Pending,
+    Stashed { key: u64 },
+    Committed { ret: Ret },
+    Helped { ret: Ret },
+    Finished,
+    Aborted,
+}
+
+struct OpRecord<S: SpecTS> {
+    op: S::Op,
+    phase: OpPhase<S::Ret>,
+}
+
+struct Inner<S: SpecTS> {
+    version: u64,
+    state: S::State,
+    ops: HashMap<Jid, OpRecord<S>>,
+    /// Helping tokens stashed in the crash invariant: key → jid.
+    help: HashMap<u64, Jid>,
+    crash_token: CrashToken,
+    next_jid: u64,
+    next_res: u64,
+    vol: HashMap<u64, VolCell>,
+    dur: HashMap<u64, DurCell>,
+    sets: HashMap<u64, SetCell>,
+    trace: Trace<S::Op, S::Ret>,
+    first_error: Option<GhostError>,
+}
+
+/// The ghost engine for one checked execution.
+pub struct Ghost<S: SpecTS> {
+    spec: Arc<S>,
+    inner: Mutex<Inner<S>>,
+}
+
+impl<S: SpecTS> Ghost<S> {
+    /// Creates an engine with the spec's initial abstract state.
+    pub fn new(spec: S) -> Arc<Self> {
+        let state = spec.init();
+        Arc::new(Ghost {
+            spec: Arc::new(spec),
+            inner: Mutex::new(Inner {
+                version: 0,
+                state,
+                ops: HashMap::new(),
+                help: HashMap::new(),
+                crash_token: CrashToken::Idle,
+                next_jid: 0,
+                next_res: 0,
+                vol: HashMap::new(),
+                dur: HashMap::new(),
+                sets: HashMap::new(),
+                trace: Trace::default(),
+                first_error: None,
+            }),
+        })
+    }
+
+    /// The spec this engine refines against.
+    pub fn spec(&self) -> &S {
+        &self.spec
+    }
+
+    /// Current execution version (bumped by every crash).
+    pub fn version(&self) -> u64 {
+        self.inner.lock().version
+    }
+
+    /// A snapshot of `source(σ)`, the current abstract state.
+    pub fn spec_state(&self) -> S::State {
+        self.inner.lock().state.clone()
+    }
+
+    /// Current crash-token state.
+    pub fn crash_token(&self) -> CrashToken {
+        self.inner.lock().crash_token
+    }
+
+    /// First discipline violation observed, if any (sticky).
+    pub fn first_error(&self) -> Option<GhostError> {
+        self.inner.lock().first_error.clone()
+    }
+
+    fn fail<T>(inner: &mut Inner<S>, err: GhostError) -> GhostResult<T> {
+        if inner.first_error.is_none() {
+            inner.first_error = Some(err.clone());
+        }
+        Err(err)
+    }
+
+    // ------------------------------------------------------------------
+    // Refinement resources (§4): j ⇛ op, source(σ).
+    // ------------------------------------------------------------------
+
+    /// Mints `j ⇛ op` for a newly invoked operation.
+    pub fn begin_op(&self, op: S::Op) -> GhostResult<OpToken> {
+        let mut g = self.inner.lock();
+        if g.crash_token == CrashToken::Crashing {
+            return Self::fail(
+                &mut g,
+                GhostError::CrashToken {
+                    msg: "begin_op while recovery has not spent ⇛Crashing",
+                },
+            );
+        }
+        let jid = Jid(g.next_jid);
+        g.next_jid += 1;
+        g.ops.insert(
+            jid,
+            OpRecord {
+                op: op.clone(),
+                phase: OpPhase::Pending,
+            },
+        );
+        g.trace.push(TraceEvent::Invoke { jid, op });
+        Ok(OpToken { jid })
+    }
+
+    /// Simulates the spec step for `tok`'s operation at its linearization
+    /// point, replacing `j ⇛ op` with `j ⇛ ret v` (Table 1, *refinement*).
+    pub fn commit_op(&self, tok: &OpToken) -> GhostResult<S::Ret> {
+        let op = {
+            let g = self.inner.lock();
+            match g.ops.get(&tok.jid) {
+                Some(rec) => rec.op.clone(),
+                None => {
+                    drop(g);
+                    let mut g = self.inner.lock();
+                    return Self::fail(
+                        &mut g,
+                        GhostError::OpState {
+                            jid: tok.jid,
+                            msg: "commit of unknown op",
+                        },
+                    );
+                }
+            }
+        };
+        self.commit_op_as(tok, op)
+    }
+
+    /// Like [`Ghost::commit_op`] but commits a *refined* operation that
+    /// resolves implementation-chosen nondeterminism (checked against
+    /// [`SpecTS::op_refines`]).
+    pub fn commit_op_as(&self, tok: &OpToken, refined: S::Op) -> GhostResult<S::Ret> {
+        let mut g = self.inner.lock();
+        let rec = match g.ops.get(&tok.jid) {
+            Some(r) => r,
+            None => {
+                return Self::fail(
+                    &mut g,
+                    GhostError::OpState {
+                        jid: tok.jid,
+                        msg: "commit of unknown op",
+                    },
+                )
+            }
+        };
+        if rec.phase != OpPhase::Pending {
+            return Self::fail(
+                &mut g,
+                GhostError::OpState {
+                    jid: tok.jid,
+                    msg: "commit requires the op to be pending (not stashed/committed)",
+                },
+            );
+        }
+        if !self.spec.op_refines(&rec.op, &refined) {
+            return Self::fail(
+                &mut g,
+                GhostError::OpState {
+                    jid: tok.jid,
+                    msg: "committed op is not a refinement of the invoked op",
+                },
+            );
+        }
+        match self.spec.op_transition(&refined).run(&g.state) {
+            Outcome::Ok(s2, ret) => {
+                g.state = s2;
+                let jid = tok.jid;
+                if let Some(rec) = g.ops.get_mut(&jid) {
+                    rec.op = refined.clone();
+                    rec.phase = OpPhase::Committed { ret: ret.clone() };
+                }
+                g.trace.push(TraceEvent::Commit {
+                    jid,
+                    op: refined,
+                    ret: ret.clone(),
+                });
+                Ok(ret)
+            }
+            Outcome::Undefined => Self::fail(
+                &mut g,
+                GhostError::SpecStep {
+                    jid: Some(tok.jid),
+                    err: perennial_spec::system::ReplayError::Undefined,
+                },
+            ),
+            Outcome::Blocked => Self::fail(
+                &mut g,
+                GhostError::SpecStep {
+                    jid: Some(tok.jid),
+                    err: perennial_spec::system::ReplayError::Blocked,
+                },
+            ),
+        }
+    }
+
+    /// Consumes `j ⇛ ret v` when the implementation returns, checking the
+    /// returned value matches the committed spec value.
+    pub fn finish_op(&self, tok: OpToken, actual: &S::Ret) -> GhostResult<()> {
+        let mut g = self.inner.lock();
+        let rec = match g.ops.get(&tok.jid) {
+            Some(r) => r,
+            None => {
+                return Self::fail(
+                    &mut g,
+                    GhostError::OpState {
+                        jid: tok.jid,
+                        msg: "finish of unknown op",
+                    },
+                )
+            }
+        };
+        let ret = match &rec.phase {
+            OpPhase::Committed { ret } => ret.clone(),
+            _ => {
+                return Self::fail(
+                    &mut g,
+                    GhostError::OpState {
+                        jid: tok.jid,
+                        msg: "finish requires a committed op (missing linearization point?)",
+                    },
+                )
+            }
+        };
+        if &ret != actual {
+            let err = GhostError::RetMismatch {
+                jid: tok.jid,
+                spec: format!("{ret:?}"),
+                actual: format!("{actual:?}"),
+            };
+            return Self::fail(&mut g, err);
+        }
+        let jid = tok.jid;
+        if let Some(rec) = g.ops.get_mut(&jid) {
+            rec.phase = OpPhase::Finished;
+        }
+        g.trace.push(TraceEvent::Return {
+            jid,
+            ret: ret.clone(),
+        });
+        Ok(())
+    }
+
+    /// Simulates an *internal* spec transition (no external I/O), e.g.
+    /// group commit's background flush moving buffered transactions to the
+    /// persisted prefix.
+    pub fn internal_step(&self, t: &Transition<S::State, ()>) -> GhostResult<()> {
+        let mut g = self.inner.lock();
+        match t.run(&g.state) {
+            Outcome::Ok(s2, ()) => {
+                g.state = s2;
+                Ok(())
+            }
+            Outcome::Undefined => Self::fail(
+                &mut g,
+                GhostError::SpecStep {
+                    jid: None,
+                    err: perennial_spec::system::ReplayError::Undefined,
+                },
+            ),
+            Outcome::Blocked => Self::fail(
+                &mut g,
+                GhostError::SpecStep {
+                    jid: None,
+                    err: perennial_spec::system::ReplayError::Blocked,
+                },
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery helping (§5.4).
+    // ------------------------------------------------------------------
+
+    /// Stores `j ⇛ op` in the crash invariant under `key`, so recovery may
+    /// complete the operation if a crash intervenes.
+    pub fn stash_op(&self, tok: &OpToken, key: u64) -> GhostResult<()> {
+        let mut g = self.inner.lock();
+        if g.help.contains_key(&key) {
+            return Self::fail(&mut g, GhostError::HelpKeyBusy { key });
+        }
+        let rec = match g.ops.get(&tok.jid) {
+            Some(r) => r,
+            None => {
+                return Self::fail(
+                    &mut g,
+                    GhostError::OpState {
+                        jid: tok.jid,
+                        msg: "stash of unknown op",
+                    },
+                )
+            }
+        };
+        if rec.phase != OpPhase::Pending {
+            return Self::fail(
+                &mut g,
+                GhostError::OpState {
+                    jid: tok.jid,
+                    msg: "only pending ops can be stashed for helping",
+                },
+            );
+        }
+        let jid = tok.jid;
+        if let Some(rec) = g.ops.get_mut(&jid) {
+            rec.phase = OpPhase::Stashed { key };
+        }
+        g.help.insert(key, jid);
+        g.trace.push(TraceEvent::Stash { jid, key });
+        Ok(())
+    }
+
+    /// Takes `j ⇛ op` back out of the crash invariant (the no-crash path:
+    /// the thread finishes its own operation).
+    pub fn unstash_op(&self, tok: &OpToken, key: u64) -> GhostResult<()> {
+        let mut g = self.inner.lock();
+        match g.help.get(&key) {
+            Some(j) if *j == tok.jid => {}
+            _ => return Self::fail(&mut g, GhostError::HelpTokenMissing { key }),
+        }
+        g.help.remove(&key);
+        let jid = tok.jid;
+        if let Some(rec) = g.ops.get_mut(&jid) {
+            rec.phase = OpPhase::Pending;
+        }
+        g.trace.push(TraceEvent::Unstash { jid, key });
+        Ok(())
+    }
+
+    /// Whether a helping token is stashed under `key`.
+    pub fn has_help(&self, key: u64) -> bool {
+        self.inner.lock().help.contains_key(&key)
+    }
+
+    /// Recovery redeems the helping token under `key`, committing the
+    /// crashed thread's operation on its behalf (§5.4).
+    ///
+    /// Only legal while `⇛Crashing` is armed: helping is how recovery
+    /// justifies its repairs.
+    pub fn help_commit(&self, key: u64) -> GhostResult<(Jid, S::Ret)> {
+        let mut g = self.inner.lock();
+        if g.crash_token != CrashToken::Crashing {
+            return Self::fail(
+                &mut g,
+                GhostError::CrashToken {
+                    msg: "help_commit outside recovery (⇛Crashing not armed)",
+                },
+            );
+        }
+        let jid = match g.help.get(&key) {
+            Some(j) => *j,
+            None => return Self::fail(&mut g, GhostError::HelpTokenMissing { key }),
+        };
+        let op = match g.ops.get(&jid) {
+            Some(rec) => rec.op.clone(),
+            None => {
+                return Self::fail(
+                    &mut g,
+                    GhostError::OpState {
+                        jid,
+                        msg: "helping token names an unknown op",
+                    },
+                )
+            }
+        };
+        match self.spec.op_transition(&op).run(&g.state) {
+            Outcome::Ok(s2, ret) => {
+                g.state = s2;
+                g.help.remove(&key);
+                if let Some(rec) = g.ops.get_mut(&jid) {
+                    rec.phase = OpPhase::Helped { ret: ret.clone() };
+                }
+                g.trace.push(TraceEvent::HelpCommit {
+                    jid,
+                    op,
+                    ret: ret.clone(),
+                });
+                Ok((jid, ret))
+            }
+            Outcome::Undefined => Self::fail(
+                &mut g,
+                GhostError::SpecStep {
+                    jid: Some(jid),
+                    err: perennial_spec::system::ReplayError::Undefined,
+                },
+            ),
+            Outcome::Blocked => Self::fail(
+                &mut g,
+                GhostError::SpecStep {
+                    jid: Some(jid),
+                    err: perennial_spec::system::ReplayError::Blocked,
+                },
+            ),
+        }
+    }
+
+    /// Drops the helping token under `key` without committing: recovery
+    /// decided the crashed operation never took effect (legal — the caller
+    /// never observed a return).
+    pub fn drop_help(&self, key: u64) -> GhostResult<Jid> {
+        let mut g = self.inner.lock();
+        if g.crash_token != CrashToken::Crashing {
+            return Self::fail(
+                &mut g,
+                GhostError::CrashToken {
+                    msg: "drop_help outside recovery (⇛Crashing not armed)",
+                },
+            );
+        }
+        let jid = match g.help.remove(&key) {
+            Some(j) => j,
+            None => return Self::fail(&mut g, GhostError::HelpTokenMissing { key }),
+        };
+        if let Some(rec) = g.ops.get_mut(&jid) {
+            rec.phase = OpPhase::Aborted;
+        }
+        Ok(jid)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash and recovery (§5.1, §5.5).
+    // ------------------------------------------------------------------
+
+    /// A crash: bumps the version, invalidates all volatile capabilities
+    /// and leases, aborts unstashed in-flight uncommitted ops, and arms
+    /// `⇛Crashing`. Crashes during recovery collapse into the already
+    /// armed token (the whole sequence simulates one spec crash step).
+    pub fn crash(&self) {
+        let mut g = self.inner.lock();
+        g.version += 1;
+        g.vol.clear();
+        for cell in g.dur.values_mut() {
+            cell.lease_out_for = None;
+        }
+        for set in g.sets.values_mut() {
+            set.lease_out_for = None;
+        }
+        let mut aborted = Vec::new();
+        for (jid, rec) in g.ops.iter_mut() {
+            if rec.phase == OpPhase::Pending {
+                rec.phase = OpPhase::Aborted;
+                aborted.push(*jid);
+            }
+        }
+        aborted.sort();
+        g.crash_token = CrashToken::Crashing;
+        let new_version = g.version;
+        g.trace.push(TraceEvent::Crash {
+            new_version,
+            aborted,
+        });
+    }
+
+    /// Recovery spends `⇛Crashing`: simulates the spec crash transition
+    /// and moves the token to `⇛Done` (Table 1, *crash refinement*).
+    pub fn recovery_done(&self) -> GhostResult<()> {
+        let mut g = self.inner.lock();
+        if g.crash_token != CrashToken::Crashing {
+            return Self::fail(
+                &mut g,
+                GhostError::CrashToken {
+                    msg: "recovery_done but ⇛Crashing is not armed",
+                },
+            );
+        }
+        match self.spec.crash_transition().run(&g.state) {
+            Outcome::Ok(s2, ()) => {
+                g.state = s2;
+                g.crash_token = CrashToken::Done;
+                let version = g.version;
+                g.trace.push(TraceEvent::RecoveryDone { version });
+                Ok(())
+            }
+            Outcome::Undefined => Self::fail(
+                &mut g,
+                GhostError::SpecStep {
+                    jid: None,
+                    err: perennial_spec::system::ReplayError::Undefined,
+                },
+            ),
+            Outcome::Blocked => Self::fail(
+                &mut g,
+                GhostError::SpecStep {
+                    jid: None,
+                    err: perennial_spec::system::ReplayError::Blocked,
+                },
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Volatile cells (§5.2 versioned memory).
+    // ------------------------------------------------------------------
+
+    /// Allocates a volatile cell, returning `p ↦ₙ v` for the current
+    /// version.
+    pub fn alloc_vol<T: Clone + Send + 'static>(&self, v: T) -> PointsTo<T> {
+        let mut g = self.inner.lock();
+        let id = g.next_res;
+        g.next_res += 1;
+        let version = g.version;
+        g.vol.insert(id, VolCell { value: Box::new(v) });
+        PointsTo {
+            id,
+            version,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reads through a points-to capability (version checked).
+    pub fn read_vol<T: Clone + Send + 'static>(&self, p: &PointsTo<T>) -> GhostResult<T> {
+        let mut g = self.inner.lock();
+        if let Err(e) = check_version("points-to", p.version, g.version) {
+            return Self::fail(&mut g, e);
+        }
+        let cell = match g.vol.get(&p.id) {
+            Some(c) => c,
+            None => return Self::fail(&mut g, GhostError::UnknownResource { id: p.id }),
+        };
+        match cell.value.downcast_ref::<T>() {
+            Some(v) => Ok(v.clone()),
+            None => Self::fail(&mut g, GhostError::TypeMismatch { id: p.id }),
+        }
+    }
+
+    /// Writes through a points-to capability (version checked; requires a
+    /// mutable borrow of the capability, the runtime analog of consuming
+    /// and re-producing `p ↦ v`).
+    pub fn write_vol<T: Clone + Send + 'static>(
+        &self,
+        p: &mut PointsTo<T>,
+        v: T,
+    ) -> GhostResult<()> {
+        let mut g = self.inner.lock();
+        if let Err(e) = check_version("points-to", p.version, g.version) {
+            return Self::fail(&mut g, e);
+        }
+        match g.vol.get_mut(&p.id) {
+            Some(cell) => {
+                cell.value = Box::new(v);
+                Ok(())
+            }
+            None => Self::fail(&mut g, GhostError::UnknownResource { id: p.id }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Durable cells: master/lease (§5.3 recovery leases).
+    // ------------------------------------------------------------------
+
+    /// Allocates a durable cell. The master copy is stored in the crash
+    /// invariant (implicitly — the engine holds it); the returned lease
+    /// conveys mutation rights for the current version.
+    pub fn alloc_durable<T: Clone + Send + 'static>(&self, v: T) -> (DurId<T>, Lease<T>) {
+        let mut g = self.inner.lock();
+        let id = g.next_res;
+        g.next_res += 1;
+        let version = g.version;
+        g.dur.insert(
+            id,
+            DurCell {
+                value: Box::new(v),
+                lease_out_for: Some(version),
+            },
+        );
+        (
+            DurId {
+                id,
+                _marker: PhantomData,
+            },
+            Lease {
+                id,
+                version,
+                _marker: PhantomData,
+            },
+        )
+    }
+
+    /// Reads a durable cell through its lease (version checked).
+    pub fn read_durable<T: Clone + Send + 'static>(
+        &self,
+        id: DurId<T>,
+        lease: &Lease<T>,
+    ) -> GhostResult<T> {
+        let mut g = self.inner.lock();
+        if lease.id != id.id {
+            return Self::fail(
+                &mut g,
+                GhostError::WrongLease {
+                    id: id.id,
+                    lease_id: lease.id,
+                },
+            );
+        }
+        if let Err(e) = check_version("lease", lease.version, g.version) {
+            return Self::fail(&mut g, e);
+        }
+        Self::dur_value(&mut g, id.id)
+    }
+
+    /// Reads a durable cell's master copy from the crash invariant.
+    ///
+    /// Recovery does this to learn the pre-crash durable state (§5.3: the
+    /// master copy records the value so that recovery can use it).
+    pub fn read_master<T: Clone + Send + 'static>(&self, id: DurId<T>) -> GhostResult<T> {
+        let mut g = self.inner.lock();
+        Self::dur_value(&mut g, id.id)
+    }
+
+    fn dur_value<T: Clone + Send + 'static>(g: &mut Inner<S>, id: u64) -> GhostResult<T> {
+        let cell = match g.dur.get(&id) {
+            Some(c) => c,
+            None => return Self::fail(g, GhostError::UnknownResource { id }),
+        };
+        match cell.value.downcast_ref::<T>() {
+            Some(v) => Ok(v.clone()),
+            None => Self::fail(g, GhostError::TypeMismatch { id }),
+        }
+    }
+
+    /// Writes a durable cell: requires *both* the master copy (named by
+    /// `id`, borrowed from the crash invariant) and the current-version
+    /// lease — Table 1's lease rule.
+    pub fn write_durable<T: Clone + Send + 'static>(
+        &self,
+        id: DurId<T>,
+        lease: &mut Lease<T>,
+        v: T,
+    ) -> GhostResult<()> {
+        let mut g = self.inner.lock();
+        if lease.id != id.id {
+            return Self::fail(
+                &mut g,
+                GhostError::WrongLease {
+                    id: id.id,
+                    lease_id: lease.id,
+                },
+            );
+        }
+        if let Err(e) = check_version("lease", lease.version, g.version) {
+            return Self::fail(&mut g, e);
+        }
+        match g.dur.get_mut(&id.id) {
+            Some(cell) => {
+                cell.value = Box::new(v);
+                Ok(())
+            }
+            None => Self::fail(&mut g, GhostError::UnknownResource { id: id.id }),
+        }
+    }
+
+    /// Synthesizes a fresh lease for the new version from the master copy
+    /// — Table 1's `d[a] ↦ₙ v ⟹ d[a] ↦ₙ₊₁ v ∗ leaseₙ₊₁(d[a], v)`.
+    ///
+    /// At most one lease per resource per version.
+    pub fn recover_lease<T: Clone + Send + 'static>(&self, id: DurId<T>) -> GhostResult<Lease<T>> {
+        let mut g = self.inner.lock();
+        let version = g.version;
+        let cell = match g.dur.get_mut(&id.id) {
+            Some(c) => c,
+            None => return Self::fail(&mut g, GhostError::UnknownResource { id: id.id }),
+        };
+        if cell.lease_out_for == Some(version) {
+            return Self::fail(&mut g, GhostError::LeaseAlreadyOut { id: id.id });
+        }
+        cell.lease_out_for = Some(version);
+        Ok(Lease {
+            id: id.id,
+            version,
+            _marker: PhantomData,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Durable sets with lower-bound leases (§8.3).
+    // ------------------------------------------------------------------
+
+    /// Allocates a durable set; the returned lower-bound lease conveys
+    /// deletion rights for the current version.
+    pub fn alloc_set<T: SetItem>(
+        &self,
+        init: impl IntoIterator<Item = T>,
+    ) -> (SetId<T>, SetLease<T>) {
+        let mut g = self.inner.lock();
+        let id = g.next_res;
+        g.next_res += 1;
+        let version = g.version;
+        let members: BTreeSet<Vec<u8>> = init.into_iter().map(|x| x.encode()).collect();
+        g.sets.insert(
+            id,
+            SetCell {
+                members,
+                lease_out_for: Some(version),
+            },
+        );
+        (
+            SetId {
+                id,
+                _marker: PhantomData,
+            },
+            SetLease {
+                id,
+                version,
+                _marker: PhantomData,
+            },
+        )
+    }
+
+    /// Inserts into a durable set. *No lease required*: the lower-bound
+    /// lease only constrains deletion, so concurrent inserters (Mailboat's
+    /// `Deliver`) proceed without the mailbox lock.
+    pub fn set_insert<T: SetItem>(&self, id: SetId<T>, item: &T) -> GhostResult<()> {
+        let mut g = self.inner.lock();
+        match g.sets.get_mut(&id.id) {
+            Some(s) => {
+                s.members.insert(item.encode());
+                Ok(())
+            }
+            None => Self::fail(&mut g, GhostError::UnknownResource { id: id.id }),
+        }
+    }
+
+    /// Deletes from a durable set. Requires the current-version
+    /// lower-bound lease and membership.
+    pub fn set_delete<T: SetItem>(
+        &self,
+        id: SetId<T>,
+        lease: &mut SetLease<T>,
+        item: &T,
+    ) -> GhostResult<()> {
+        let mut g = self.inner.lock();
+        if lease.id != id.id {
+            return Self::fail(
+                &mut g,
+                GhostError::WrongLease {
+                    id: id.id,
+                    lease_id: lease.id,
+                },
+            );
+        }
+        if let Err(e) = check_version("set lease", lease.version, g.version) {
+            return Self::fail(&mut g, e);
+        }
+        match g.sets.get_mut(&id.id) {
+            Some(s) => {
+                if s.members.remove(&item.encode()) {
+                    Ok(())
+                } else {
+                    Self::fail(&mut g, GhostError::SetMembership { id: id.id })
+                }
+            }
+            None => Self::fail(&mut g, GhostError::UnknownResource { id: id.id }),
+        }
+    }
+
+    /// Whether `item` is currently a member (readable by anyone; the
+    /// master copy lives in the crash invariant).
+    pub fn set_contains<T: SetItem>(&self, id: SetId<T>, item: &T) -> GhostResult<bool> {
+        let mut g = self.inner.lock();
+        match g.sets.get(&id.id) {
+            Some(s) => Ok(s.members.contains(&item.encode())),
+            None => Self::fail(&mut g, GhostError::UnknownResource { id: id.id }),
+        }
+    }
+
+    /// Number of members (recovery uses this to audit cleanup).
+    pub fn set_len<T: SetItem>(&self, id: SetId<T>) -> GhostResult<usize> {
+        let mut g = self.inner.lock();
+        match g.sets.get(&id.id) {
+            Some(s) => Ok(s.members.len()),
+            None => Self::fail(&mut g, GhostError::UnknownResource { id: id.id }),
+        }
+    }
+
+    /// Synthesizes a fresh lower-bound lease after a crash; at most one
+    /// per version.
+    pub fn recover_set_lease<T: SetItem>(&self, id: SetId<T>) -> GhostResult<SetLease<T>> {
+        let mut g = self.inner.lock();
+        let version = g.version;
+        let cell = match g.sets.get_mut(&id.id) {
+            Some(c) => c,
+            None => return Self::fail(&mut g, GhostError::UnknownResource { id: id.id }),
+        };
+        if cell.lease_out_for == Some(version) {
+            return Self::fail(&mut g, GhostError::LeaseAlreadyOut { id: id.id });
+        }
+        cell.lease_out_for = Some(version);
+        Ok(SetLease {
+            id: id.id,
+            version,
+            _marker: PhantomData,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // End-of-execution validation (Theorem 2 obligations).
+    // ------------------------------------------------------------------
+
+    /// Validates the end-of-execution obligations and returns a report.
+    ///
+    /// Checks: no sticky discipline violation; the crash token is not left
+    /// armed (every crash was followed by a completed recovery); every
+    /// finished op was committed with a matching value (enforced online;
+    /// re-counted here).
+    pub fn validate(&self) -> Result<crate::validate::Report<S>, GhostError> {
+        let g = self.inner.lock();
+        if let Some(err) = &g.first_error {
+            return Err(err.clone());
+        }
+        if g.crash_token == CrashToken::Crashing {
+            return Err(GhostError::Validation {
+                msg: "execution ended with ⇛Crashing armed (recovery never completed)".into(),
+            });
+        }
+        let mut finished = 0usize;
+        let mut helped = 0usize;
+        let mut aborted = 0usize;
+        let mut committed_unreturned = 0usize;
+        let mut pending = 0usize;
+        let mut stashed = 0usize;
+        for rec in g.ops.values() {
+            match rec.phase {
+                OpPhase::Finished => finished += 1,
+                OpPhase::Helped { .. } => helped += 1,
+                OpPhase::Aborted => aborted += 1,
+                OpPhase::Committed { .. } => committed_unreturned += 1,
+                OpPhase::Pending => pending += 1,
+                OpPhase::Stashed { .. } => stashed += 1,
+            }
+        }
+        if pending > 0 || stashed > 0 {
+            return Err(GhostError::Validation {
+                msg: format!(
+                    "execution ended with {pending} pending and {stashed} stashed ops \
+                     (threads neither returned nor crashed)"
+                ),
+            });
+        }
+        Ok(crate::validate::Report {
+            version: g.version,
+            final_state: g.state.clone(),
+            ops_invoked: g.ops.len(),
+            finished,
+            helped,
+            aborted,
+            committed_unreturned,
+            crashes: g.trace.crashes(),
+            commits: g.trace.commits(),
+            trace: g.trace.clone(),
+        })
+    }
+
+    /// A snapshot of the refinement trace (for reporting).
+    pub fn trace(&self) -> Trace<S::Op, S::Ret> {
+        self.inner.lock().trace.clone()
+    }
+}

@@ -1,0 +1,184 @@
+//! Verification errors: every way the ghost capability discipline can be
+//! violated.
+//!
+//! In the Coq original these are proof obligations that fail to typecheck;
+//! here they are runtime errors that abort the execution and are reported
+//! by the checker as refinement violations.
+
+use perennial_spec::system::ReplayError;
+use perennial_spec::Jid;
+use std::fmt;
+
+/// A violation of the ghost capability discipline (Table 1 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GhostError {
+    /// A versioned capability (points-to or lease) was used after a crash
+    /// invalidated it (§5.2: only capabilities at the current version are
+    /// valid).
+    StaleVersion {
+        /// What kind of capability was used.
+        what: &'static str,
+        /// Version stamped on the capability.
+        cap_version: u64,
+        /// Current execution version.
+        current: u64,
+    },
+    /// A resource id did not name an allocated resource.
+    UnknownResource {
+        /// Offending id.
+        id: u64,
+    },
+    /// The stored value had a different type than the capability claimed.
+    TypeMismatch {
+        /// Offending id.
+        id: u64,
+    },
+    /// A second lease was requested for a resource whose lease for the
+    /// current version is already outstanding (§5.3: at most one lease).
+    LeaseAlreadyOut {
+        /// Offending id.
+        id: u64,
+    },
+    /// A lease was presented for a resource it does not govern.
+    WrongLease {
+        /// Resource the operation targeted.
+        id: u64,
+        /// Resource the lease actually governs.
+        lease_id: u64,
+    },
+    /// A lock-invariant bundle was taken while already taken, or returned
+    /// while not taken.
+    LockInvariant {
+        /// Description of the misuse.
+        msg: &'static str,
+    },
+    /// An operation token was used in a state that does not permit it
+    /// (commit twice, finish before commit, ...).
+    OpState {
+        /// Which operation.
+        jid: Jid,
+        /// Description of the misuse.
+        msg: &'static str,
+    },
+    /// The value returned by the implementation differs from the value the
+    /// committed spec step produced.
+    RetMismatch {
+        /// Which operation.
+        jid: Jid,
+        /// Spec-produced value.
+        spec: String,
+        /// Implementation-returned value.
+        actual: String,
+    },
+    /// Simulating a spec step failed (the abstract transition was not
+    /// enabled, or hit spec-level undefined behaviour).
+    SpecStep {
+        /// Which operation (None for the crash step).
+        jid: Option<Jid>,
+        /// Underlying replay failure.
+        err: ReplayError,
+    },
+    /// A helping token was redeemed that was never stashed (§5.4).
+    HelpTokenMissing {
+        /// Key the recovery procedure looked up.
+        key: u64,
+    },
+    /// A helping token was stashed under a key already in use.
+    HelpKeyBusy {
+        /// Offending key.
+        key: u64,
+    },
+    /// The crash token (`⇛Crashing` / `⇛Done`) was used out of order
+    /// (§5.5): recovery must spend `⇛Crashing` exactly once per crash.
+    CrashToken {
+        /// Description of the misuse.
+        msg: &'static str,
+    },
+    /// An element was deleted from a durable set it is not a member of.
+    SetMembership {
+        /// Offending set id.
+        id: u64,
+    },
+    /// End-of-execution validation failed (Theorem 2 obligations).
+    Validation {
+        /// Description of the unmet obligation.
+        msg: String,
+    },
+}
+
+impl fmt::Display for GhostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GhostError::StaleVersion {
+                what,
+                cap_version,
+                current,
+            } => write!(
+                f,
+                "stale {what}: capability version {cap_version} but execution is at {current}"
+            ),
+            GhostError::UnknownResource { id } => write!(f, "unknown ghost resource {id}"),
+            GhostError::TypeMismatch { id } => write!(f, "ghost resource {id}: type mismatch"),
+            GhostError::LeaseAlreadyOut { id } => {
+                write!(
+                    f,
+                    "lease for resource {id} already outstanding this version"
+                )
+            }
+            GhostError::WrongLease { id, lease_id } => {
+                write!(
+                    f,
+                    "lease for resource {lease_id} presented for resource {id}"
+                )
+            }
+            GhostError::LockInvariant { msg } => write!(f, "lock invariant misuse: {msg}"),
+            GhostError::OpState { jid, msg } => write!(f, "op {jid}: {msg}"),
+            GhostError::RetMismatch { jid, spec, actual } => write!(
+                f,
+                "op {jid}: implementation returned {actual} but spec produced {spec}"
+            ),
+            GhostError::SpecStep { jid, err } => match jid {
+                Some(j) => write!(f, "op {j}: spec step failed: {err}"),
+                None => write!(f, "crash step failed: {err}"),
+            },
+            GhostError::HelpTokenMissing { key } => {
+                write!(f, "no helping token stashed under key {key}")
+            }
+            GhostError::HelpKeyBusy { key } => {
+                write!(f, "helping key {key} already holds a token")
+            }
+            GhostError::CrashToken { msg } => write!(f, "crash token misuse: {msg}"),
+            GhostError::SetMembership { id } => {
+                write!(f, "durable set {id}: deleting a non-member")
+            }
+            GhostError::Validation { msg } => write!(f, "validation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GhostError {}
+
+/// Result alias for ghost operations.
+pub type GhostResult<T> = Result<T, GhostError>;
+
+/// Unwind payload used when instrumented code aborts on a ghost violation.
+///
+/// The checker's harness catches this payload and reports the execution as
+/// a verification failure (distinct from an injected crash).
+#[derive(Debug, Clone)]
+pub struct GhostPanic(pub GhostError);
+
+/// Extension trait: abort the current (virtual) thread on a ghost error.
+pub trait GhostUnwrap<T> {
+    /// Unwraps, panicking with a [`GhostPanic`] payload on error.
+    fn ghost_unwrap(self) -> T;
+}
+
+impl<T> GhostUnwrap<T> for GhostResult<T> {
+    fn ghost_unwrap(self) -> T {
+        match self {
+            Ok(v) => v,
+            Err(e) => std::panic::panic_any(GhostPanic(e)),
+        }
+    }
+}

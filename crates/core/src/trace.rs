@@ -1,0 +1,77 @@
+//! Refinement traces: the record of spec-level steps an execution
+//! simulated, used for reporting and end-of-execution validation.
+
+use perennial_spec::Jid;
+use std::fmt::Debug;
+
+/// One spec-level event recorded by the ghost engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent<Op, Ret> {
+    /// `begin_op`: minted `j ⇛ op`.
+    Invoke { jid: Jid, op: Op },
+    /// `commit_op`: simulated the spec step for `j`, producing `ret`.
+    Commit { jid: Jid, op: Op, ret: Ret },
+    /// `finish_op`: the implementation returned `ret` for `j`.
+    Return { jid: Jid, ret: Ret },
+    /// `stash_op`: `j ⇛ op` moved into the crash invariant under `key`.
+    Stash { jid: Jid, key: u64 },
+    /// `unstash_op`: `j ⇛ op` taken back out of the crash invariant.
+    Unstash { jid: Jid, key: u64 },
+    /// Recovery committed `j`'s operation on its behalf (§5.4 helping).
+    HelpCommit { jid: Jid, op: Op, ret: Ret },
+    /// A crash: version bumped to `new_version`; uncommitted, unstashed
+    /// in-flight ops listed in `aborted` are treated as never-executed.
+    Crash { new_version: u64, aborted: Vec<Jid> },
+    /// Recovery finished: the spec crash transition was simulated and the
+    /// crash token moved `⇛Crashing → ⇛Done`.
+    RecoveryDone { version: u64 },
+}
+
+/// A full refinement trace for one execution.
+#[derive(Debug, Clone)]
+pub struct Trace<Op, Ret> {
+    events: Vec<TraceEvent<Op, Ret>>,
+}
+
+impl<Op, Ret> Default for Trace<Op, Ret> {
+    fn default() -> Self {
+        Trace { events: Vec::new() }
+    }
+}
+
+impl<Op: Clone + Debug, Ret: Clone + Debug> Trace<Op, Ret> {
+    /// Appends an event.
+    pub(crate) fn push(&mut self, ev: TraceEvent<Op, Ret>) {
+        self.events.push(ev);
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent<Op, Ret>] {
+        &self.events
+    }
+
+    /// Number of committed spec steps (own commits plus helped commits).
+    pub fn commits(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Commit { .. } | TraceEvent::HelpCommit { .. }))
+            .count()
+    }
+
+    /// Number of crashes.
+    pub fn crashes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Crash { .. }))
+            .count()
+    }
+
+    /// Renders the trace as one line per event, for failure reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str(&format!("  [{i:3}] {ev:?}\n"));
+        }
+        out
+    }
+}

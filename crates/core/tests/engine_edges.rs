@@ -1,0 +1,221 @@
+//! Edge-case coverage for the ghost engine beyond the Table 1 laws:
+//! set resources, refined commits, trace contents, and report shape.
+
+use perennial::{Ghost, GhostError, TraceEvent};
+use perennial_spec::fixtures::{BufOp, BufSpec, RegOp, RegSpec};
+
+fn ghost() -> std::sync::Arc<Ghost<RegSpec>> {
+    Ghost::new(RegSpec { size: 4 })
+}
+
+// ---------------------------------------------------------------------
+// Durable sets and lower-bound leases (§8.3's leasing strategy).
+// ---------------------------------------------------------------------
+
+#[test]
+fn set_insert_needs_no_lease_delete_does() {
+    let g = ghost();
+    let (set, mut lease) = g.alloc_set::<String>(["a".to_string()]);
+    // Anyone can insert (concurrent Deliver).
+    g.set_insert(set, &"b".to_string()).unwrap();
+    assert!(g.set_contains(set, &"b".to_string()).unwrap());
+    assert_eq!(g.set_len(set).unwrap(), 2);
+    // Deleting requires the lease and membership.
+    g.set_delete(set, &mut lease, &"a".to_string()).unwrap();
+    assert!(!g.set_contains(set, &"a".to_string()).unwrap());
+    assert!(matches!(
+        g.set_delete(set, &mut lease, &"ghost".to_string()),
+        Err(GhostError::SetMembership { .. })
+    ));
+}
+
+#[test]
+fn set_lease_dies_on_crash_and_renews_once() {
+    let g = ghost();
+    let (set, mut lease) = g.alloc_set::<String>(["x".to_string()]);
+    g.crash();
+    assert!(matches!(
+        g.set_delete(set, &mut lease, &"x".to_string()),
+        Err(GhostError::StaleVersion { .. })
+    ));
+    let mut fresh = g.recover_set_lease(set).unwrap();
+    assert!(matches!(
+        g.recover_set_lease(set),
+        Err(GhostError::LeaseAlreadyOut { .. })
+    ));
+    // The set contents survived the crash.
+    g.set_delete(set, &mut fresh, &"x".to_string()).unwrap();
+    assert_eq!(g.set_len(set).unwrap(), 0);
+}
+
+#[test]
+fn set_lease_for_wrong_set_rejected() {
+    let g = ghost();
+    let (set_a, mut lease_a) = g.alloc_set::<u64>([1u64]);
+    let (set_b, _lease_b) = g.alloc_set::<u64>([1u64]);
+    let _ = set_a;
+    assert!(matches!(
+        g.set_delete(set_b, &mut lease_a, &1u64),
+        Err(GhostError::WrongLease { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Refined commits (commit_op_as).
+// ---------------------------------------------------------------------
+
+#[test]
+fn refined_commit_must_refine_the_invocation() {
+    let g = ghost();
+    // RegSpec's op_refines is equality: committing a different op fails.
+    let tok = g.begin_op(RegOp::Write(0, 1)).unwrap();
+    assert!(matches!(
+        g.commit_op_as(&tok, RegOp::Write(0, 2)),
+        Err(GhostError::OpState { .. })
+    ));
+}
+
+#[test]
+fn commit_as_same_op_is_commit() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Write(2, 9)).unwrap();
+    let ret = g.commit_op_as(&tok, RegOp::Write(2, 9)).unwrap();
+    g.finish_op(tok, &ret).unwrap();
+    assert_eq!(g.spec_state()[&2], 9);
+}
+
+// ---------------------------------------------------------------------
+// Helping edge cases.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stash_key_collision_rejected() {
+    let g = ghost();
+    let t1 = g.begin_op(RegOp::Write(0, 1)).unwrap();
+    let t2 = g.begin_op(RegOp::Write(1, 2)).unwrap();
+    g.stash_op(&t1, 5).unwrap();
+    assert!(matches!(
+        g.stash_op(&t2, 5),
+        Err(GhostError::HelpKeyBusy { key: 5 })
+    ));
+}
+
+#[test]
+fn unstash_with_wrong_token_rejected() {
+    let g = ghost();
+    let t1 = g.begin_op(RegOp::Write(0, 1)).unwrap();
+    let t2 = g.begin_op(RegOp::Write(1, 2)).unwrap();
+    g.stash_op(&t1, 3).unwrap();
+    assert!(matches!(
+        g.unstash_op(&t2, 3),
+        Err(GhostError::HelpTokenMissing { key: 3 })
+    ));
+}
+
+#[test]
+fn drop_help_outside_recovery_rejected() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Write(0, 1)).unwrap();
+    g.stash_op(&tok, 0).unwrap();
+    assert!(matches!(g.drop_help(0), Err(GhostError::CrashToken { .. })));
+}
+
+#[test]
+fn helped_op_cannot_finish() {
+    // The thread that stashed died; if a zombie token somehow reached
+    // finish_op after recovery helped it, the engine rejects it.
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Write(0, 7)).unwrap();
+    g.stash_op(&tok, 0).unwrap();
+    g.crash();
+    g.help_commit(0).unwrap();
+    g.recovery_done().unwrap();
+    assert!(matches!(
+        g.finish_op(tok, &None),
+        Err(GhostError::OpState { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Trace contents and report shape.
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_records_full_lifecycle() {
+    let g = Ghost::new(BufSpec);
+    let tok = g.begin_op(BufOp::Append(5)).unwrap();
+    let ret = g.commit_op(&tok).unwrap();
+    g.finish_op(tok, &ret).unwrap();
+    g.crash();
+    g.recovery_done().unwrap();
+
+    let trace = g.trace();
+    let kinds: Vec<&'static str> = trace
+        .events()
+        .iter()
+        .map(|e| match e {
+            TraceEvent::Invoke { .. } => "invoke",
+            TraceEvent::Commit { .. } => "commit",
+            TraceEvent::Return { .. } => "return",
+            TraceEvent::Stash { .. } => "stash",
+            TraceEvent::Unstash { .. } => "unstash",
+            TraceEvent::HelpCommit { .. } => "help",
+            TraceEvent::Crash { .. } => "crash",
+            TraceEvent::RecoveryDone { .. } => "recovered",
+        })
+        .collect();
+    assert_eq!(
+        kinds,
+        vec!["invoke", "commit", "return", "crash", "recovered"]
+    );
+    assert_eq!(trace.commits(), 1);
+    assert_eq!(trace.crashes(), 1);
+    // The render is one line per event and mentions the op.
+    let rendered = trace.render();
+    assert_eq!(rendered.lines().count(), 5);
+    assert!(rendered.contains("Append"));
+}
+
+#[test]
+fn report_summary_is_informative() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Write(0, 1)).unwrap();
+    let ret = g.commit_op(&tok).unwrap();
+    g.finish_op(tok, &ret).unwrap();
+    let report = g.validate().unwrap();
+    let s = report.summary();
+    assert!(s.contains("1 invoked"), "{s}");
+    assert!(s.contains("1 finished"), "{s}");
+    assert_eq!(report.commits, 1);
+    assert_eq!(report.version, 0);
+}
+
+// ---------------------------------------------------------------------
+// Volatile cells: type confusion and dangling access.
+// ---------------------------------------------------------------------
+
+#[test]
+fn volatile_roundtrip_and_dangling() {
+    let g = ghost();
+    let mut p = g.alloc_vol(String::from("v0"));
+    g.write_vol(&mut p, String::from("v1")).unwrap();
+    assert_eq!(g.read_vol(&p).unwrap(), "v1");
+    g.crash();
+    // After a crash the cell is gone; even a fresh-looking version check
+    // fails first, so allocate anew.
+    g.recovery_done().unwrap();
+    let p2 = g.alloc_vol(7u64);
+    assert_eq!(g.read_vol(&p2).unwrap(), 7);
+}
+
+#[test]
+fn internal_step_respects_guards() {
+    use perennial_spec::Transition;
+    let g = Ghost::new(BufSpec);
+    // A guard that requires a non-empty log: blocked initially.
+    let guarded = Transition::guard(|s: &perennial_spec::fixtures::BufState| !s.entries.is_empty());
+    assert!(matches!(
+        g.internal_step(&guarded),
+        Err(GhostError::SpecStep { .. })
+    ));
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the ghost engine: random well-formed
+//! op/crash sequences always validate, the abstract state tracks a
+//! reference model exactly, and random *rule-breaking* sequences always
+//! fail.
+
+use perennial::{CrashToken, Ghost, GhostError};
+use perennial_spec::fixtures::{RegOp, RegSpec};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const NREGS: u64 = 6;
+
+/// One scripted action against the engine.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Complete a write op correctly (begin/commit/finish).
+    Write(u64, u64),
+    /// Complete a read op correctly.
+    Read(u64),
+    /// Begin a write, stash it for helping, then crash before commit.
+    CrashMidWrite(u64, u64),
+    /// Crash with nothing in flight.
+    Crash,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..NREGS, 0u64..100).prop_map(|(a, v)| Action::Write(a, v)),
+        (0..NREGS).prop_map(Action::Read),
+        (0..NREGS, 0u64..100).prop_map(|(a, v)| Action::CrashMidWrite(a, v)),
+        Just(Action::Crash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A well-behaved interpreter of random scripts always validates,
+    /// and σ equals an independently maintained reference model.
+    #[test]
+    fn engine_tracks_reference_model(script in proptest::collection::vec(arb_action(), 1..40)) {
+        let g = Ghost::new(RegSpec { size: NREGS });
+        let mut reference: BTreeMap<u64, u64> = (0..NREGS).map(|a| (a, 0)).collect();
+
+        for action in &script {
+            match action {
+                Action::Write(a, v) => {
+                    let tok = g.begin_op(RegOp::Write(*a, *v)).unwrap();
+                    let ret = g.commit_op(&tok).unwrap();
+                    g.finish_op(tok, &ret).unwrap();
+                    reference.insert(*a, *v);
+                }
+                Action::Read(a) => {
+                    let tok = g.begin_op(RegOp::Read(*a)).unwrap();
+                    let ret = g.commit_op(&tok).unwrap();
+                    prop_assert_eq!(ret, Some(reference[a]));
+                    g.finish_op(tok, &ret).unwrap();
+                }
+                Action::CrashMidWrite(a, v) => {
+                    let tok = g.begin_op(RegOp::Write(*a, *v)).unwrap();
+                    g.stash_op(&tok, *a).unwrap();
+                    g.crash();
+                    // Recovery decides to complete the write (helping).
+                    let (_j, _ret) = g.help_commit(*a).unwrap();
+                    reference.insert(*a, *v);
+                    g.recovery_done().unwrap();
+                }
+                Action::Crash => {
+                    g.crash();
+                    g.recovery_done().unwrap();
+                }
+            }
+        }
+        let report = g.validate().unwrap();
+        let sigma = g.spec_state();
+        prop_assert_eq!(sigma, reference);
+        prop_assert_eq!(report.crashes,
+            script.iter().filter(|a| matches!(a, Action::Crash | Action::CrashMidWrite(..))).count());
+    }
+
+    /// After any number of crashes, a lease minted pre-crash is dead and
+    /// exactly one fresh lease per resource per version can be minted.
+    #[test]
+    fn lease_uniqueness_per_version(crashes in 1usize..5) {
+        let g = Ghost::new(RegSpec { size: 1 });
+        let (cell, mut lease) = g.alloc_durable(0u64);
+        for round in 0..crashes {
+            g.crash();
+            g.recovery_done().unwrap();
+            // The old lease is dead.
+            let stale = matches!(
+                g.write_durable(cell, &mut lease, round as u64),
+                Err(GhostError::StaleVersion { .. })
+            );
+            prop_assert!(stale);
+            // Exactly one renewal succeeds.
+            let mut fresh = g.recover_lease(cell).unwrap();
+            let dup = matches!(
+                g.recover_lease(cell),
+                Err(GhostError::LeaseAlreadyOut { .. })
+            );
+            prop_assert!(dup);
+            g.write_durable(cell, &mut fresh, round as u64).unwrap();
+            prop_assert_eq!(g.read_master(cell).unwrap(), round as u64);
+            lease = fresh;
+        }
+    }
+
+    /// Uncommitted, unstashed ops cut off by a crash never affect σ.
+    #[test]
+    fn aborted_ops_leave_no_trace(writes in proptest::collection::vec((0..NREGS, 0u64..100), 1..10)) {
+        let g = Ghost::new(RegSpec { size: NREGS });
+        let mut toks = Vec::new();
+        for (a, v) in &writes {
+            toks.push(g.begin_op(RegOp::Write(*a, *v)).unwrap());
+        }
+        g.crash();
+        drop(toks);
+        g.recovery_done().unwrap();
+        let sigma = g.spec_state();
+        for a in 0..NREGS {
+            prop_assert_eq!(sigma[&a], 0, "aborted write leaked into σ");
+        }
+        let report = g.validate().unwrap();
+        prop_assert_eq!(report.aborted, writes.len());
+    }
+
+    /// Helping tokens cannot be redeemed twice, regardless of key.
+    #[test]
+    fn help_tokens_single_use(key in 0u64..8) {
+        // Happy path on a clean engine: one redemption, validates.
+        let g = Ghost::new(RegSpec { size: NREGS });
+        let tok = g.begin_op(RegOp::Write(key % NREGS, 7)).unwrap();
+        g.stash_op(&tok, key).unwrap();
+        g.crash();
+        g.help_commit(key).unwrap();
+        g.recovery_done().unwrap();
+        prop_assert!(g.validate().is_ok());
+
+        // Double redemption on a second engine: fails while ⇛Crashing is
+        // still armed, and — ghost errors being sticky — poisons
+        // validation even after a completed recovery.
+        let g = Ghost::new(RegSpec { size: NREGS });
+        let tok = g.begin_op(RegOp::Write(key % NREGS, 7)).unwrap();
+        g.stash_op(&tok, key).unwrap();
+        g.crash();
+        g.help_commit(key).unwrap();
+        let missing = matches!(
+            g.help_commit(key),
+            Err(GhostError::HelpTokenMissing { .. })
+        );
+        prop_assert!(missing);
+        g.recovery_done().unwrap();
+        prop_assert!(g.validate().is_err());
+    }
+
+    /// The crash token is never left armed by a correct interpreter and
+    /// validation always rejects an armed one.
+    #[test]
+    fn armed_crash_token_rejected(n_ops in 0usize..5) {
+        let g = Ghost::new(RegSpec { size: NREGS });
+        for i in 0..n_ops {
+            let tok = g.begin_op(RegOp::Write(i as u64 % NREGS, i as u64)).unwrap();
+            let ret = g.commit_op(&tok).unwrap();
+            g.finish_op(tok, &ret).unwrap();
+        }
+        g.crash();
+        prop_assert_eq!(g.crash_token(), CrashToken::Crashing);
+        let rejected = matches!(g.validate(), Err(GhostError::Validation { .. }));
+        prop_assert!(rejected);
+        g.recovery_done().unwrap();
+        prop_assert!(g.validate().is_ok());
+    }
+}

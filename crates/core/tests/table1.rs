@@ -1,0 +1,351 @@
+//! One test per row of the paper's Table 1 ("Summary of techniques in
+//! Perennial"), exercising both the rule and its violation. These tests
+//! are the executable form of the table and are referenced from
+//! EXPERIMENTS.md.
+
+use perennial::{CrashToken, Ghost, GhostError};
+use perennial_spec::fixtures::{BufOp, BufRet, BufSpec, RegOp, RegSpec};
+
+fn ghost() -> std::sync::Arc<Ghost<RegSpec>> {
+    Ghost::new(RegSpec { size: 8 })
+}
+
+// ---------------------------------------------------------------------
+// Row 1: crash invariant — the distinguished invariant C which recovery
+// starts with access to.
+// ---------------------------------------------------------------------
+
+#[test]
+fn table1_crash_invariant_masters_survive_crash() {
+    let g = ghost();
+    let (cell, mut lease) = g.alloc_durable(10u64);
+    g.write_durable(cell, &mut lease, 11).unwrap();
+    g.crash();
+    // Recovery reads the master copy out of the crash invariant.
+    assert_eq!(g.read_master(cell).unwrap(), 11);
+}
+
+#[test]
+fn table1_crash_invariant_volatile_resources_are_lost() {
+    let g = ghost();
+    let p = g.alloc_vol(5u64);
+    g.crash();
+    assert!(matches!(
+        g.read_vol(&p),
+        Err(GhostError::StaleVersion { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Row 2: versioned memory — Hoare triples are at a version number and
+// only allow capabilities at the current version.
+// ---------------------------------------------------------------------
+
+#[test]
+fn table1_versioned_memory_current_version_read_write() {
+    let g = ghost();
+    let mut p = g.alloc_vol(1u64);
+    assert_eq!(g.read_vol(&p).unwrap(), 1);
+    g.write_vol(&mut p, 2).unwrap();
+    assert_eq!(g.read_vol(&p).unwrap(), 2);
+}
+
+#[test]
+fn table1_versioned_memory_stale_write_rejected() {
+    let g = ghost();
+    let mut p = g.alloc_vol(1u64);
+    g.crash();
+    assert!(matches!(
+        g.write_vol(&mut p, 3),
+        Err(GhostError::StaleVersion { .. })
+    ));
+    // A fresh allocation at the new version works.
+    let p2 = g.alloc_vol(9u64);
+    assert_eq!(g.read_vol(&p2).unwrap(), 9);
+}
+
+// ---------------------------------------------------------------------
+// Row 3: recovery leases — both master and lease required to update;
+// a new lease can be synthesized after a crash from the master copy.
+// ---------------------------------------------------------------------
+
+#[test]
+fn table1_lease_write_requires_current_lease() {
+    let g = ghost();
+    let (cell, mut lease) = g.alloc_durable(0u64);
+    g.write_durable(cell, &mut lease, 1).unwrap();
+    assert_eq!(g.read_durable(cell, &lease).unwrap(), 1);
+    g.crash();
+    // The old lease is dead.
+    assert!(matches!(
+        g.write_durable(cell, &mut lease, 2),
+        Err(GhostError::StaleVersion { .. })
+    ));
+}
+
+#[test]
+fn table1_lease_synthesized_after_crash_exactly_once() {
+    let g = ghost();
+    let (cell, _lease) = g.alloc_durable(7u64);
+    g.crash();
+    let mut l2 = g.recover_lease(cell).unwrap();
+    g.write_durable(cell, &mut l2, 8).unwrap();
+    // A second lease for the same version is a duplication — rejected.
+    assert!(matches!(
+        g.recover_lease(cell),
+        Err(GhostError::LeaseAlreadyOut { id: _ })
+    ));
+}
+
+#[test]
+fn table1_lease_for_wrong_resource_rejected() {
+    let g = ghost();
+    let (cell_a, mut lease_a) = g.alloc_durable(0u64);
+    let (cell_b, _lease_b) = g.alloc_durable(0u64);
+    let _ = cell_a;
+    assert!(matches!(
+        g.write_durable(cell_b, &mut lease_a, 5),
+        Err(GhostError::WrongLease { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Row 4: refinement — source(σ) ∗ j ⇛ op ⟹ source(σ′) ∗ j ⇛ ret v when
+// step(op, σ, σ′, v).
+// ---------------------------------------------------------------------
+
+#[test]
+fn table1_refinement_commit_advances_source() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Write(2, 9)).unwrap();
+    let ret = g.commit_op(&tok).unwrap();
+    assert_eq!(ret, None);
+    g.finish_op(tok, &None).unwrap();
+    assert_eq!(g.spec_state().get(&2), Some(&9));
+
+    let tok = g.begin_op(RegOp::Read(2)).unwrap();
+    let ret = g.commit_op(&tok).unwrap();
+    assert_eq!(ret, Some(9));
+    g.finish_op(tok, &Some(9)).unwrap();
+}
+
+#[test]
+fn table1_refinement_double_commit_rejected() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Write(0, 1)).unwrap();
+    g.commit_op(&tok).unwrap();
+    assert!(matches!(g.commit_op(&tok), Err(GhostError::OpState { .. })));
+}
+
+#[test]
+fn table1_refinement_finish_without_commit_rejected() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Read(0)).unwrap();
+    assert!(matches!(
+        g.finish_op(tok, &Some(0)),
+        Err(GhostError::OpState { .. })
+    ));
+}
+
+#[test]
+fn table1_refinement_return_value_mismatch_rejected() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Read(0)).unwrap();
+    g.commit_op(&tok).unwrap(); // spec produces Some(0)
+    assert!(matches!(
+        g.finish_op(tok, &Some(99)),
+        Err(GhostError::RetMismatch { .. })
+    ));
+}
+
+#[test]
+fn table1_refinement_spec_undefined_behaviour_rejected() {
+    let g = ghost();
+    // Address 100 is out of bounds for size 8 — spec-level UB.
+    let tok = g.begin_op(RegOp::Read(100)).unwrap();
+    assert!(matches!(
+        g.commit_op(&tok),
+        Err(GhostError::SpecStep { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Row 5: crash refinement — source(σ) ∗ ⇛Crashing ⟹ source(σ′) ∗ ⇛Done
+// when crash(σ, σ′).
+// ---------------------------------------------------------------------
+
+#[test]
+fn table1_crash_refinement_token_lifecycle() {
+    let g = ghost();
+    assert_eq!(g.crash_token(), CrashToken::Idle);
+    g.crash();
+    assert_eq!(g.crash_token(), CrashToken::Crashing);
+    g.recovery_done().unwrap();
+    assert_eq!(g.crash_token(), CrashToken::Done);
+    // Spending ⇛Crashing twice is rejected.
+    assert!(matches!(
+        g.recovery_done(),
+        Err(GhostError::CrashToken { .. })
+    ));
+}
+
+#[test]
+fn table1_crash_refinement_ops_blocked_until_recovery() {
+    let g = ghost();
+    g.crash();
+    assert!(matches!(
+        g.begin_op(RegOp::Read(0)),
+        Err(GhostError::CrashToken { .. })
+    ));
+    g.recovery_done().unwrap();
+    assert!(g.begin_op(RegOp::Read(0)).is_ok());
+}
+
+#[test]
+fn table1_crash_refinement_crash_during_recovery_collapses() {
+    // "a crash followed by recovery and perhaps some number of crashes
+    // during recovery simulates a single atomic crash step" (§3.1).
+    let g = ghost();
+    g.crash();
+    g.crash(); // crash during recovery
+    assert_eq!(g.crash_token(), CrashToken::Crashing);
+    g.recovery_done().unwrap();
+    assert_eq!(g.crash_token(), CrashToken::Done);
+    let report = g.validate().unwrap();
+    assert_eq!(report.crashes, 2);
+}
+
+#[test]
+fn table1_crash_refinement_crash_transition_applied() {
+    // BufSpec's crash transition actually loses data: check it is the
+    // crash *step* (not the crash event) that truncates.
+    let g = Ghost::new(BufSpec);
+    let tok = g.begin_op(BufOp::Append(1)).unwrap();
+    let ret = g.commit_op(&tok).unwrap();
+    g.finish_op(tok, &ret).unwrap();
+    assert_eq!(g.spec_state().entries, vec![1]);
+    g.crash();
+    // σ still has the buffered entry until recovery simulates the step.
+    assert_eq!(g.spec_state().entries, vec![1]);
+    g.recovery_done().unwrap();
+    assert_eq!(g.spec_state().entries, Vec::<u64>::new());
+    let tok = g.begin_op(BufOp::ReadAll).unwrap();
+    assert_eq!(g.commit_op(&tok).unwrap(), BufRet::Entries(vec![]));
+    g.finish_op(tok, &BufRet::Entries(vec![])).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Row 6: recovery helping — operation stores j ⇛ op in the crash
+// invariant; recovery simulates it.
+// ---------------------------------------------------------------------
+
+#[test]
+fn table1_helping_recovery_completes_crashed_op() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Write(4, 44)).unwrap();
+    g.stash_op(&tok, 4).unwrap();
+    // Crash before the thread commits. The stashed token survives.
+    g.crash();
+    assert!(g.has_help(4));
+    let (jid, ret) = g.help_commit(4).unwrap();
+    assert_eq!(jid, tok.jid());
+    assert_eq!(ret, None);
+    g.recovery_done().unwrap();
+    // The helped write is visible in σ.
+    assert_eq!(g.spec_state().get(&4), Some(&44));
+    let report = g.validate().unwrap();
+    assert_eq!(report.helped, 1);
+}
+
+#[test]
+fn table1_helping_no_crash_path_unstashes() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Write(1, 2)).unwrap();
+    g.stash_op(&tok, 1).unwrap();
+    // No crash: the thread takes its token back and commits itself.
+    g.unstash_op(&tok, 1).unwrap();
+    let ret = g.commit_op(&tok).unwrap();
+    g.finish_op(tok, &ret).unwrap();
+    let report = g.validate().unwrap();
+    assert_eq!(report.finished, 1);
+    assert_eq!(report.helped, 0);
+}
+
+#[test]
+fn table1_helping_outside_recovery_rejected() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Write(1, 2)).unwrap();
+    g.stash_op(&tok, 1).unwrap();
+    // ⇛Crashing is not armed: recovery helping is not available.
+    assert!(matches!(
+        g.help_commit(1),
+        Err(GhostError::CrashToken { .. })
+    ));
+}
+
+#[test]
+fn table1_helping_missing_token_rejected() {
+    let g = ghost();
+    g.crash();
+    assert!(matches!(
+        g.help_commit(77),
+        Err(GhostError::HelpTokenMissing { key: 77 })
+    ));
+}
+
+#[test]
+fn table1_helping_stashed_op_cannot_self_commit() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Write(1, 2)).unwrap();
+    g.stash_op(&tok, 1).unwrap();
+    // While stashed, the token's commit right lives in the crash
+    // invariant — the thread must unstash first.
+    assert!(matches!(g.commit_op(&tok), Err(GhostError::OpState { .. })));
+}
+
+// ---------------------------------------------------------------------
+// Validation: Theorem 2 end-of-execution obligations.
+// ---------------------------------------------------------------------
+
+#[test]
+fn validate_rejects_unfinished_recovery() {
+    let g = ghost();
+    g.crash();
+    assert!(matches!(g.validate(), Err(GhostError::Validation { .. })));
+}
+
+#[test]
+fn validate_reports_aborted_inflight_ops() {
+    let g = ghost();
+    let _tok = g.begin_op(RegOp::Write(0, 1)).unwrap();
+    // Crash with the op still pending and unstashed: it never happened.
+    g.crash();
+    g.recovery_done().unwrap();
+    let report = g.validate().unwrap();
+    assert_eq!(report.aborted, 1);
+    assert_eq!(report.finished, 0);
+    // And σ reflects that: the write is absent.
+    assert_eq!(g.spec_state().get(&0), Some(&0));
+}
+
+#[test]
+fn validate_is_sticky_on_first_error() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Read(100)).unwrap(); // UB commit below
+    let _ = g.commit_op(&tok);
+    assert!(g.validate().is_err());
+}
+
+#[test]
+fn validate_counts_committed_unreturned() {
+    let g = ghost();
+    let tok = g.begin_op(RegOp::Write(0, 5)).unwrap();
+    g.commit_op(&tok).unwrap();
+    let _abandoned = tok; // thread crashed after commit, before return
+    g.crash();
+    g.recovery_done().unwrap();
+    let report = g.validate().unwrap();
+    assert_eq!(report.committed_unreturned, 1);
+    // The committed effect is durable in σ.
+    assert_eq!(g.spec_state().get(&0), Some(&5));
+}

@@ -1,0 +1,12 @@
+//! The Goose file-system model (§6.2): trait plus model and native
+//! implementations.
+
+pub mod buffered;
+pub mod model;
+pub mod native;
+pub mod traits;
+
+pub use buffered::BufferedFs;
+pub use model::ModelFs;
+pub use native::NativeFs;
+pub use traits::{DirH, Fd, FileSys, FsError, FsResult, Mode};

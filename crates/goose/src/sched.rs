@@ -1,0 +1,722 @@
+//! The model scheduler: virtual threads with explicit atomic step points.
+//!
+//! Goose models Go code as a sequence of atomic primitive operations
+//! (§6.1): heap accesses, file-system calls, lock operations. In model
+//! mode every primitive calls [`ModelRt::yield_point`], which parks the
+//! calling OS thread until the *controller* (the checker's explorer)
+//! grants it the next step. The controller therefore fully determines the
+//! interleaving, and can inject a crash at any step boundary by poisoning
+//! the runtime: all parked threads unwind with a [`CrashSignal`] payload,
+//! exactly modelling "the process died here".
+//!
+//! The design is stateless-model-checking style: each explored execution
+//! spawns fresh OS threads and replays a recorded schedule prefix. Threads
+//! are cheap enough (~10µs spawn) for the bounded configurations the
+//! checker explores.
+
+use parking_lot::{Condvar, Mutex};
+use perennial::GhostPanic;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Virtual thread id (index into the runtime's thread table).
+pub type Tid = usize;
+
+/// Sentinel owner for locks taken from controller context (setup code
+/// running outside any virtual thread).
+const CONTROLLER_TID: Tid = usize::MAX;
+
+/// Lock id (index into the runtime's lock table).
+pub type LockId = usize;
+
+/// Unwind payload for a simulated crash: the thread's execution is cut
+/// off mid-operation.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashSignal;
+
+/// Unwind payload for modelled undefined behaviour (§6.1: racy access to
+/// shared data).
+#[derive(Debug, Clone)]
+pub struct UbSignal(pub String);
+
+/// How a granted step ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepResult {
+    /// The thread reached its next yield point.
+    Yielded,
+    /// The thread blocked on a lock; it is not runnable until release.
+    Blocked,
+    /// The thread's body returned.
+    Finished,
+    /// The thread panicked; the payload classifies the failure.
+    Panicked(PanicKind),
+}
+
+/// Classified panic payloads surfacing from virtual threads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PanicKind {
+    /// A ghost capability rule was violated — a verification failure.
+    Ghost(perennial::GhostError),
+    /// Modelled undefined behaviour (racy heap access, invalidated
+    /// iterator) — the caller broke the spec's precondition.
+    Ub(String),
+    /// Any other panic — a plain bug in the code under test.
+    Other(String),
+    /// The thread was unwound by an injected crash (not a failure).
+    CrashUnwind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TState {
+    /// Spawned; waiting for its first grant.
+    Registered,
+    /// Holds the grant; currently running user code.
+    Granted,
+    /// Parked at a yield point; runnable.
+    Paused,
+    /// Waiting for a lock; not runnable.
+    Blocked(LockId),
+    Done,
+    Panicked(PanicKind),
+}
+
+struct ThreadMeta {
+    state: TState,
+    name: String,
+}
+
+struct LockSlot {
+    held_by: Option<Tid>,
+}
+
+struct RtState {
+    threads: Vec<ThreadMeta>,
+    locks: Vec<LockSlot>,
+    poisoned: bool,
+    steps: u64,
+    rand_ctr: u64,
+}
+
+thread_local! {
+    static CURRENT_TID: Cell<Option<Tid>> = const { Cell::new(None) };
+}
+
+/// The model runtime: scheduler state plus the primitives virtual threads
+/// call.
+pub struct ModelRt {
+    state: Mutex<RtState>,
+    cv: Condvar,
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
+    seed: u64,
+    max_steps: u64,
+}
+
+/// Installs a process-wide panic hook (once) that silences the expected
+/// control-flow unwinds — crash signals, ghost violations, modelled UB —
+/// while delegating genuine panics to the previous hook.
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.is::<CrashSignal>() || p.is::<GhostPanic>() || p.is::<UbSignal>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl ModelRt {
+    /// Creates a runtime. `seed` drives deterministic randomness;
+    /// `max_steps` bounds runaway executions (a livelock backstop).
+    pub fn new(seed: u64, max_steps: u64) -> Arc<Self> {
+        install_quiet_hook();
+        Arc::new(ModelRt {
+            state: Mutex::new(RtState {
+                threads: Vec::new(),
+                locks: Vec::new(),
+                poisoned: false,
+                steps: 0,
+                rand_ctr: 0,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            seed,
+            max_steps,
+        })
+    }
+
+    /// Spawns a virtual thread. It does not run until granted.
+    pub fn spawn(
+        self: &Arc<Self>,
+        name: impl Into<String>,
+        f: impl FnOnce() + Send + 'static,
+    ) -> Tid {
+        let name = name.into();
+        let tid = {
+            let mut s = self.state.lock();
+            s.threads.push(ThreadMeta {
+                state: TState::Registered,
+                name: name.clone(),
+            });
+            s.threads.len() - 1
+        };
+        let rt = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    CURRENT_TID.with(|c| c.set(Some(tid)));
+                    rt.wait_for_grant(tid);
+                    f();
+                }));
+                rt.thread_done(tid, result);
+            })
+            .expect("spawning a virtual thread");
+        let mut handles = self.handles.lock();
+        debug_assert_eq!(handles.len(), tid);
+        handles.push(Some(handle));
+        tid
+    }
+
+    /// The virtual thread id of the calling OS thread, if it is one.
+    pub fn current_tid() -> Option<Tid> {
+        CURRENT_TID.with(|c| c.get())
+    }
+
+    fn wait_for_grant(&self, tid: Tid) {
+        let mut s = self.state.lock();
+        loop {
+            if s.poisoned {
+                drop(s);
+                std::panic::panic_any(CrashSignal);
+            }
+            if s.threads[tid].state == TState::Granted {
+                return;
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    fn thread_done(&self, tid: Tid, result: Result<(), Box<dyn std::any::Any + Send>>) {
+        let kind = match result {
+            Ok(()) => None,
+            Err(payload) => Some(classify_panic(payload)),
+        };
+        let mut s = self.state.lock();
+        s.threads[tid].state = match kind {
+            None => TState::Done,
+            Some(k) => TState::Panicked(k),
+        };
+        self.cv.notify_all();
+    }
+
+    /// One atomic step boundary: park until the controller grants the
+    /// next step (or unwinds us with a crash).
+    pub fn yield_point(&self) {
+        let tid = match Self::current_tid() {
+            Some(t) => t,
+            // Controller-context calls (e.g. setup code running outside
+            // any virtual thread) are not scheduled.
+            None => return,
+        };
+        let mut s = self.state.lock();
+        s.steps += 1;
+        if s.steps > self.max_steps {
+            drop(s);
+            panic!(
+                "model execution exceeded {} steps (livelock?)",
+                self.max_steps
+            );
+        }
+        s.threads[tid].state = TState::Paused;
+        self.cv.notify_all();
+        loop {
+            if s.poisoned {
+                drop(s);
+                std::panic::panic_any(CrashSignal);
+            }
+            if s.threads[tid].state == TState::Granted {
+                return;
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Deterministic randomness: depends only on the seed and how many
+    /// random draws have happened, so replaying a schedule prefix replays
+    /// the same values.
+    pub fn rand_u64(&self) -> u64 {
+        self.yield_point();
+        let mut s = self.state.lock();
+        s.rand_ctr += 1;
+        splitmix64(self.seed ^ s.rand_ctr.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    // ------------------------------------------------------------------
+    // Locks.
+    // ------------------------------------------------------------------
+
+    /// Allocates a model lock.
+    pub fn new_lock(&self) -> LockId {
+        let mut s = self.state.lock();
+        s.locks.push(LockSlot { held_by: None });
+        s.locks.len() - 1
+    }
+
+    /// Acquires a model lock; one schedule point, then blocks (scheduler-
+    /// visibly) until the lock is free.
+    ///
+    /// Callable from controller context (no virtual thread): the lock is
+    /// taken immediately and must be free — with no concurrent virtual
+    /// threads running, a held lock would be a self-deadlock.
+    pub fn lock_acquire(&self, lock: LockId) {
+        let tid = match Self::current_tid() {
+            Some(t) => t,
+            None => {
+                let mut s = self.state.lock();
+                assert!(
+                    s.locks[lock].held_by.is_none(),
+                    "controller-context acquire of a held lock (self-deadlock)"
+                );
+                s.locks[lock].held_by = Some(CONTROLLER_TID);
+                return;
+            }
+        };
+        self.yield_point();
+        loop {
+            let mut s = self.state.lock();
+            if s.locks[lock].held_by.is_none() {
+                s.locks[lock].held_by = Some(tid);
+                return;
+            }
+            assert_ne!(
+                s.locks[lock].held_by,
+                Some(tid),
+                "model lock is not reentrant"
+            );
+            s.threads[tid].state = TState::Blocked(lock);
+            self.cv.notify_all();
+            loop {
+                if s.poisoned {
+                    drop(s);
+                    std::panic::panic_any(CrashSignal);
+                }
+                if s.threads[tid].state == TState::Granted {
+                    break;
+                }
+                self.cv.wait(&mut s);
+            }
+            // Granted after a release: retry the acquire.
+        }
+    }
+
+    /// Releases a model lock; one schedule point, then wakes waiters.
+    pub fn lock_release(&self, lock: LockId) {
+        let tid = match Self::current_tid() {
+            Some(t) => t,
+            None => {
+                let mut s = self.state.lock();
+                assert_eq!(
+                    s.locks[lock].held_by,
+                    Some(CONTROLLER_TID),
+                    "controller-context release of a lock it does not hold"
+                );
+                s.locks[lock].held_by = None;
+                return;
+            }
+        };
+        self.yield_point();
+        let mut s = self.state.lock();
+        assert_eq!(
+            s.locks[lock].held_by,
+            Some(tid),
+            "releasing a lock the thread does not hold"
+        );
+        s.locks[lock].held_by = None;
+        for meta in s.threads.iter_mut() {
+            if meta.state == TState::Blocked(lock) {
+                meta.state = TState::Paused;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Whether `lock` is currently held (controller-side inspection).
+    pub fn lock_held(&self, lock: LockId) -> bool {
+        self.state.lock().locks[lock].held_by.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Controller interface.
+    // ------------------------------------------------------------------
+
+    /// Runnable thread ids: registered or paused (not blocked/done).
+    pub fn runnable(&self) -> Vec<Tid> {
+        let s = self.state.lock();
+        s.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| matches!(m.state, TState::Registered | TState::Paused))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether every virtual thread has terminated (done or panicked).
+    pub fn all_done(&self) -> bool {
+        let s = self.state.lock();
+        s.threads
+            .iter()
+            .all(|m| matches!(m.state, TState::Done | TState::Panicked(_)))
+    }
+
+    /// Whether some thread is blocked (used for deadlock detection:
+    /// runnable empty + not all done = deadlock).
+    pub fn any_blocked(&self) -> bool {
+        let s = self.state.lock();
+        s.threads
+            .iter()
+            .any(|m| matches!(m.state, TState::Blocked(_)))
+    }
+
+    /// Grants one step to `tid` and waits until the thread parks again,
+    /// blocks, finishes, or panics.
+    pub fn grant(&self, tid: Tid) -> StepResult {
+        let mut s = self.state.lock();
+        match s.threads[tid].state {
+            TState::Registered | TState::Paused => {}
+            ref other => panic!(
+                "grant to non-runnable thread {tid} ({}) in state {:?}",
+                s.threads[tid].name, other
+            ),
+        }
+        s.threads[tid].state = TState::Granted;
+        self.cv.notify_all();
+        loop {
+            match &s.threads[tid].state {
+                TState::Granted => {
+                    self.cv.wait(&mut s);
+                }
+                TState::Paused => return StepResult::Yielded,
+                TState::Blocked(_) => return StepResult::Blocked,
+                TState::Done => return StepResult::Finished,
+                TState::Panicked(k) => return StepResult::Panicked(k.clone()),
+                TState::Registered => unreachable!("granted thread regressed to Registered"),
+            }
+        }
+    }
+
+    /// Injects a crash: every live virtual thread unwinds with a
+    /// [`CrashSignal`], lock state is wiped (in-memory locks do not
+    /// survive a reboot), and the runtime is ready to schedule recovery
+    /// threads.
+    ///
+    /// Must only be called from the controller between grants (no thread
+    /// is running user code at that point).
+    pub fn crash_all(&self) {
+        {
+            let mut s = self.state.lock();
+            s.poisoned = true;
+            self.cv.notify_all();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut h = self.handles.lock();
+            h.iter_mut().filter_map(|slot| slot.take()).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut s = self.state.lock();
+        s.poisoned = false;
+        for slot in s.locks.iter_mut() {
+            slot.held_by = None;
+        }
+        for meta in s.threads.iter_mut() {
+            if !matches!(meta.state, TState::Done | TState::Panicked(_)) {
+                meta.state = TState::Panicked(PanicKind::CrashUnwind);
+            }
+        }
+    }
+
+    /// Joins all finished threads (end of a crash-free execution).
+    pub fn join_all(&self) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut h = self.handles.lock();
+            h.iter_mut().filter_map(|slot| slot.take()).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Total steps scheduled so far.
+    pub fn steps(&self) -> u64 {
+        self.state.lock().steps
+    }
+
+    /// Panic kinds of all panicked threads (excluding crash unwinds).
+    pub fn failures(&self) -> Vec<(String, PanicKind)> {
+        let s = self.state.lock();
+        s.threads
+            .iter()
+            .filter_map(|m| match &m.state {
+                TState::Panicked(k) if *k != PanicKind::CrashUnwind => {
+                    Some((m.name.clone(), k.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Classifies an unwind payload into a [`PanicKind`].
+fn classify_panic(payload: Box<dyn std::any::Any + Send>) -> PanicKind {
+    if payload.is::<CrashSignal>() {
+        return PanicKind::CrashUnwind;
+    }
+    match payload.downcast::<GhostPanic>() {
+        Ok(gp) => PanicKind::Ghost(gp.0),
+        Err(payload) => match payload.downcast::<UbSignal>() {
+            Ok(ub) => PanicKind::Ub(ub.0),
+            Err(payload) => {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                PanicKind::Other(msg)
+            }
+        },
+    }
+}
+
+/// SplitMix64, the standard seed-expansion mix.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Runs all runnable threads round-robin to completion.
+    fn run_round_robin(rt: &Arc<ModelRt>) {
+        loop {
+            let runnable = rt.runnable();
+            if runnable.is_empty() {
+                assert!(rt.all_done(), "deadlock in test scheduler");
+                break;
+            }
+            for tid in runnable {
+                let _ = rt.grant(tid);
+            }
+        }
+        rt.join_all();
+    }
+
+    #[test]
+    fn threads_interleave_at_yield_points() {
+        let rt = ModelRt::new(0, 10_000);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for label in ["a", "b"] {
+            let rt2 = Arc::clone(&rt);
+            let log2 = Arc::clone(&log);
+            rt.spawn(label, move || {
+                for i in 0..3 {
+                    rt2.yield_point();
+                    log2.lock().push(format!("{label}{i}"));
+                }
+            });
+        }
+        run_round_robin(&rt);
+        let log = log.lock();
+        assert_eq!(log.len(), 6);
+        // Round-robin grants strictly alternate the two threads.
+        assert_eq!(*log, vec!["a0", "b0", "a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn controller_chooses_the_interleaving() {
+        // Granting only thread 1 until it finishes serializes it first.
+        let rt = ModelRt::new(0, 10_000);
+        let ctr = Arc::new(AtomicU64::new(0));
+        let mut finish_order = Vec::new();
+        for t in 0..2u64 {
+            let rt2 = Arc::clone(&rt);
+            let ctr2 = Arc::clone(&ctr);
+            rt.spawn(format!("t{t}"), move || {
+                rt2.yield_point();
+                ctr2.fetch_add(t + 1, Ordering::SeqCst);
+            });
+        }
+        // Drive tid 1 to completion first, then tid 0.
+        for tid in [1usize, 0] {
+            loop {
+                match rt.grant(tid) {
+                    StepResult::Finished => break,
+                    StepResult::Yielded => continue,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            finish_order.push(tid);
+        }
+        rt.join_all();
+        assert_eq!(finish_order, vec![1, 0]);
+        assert_eq!(ctr.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn locks_block_and_wake() {
+        let rt = ModelRt::new(0, 10_000);
+        let lock = rt.new_lock();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for label in ["first", "second"] {
+            let rt2 = Arc::clone(&rt);
+            let order2 = Arc::clone(&order);
+            rt.spawn(label, move || {
+                rt2.lock_acquire(lock);
+                order2.lock().push(format!("{label}-in"));
+                rt2.yield_point();
+                order2.lock().push(format!("{label}-out"));
+                rt2.lock_release(lock);
+            });
+        }
+        run_round_robin(&rt);
+        let order = order.lock();
+        // Critical sections never interleave.
+        assert_eq!(order.len(), 4);
+        let first_in = order[0].trim_end_matches("-in").to_string();
+        assert_eq!(order[1], format!("{first_in}-out"));
+    }
+
+    #[test]
+    fn blocked_thread_reported_not_runnable() {
+        let rt = ModelRt::new(0, 10_000);
+        let lock = rt.new_lock();
+        let rt_a = Arc::clone(&rt);
+        rt.spawn("holder", move || {
+            rt_a.lock_acquire(lock);
+            rt_a.yield_point(); // hold across a step
+            rt_a.lock_release(lock);
+        });
+        let rt_b = Arc::clone(&rt);
+        rt.spawn("waiter", move || {
+            rt_b.lock_acquire(lock);
+            rt_b.lock_release(lock);
+        });
+        // Let holder take the lock.
+        assert_eq!(rt.grant(0), StepResult::Yielded); // acquire point
+        assert_eq!(rt.grant(0), StepResult::Yielded); // inner yield: now holds
+                                                      // Waiter reaches its acquire point, then blocks.
+        assert_eq!(rt.grant(1), StepResult::Yielded);
+        assert_eq!(rt.grant(1), StepResult::Blocked);
+        assert!(!rt.runnable().contains(&1));
+        // Holder releases; waiter becomes runnable and finishes.
+        loop {
+            if rt.grant(0) == StepResult::Finished {
+                break;
+            }
+        }
+        assert!(rt.runnable().contains(&1));
+        loop {
+            if rt.grant(1) == StepResult::Finished {
+                break;
+            }
+        }
+        rt.join_all();
+    }
+
+    #[test]
+    fn crash_unwinds_all_threads() {
+        let rt = ModelRt::new(0, 10_000);
+        let progressed = Arc::new(AtomicU64::new(0));
+        for t in 0..3 {
+            let rt2 = Arc::clone(&rt);
+            let p2 = Arc::clone(&progressed);
+            rt.spawn(format!("t{t}"), move || {
+                rt2.yield_point();
+                p2.fetch_add(1, Ordering::SeqCst);
+                rt2.yield_point();
+                p2.fetch_add(100, Ordering::SeqCst);
+            });
+        }
+        // One step each, then crash.
+        for tid in 0..3 {
+            assert_eq!(rt.grant(tid), StepResult::Yielded);
+        }
+        // Each thread is parked at its first yield_point, before any add.
+        assert_eq!(progressed.load(Ordering::SeqCst), 0);
+        rt.crash_all();
+        // No thread performed its second increment.
+        assert_eq!(progressed.load(Ordering::SeqCst), 0);
+        assert!(rt.all_done());
+        // Crash unwinds are not failures.
+        assert!(rt.failures().is_empty());
+    }
+
+    #[test]
+    fn crash_releases_locks() {
+        let rt = ModelRt::new(0, 10_000);
+        let lock = rt.new_lock();
+        let rt2 = Arc::clone(&rt);
+        rt.spawn("holder", move || {
+            rt2.lock_acquire(lock);
+            rt2.yield_point();
+            rt2.lock_release(lock);
+        });
+        assert_eq!(rt.grant(0), StepResult::Yielded);
+        assert_eq!(rt.grant(0), StepResult::Yielded);
+        assert!(rt.lock_held(lock));
+        rt.crash_all();
+        assert!(!rt.lock_held(lock));
+    }
+
+    #[test]
+    fn user_panic_classified_as_other() {
+        let rt = ModelRt::new(0, 10_000);
+        let rt2 = Arc::clone(&rt);
+        rt.spawn("bug", move || {
+            rt2.yield_point();
+            panic!("boom");
+        });
+        assert_eq!(rt.grant(0), StepResult::Yielded);
+        match rt.grant(0) {
+            StepResult::Panicked(PanicKind::Other(msg)) => assert!(msg.contains("boom")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(rt.failures().len(), 1);
+        rt.join_all();
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_schedule() {
+        let draws = |seed: u64| -> Vec<u64> {
+            let rt = ModelRt::new(seed, 10_000);
+            let out = Arc::new(Mutex::new(Vec::new()));
+            let rt2 = Arc::clone(&rt);
+            let out2 = Arc::clone(&out);
+            rt.spawn("r", move || {
+                for _ in 0..4 {
+                    out2.lock().push(rt2.rand_u64());
+                }
+            });
+            run_round_robin(&rt);
+            let v = out.lock().clone();
+            v
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+    }
+}

@@ -1,0 +1,275 @@
+//! Differential property tests for the file systems: random operation
+//! sequences applied to [`ModelFs`], [`NativeFs`], and a tiny reference
+//! implementation must agree on every result; [`BufferedFs`] must agree
+//! with a two-image reference including fsync/dir_sync/crash.
+
+use goose_rt::fs::{BufferedFs, FileSys, FsError, ModelFs, NativeFs};
+use goose_rt::sched::ModelRt;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const DIRS: [&str; 3] = ["a", "b", "c"];
+const NAMES: [&str; 4] = ["w", "x", "y", "z"];
+
+/// A random FS operation over small name/dir spaces.
+#[derive(Debug, Clone)]
+enum FsAction {
+    Create(usize, usize),
+    AppendLast(Vec<u8>),
+    Delete(usize, usize),
+    Link(usize, usize, usize, usize),
+    List(usize),
+    ReadWhole(usize, usize),
+    CloseLast,
+    Crash,
+}
+
+fn arb_fs_action() -> impl Strategy<Value = FsAction> {
+    prop_oneof![
+        (0..3usize, 0..4usize).prop_map(|(d, n)| FsAction::Create(d, n)),
+        proptest::collection::vec(any::<u8>(), 0..6).prop_map(FsAction::AppendLast),
+        (0..3usize, 0..4usize).prop_map(|(d, n)| FsAction::Delete(d, n)),
+        (0..3usize, 0..4usize, 0..3usize, 0..4usize)
+            .prop_map(|(a, b, c, d)| FsAction::Link(a, b, c, d)),
+        (0..3usize).prop_map(FsAction::List),
+        (0..3usize, 0..4usize).prop_map(|(d, n)| FsAction::ReadWhole(d, n)),
+        Just(FsAction::CloseLast),
+        Just(FsAction::Crash),
+    ]
+}
+
+/// A minimal reference FS (no fds: appends are tracked against the last
+/// created file's identity).
+#[derive(Default, Clone)]
+struct RefFs {
+    /// dir → name → inode id.
+    dirs: BTreeMap<usize, BTreeMap<String, u64>>,
+    inodes: BTreeMap<u64, Vec<u8>>,
+    next: u64,
+    /// The "open" append target, if any (inode id).
+    open: Option<u64>,
+}
+
+impl RefFs {
+    fn create(&mut self, d: usize, n: &str) -> bool {
+        let dir = self.dirs.entry(d).or_default();
+        if dir.contains_key(n) {
+            return false;
+        }
+        let ino = self.next;
+        self.next += 1;
+        dir.insert(n.to_string(), ino);
+        self.inodes.insert(ino, Vec::new());
+        self.open = Some(ino);
+        true
+    }
+
+    fn append(&mut self, data: &[u8]) -> bool {
+        match self.open {
+            Some(ino) => {
+                // POSIX: the open descriptor keeps the inode alive even
+                // after its last link is unlinked.
+                self.inodes
+                    .get_mut(&ino)
+                    .expect("open fd keeps inode alive")
+                    .extend_from_slice(data);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn delete(&mut self, d: usize, n: &str) -> bool {
+        let Some(dir) = self.dirs.get_mut(&d) else {
+            return false;
+        };
+        let Some(ino) = dir.remove(n) else {
+            return false;
+        };
+        let linked = self.dirs.values().any(|t| t.values().any(|i| *i == ino));
+        if !linked && self.open != Some(ino) {
+            self.inodes.remove(&ino);
+        }
+        true
+    }
+
+    fn link(&mut self, sd: usize, sn: &str, dd: usize, dn: &str) -> Option<bool> {
+        let ino = *self.dirs.get(&sd)?.get(sn)?;
+        let dir = self.dirs.entry(dd).or_default();
+        if dir.contains_key(dn) {
+            return Some(false);
+        }
+        dir.insert(dn.to_string(), ino);
+        Some(true)
+    }
+
+    fn list(&self, d: usize) -> Vec<String> {
+        self.dirs
+            .get(&d)
+            .map(|t| t.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn read(&self, d: usize, n: &str) -> Option<Vec<u8>> {
+        let ino = self.dirs.get(&d)?.get(n)?;
+        self.inodes.get(ino).cloned()
+    }
+
+    fn crash(&mut self) {
+        self.open = None;
+    }
+}
+
+/// Applies the script to a real FS and the reference, asserting
+/// agreement at every step. `pre_crash` runs before each crash action
+/// (the buffered FS syncs there so its semantics collapse to the plain
+/// ones). Returns Ok(()) or the first divergence.
+fn run_differential(
+    fs: &dyn FileSys,
+    script: &[FsAction],
+    pre_crash: impl Fn(),
+) -> Result<(), TestCaseError> {
+    let mut reference = RefFs::default();
+    let handles: Vec<_> = DIRS.iter().map(|d| fs.resolve(d).unwrap()).collect();
+    let mut open_fd: Option<goose_rt::fs::Fd> = None;
+
+    for action in script {
+        match action {
+            FsAction::Create(d, n) => {
+                let got = fs.create(handles[*d], NAMES[*n]).unwrap();
+                let expect = reference.create(*d, NAMES[*n]);
+                prop_assert_eq!(got.is_some(), expect, "create {:?}", action);
+                if let Some(fd) = got {
+                    if let Some(old) = open_fd.take() {
+                        let _ = fs.close(old);
+                    }
+                    open_fd = Some(fd);
+                }
+            }
+            FsAction::AppendLast(data) => {
+                let expect = reference.append(data);
+                match open_fd {
+                    Some(fd) => {
+                        prop_assert!(expect, "reference lost track of the open fd");
+                        fs.append(fd, data).unwrap();
+                    }
+                    None => prop_assert!(!expect),
+                }
+            }
+            FsAction::Delete(d, n) => {
+                let got = fs.delete(handles[*d], NAMES[*n]).is_ok();
+                let expect = reference.delete(*d, NAMES[*n]);
+                prop_assert_eq!(got, expect, "delete {:?}", action);
+            }
+            FsAction::Link(sd, sn, dd, dn) => {
+                let got = fs.link(handles[*sd], NAMES[*sn], handles[*dd], NAMES[*dn]);
+                let expect = reference.link(*sd, NAMES[*sn], *dd, NAMES[*dn]);
+                match expect {
+                    Some(b) => prop_assert_eq!(got.unwrap(), b, "link {:?}", action),
+                    None => prop_assert_eq!(got, Err(FsError::NotFound)),
+                }
+            }
+            FsAction::List(d) => {
+                prop_assert_eq!(fs.list(handles[*d]).unwrap(), reference.list(*d));
+            }
+            FsAction::ReadWhole(d, n) => {
+                let got = fs.read_file(handles[*d], NAMES[*n], 3).ok();
+                prop_assert_eq!(got, reference.read(*d, NAMES[*n]), "read {:?}", action);
+            }
+            FsAction::CloseLast => {
+                if let Some(fd) = open_fd.take() {
+                    fs.close(fd).unwrap();
+                }
+                if let Some(ino) = reference.open.take() {
+                    let linked = reference
+                        .dirs
+                        .values()
+                        .any(|t| t.values().any(|i| *i == ino));
+                    if !linked {
+                        reference.inodes.remove(&ino);
+                    }
+                }
+            }
+            FsAction::Crash => {
+                pre_crash();
+                fs.crash();
+                reference.crash();
+                open_fd = None;
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn model_fs_matches_reference(script in proptest::collection::vec(arb_fs_action(), 0..40)) {
+        let rt = ModelRt::new(0, 10_000_000);
+        let fs = ModelFs::new(rt, &DIRS);
+        run_differential(&*fs, &script, || {})?;
+    }
+
+    #[test]
+    fn native_fs_matches_reference(script in proptest::collection::vec(arb_fs_action(), 0..40)) {
+        let fs = NativeFs::new(&DIRS);
+        run_differential(&*fs, &script, || {})?;
+    }
+
+    /// With `sync_all` before every crash, the buffered FS's semantics
+    /// collapse to the plain model's — it must match the same reference.
+    #[test]
+    fn buffered_fs_with_sync_all_matches_reference(
+        script in proptest::collection::vec(arb_fs_action(), 0..30)
+    ) {
+        let rt = ModelRt::new(0, 10_000_000);
+        let fs = BufferedFs::new(rt, &DIRS);
+        let fs2 = Arc::clone(&fs);
+        run_differential(&*fs, &script, move || fs2.sync_all().unwrap())?;
+    }
+
+    /// Without any sync at all, a buffered-FS crash erases everything
+    /// back to the initial (empty, durable) layout.
+    #[test]
+    fn buffered_fs_unsynced_crash_erases_everything(
+        script in proptest::collection::vec(arb_fs_action(), 0..20)
+    ) {
+        let rt = ModelRt::new(0, 10_000_000);
+        let fs = BufferedFs::new(rt, &DIRS);
+        let handles: Vec<_> = DIRS.iter().map(|d| fs.resolve(d).unwrap()).collect();
+        // Apply the script ignoring results and never syncing (skip the
+        // script's own crashes to keep "everything" unsynced).
+        let mut fd = None;
+        for action in &script {
+            match action {
+                FsAction::Create(d, n) => {
+                    if let Ok(Some(f)) = fs.create(handles[*d], NAMES[*n]) {
+                        fd = Some(f);
+                    }
+                }
+                FsAction::AppendLast(data) => {
+                    if let Some(f) = fd {
+                        let _ = fs.append(f, data);
+                    }
+                }
+                FsAction::Delete(d, n) => {
+                    let _ = fs.delete(handles[*d], NAMES[*n]);
+                }
+                FsAction::Link(sd, sn, dd, dn) => {
+                    let _ = fs.link(handles[*sd], NAMES[*sn], handles[*dd], NAMES[*dn]);
+                }
+                _ => {}
+            }
+        }
+        fs.crash();
+        for (i, h) in handles.iter().enumerate() {
+            prop_assert!(
+                fs.list(*h).unwrap().is_empty(),
+                "dir {} survived an unsynced crash",
+                DIRS[i]
+            );
+        }
+    }
+}

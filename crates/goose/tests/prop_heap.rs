@@ -1,0 +1,124 @@
+//! Property tests for the Go heap model: race-free (serialized) random
+//! scripts never trigger UB and track a reference; slices view their
+//! backing arrays consistently.
+
+use goose_rt::heap::{HVal, Heap};
+use goose_rt::sched::ModelRt;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum HeapAction {
+    Alloc(u64),
+    Store(usize, u64),
+    Load(usize),
+    MapInsert(String, u64),
+    MapGet(String),
+    MapDelete(String),
+    MapIterCount,
+}
+
+fn arb_action() -> impl Strategy<Value = HeapAction> {
+    prop_oneof![
+        (0u64..100).prop_map(HeapAction::Alloc),
+        (0usize..8, 0u64..100).prop_map(|(i, v)| HeapAction::Store(i, v)),
+        (0usize..8).prop_map(HeapAction::Load),
+        ("[a-c]{1}", 0u64..100).prop_map(|(k, v)| HeapAction::MapInsert(k, v)),
+        "[a-c]{1}".prop_map(HeapAction::MapGet),
+        "[a-c]{1}".prop_map(HeapAction::MapDelete),
+        Just(HeapAction::MapIterCount),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serialized scripts run in controller context (no concurrency) can
+    /// never be racy, so every action succeeds and values track a
+    /// reference model.
+    #[test]
+    fn serialized_scripts_track_reference(script in proptest::collection::vec(arb_action(), 0..40)) {
+        let rt = ModelRt::new(0, 10_000_000);
+        let heap = Heap::new(Arc::clone(&rt));
+        let map = heap.new_map();
+
+        let mut cells = Vec::new();
+        let mut ref_cells: Vec<u64> = Vec::new();
+        let mut ref_map: BTreeMap<String, u64> = BTreeMap::new();
+
+        for action in &script {
+            match action {
+                HeapAction::Alloc(v) => {
+                    cells.push(heap.alloc(HVal::U64(*v)));
+                    ref_cells.push(*v);
+                }
+                HeapAction::Store(i, v) => {
+                    if !cells.is_empty() {
+                        let idx = i % cells.len();
+                        heap.store(cells[idx], HVal::U64(*v));
+                        ref_cells[idx] = *v;
+                    }
+                }
+                HeapAction::Load(i) => {
+                    if !cells.is_empty() {
+                        let idx = i % cells.len();
+                        prop_assert_eq!(heap.load(cells[idx]).as_u64(), ref_cells[idx]);
+                    }
+                }
+                HeapAction::MapInsert(k, v) => {
+                    heap.map_insert(map, k, HVal::U64(*v));
+                    ref_map.insert(k.clone(), *v);
+                }
+                HeapAction::MapGet(k) => {
+                    let got = heap.map_get(map, k).map(|v| v.as_u64());
+                    prop_assert_eq!(got, ref_map.get(k).copied());
+                }
+                HeapAction::MapDelete(k) => {
+                    heap.map_delete(map, k);
+                    ref_map.remove(k);
+                }
+                HeapAction::MapIterCount => {
+                    let mut n = 0;
+                    heap.map_iter(map, |_, _| n += 1);
+                    prop_assert_eq!(n, ref_map.len());
+                }
+            }
+        }
+    }
+
+    /// Sub-slices share their backing array: writes through one view are
+    /// visible through overlapping views at the right offsets.
+    #[test]
+    fn sub_slices_share_backing(len in 4usize..32, cut in 1usize..4, byte in any::<u8>()) {
+        let rt = ModelRt::new(0, 10_000_000);
+        let heap = Heap::new(rt);
+        let data: Vec<u8> = (0..len as u8).collect();
+        let s = heap.new_byte_slice(&data);
+        let cut = cut.min(len - 1);
+        let tail = heap.sub_slice(s, cut as u64, len as u64);
+        // Write through the tail view.
+        heap.slice_write(tail, 0, &[byte]);
+        // Visible through the root view at offset `cut`.
+        let seen = heap.slice_read(s, cut as u64, 1);
+        prop_assert_eq!(seen, vec![byte]);
+        // Bytes before the cut are untouched.
+        if cut > 0 {
+            let before = heap.slice_read(s, 0, cut as u64);
+            prop_assert_eq!(before, data[..cut].to_vec());
+        }
+    }
+
+    /// Lengths and bounds: reads clamp to the slice, never beyond.
+    #[test]
+    fn slice_reads_clamp(len in 1usize..32, off in 0u64..40, n in 0u64..40) {
+        let rt = ModelRt::new(0, 10_000_000);
+        let heap = Heap::new(rt);
+        let data = vec![7u8; len];
+        let s = heap.new_byte_slice(&data);
+        prop_assume!(off <= len as u64); // beyond-length offsets are UB by design
+        let got = heap.slice_read(s, off, n);
+        let expect = ((len as u64).saturating_sub(off)).min(n) as usize;
+        prop_assert_eq!(got.len(), expect);
+    }
+}

@@ -1,0 +1,189 @@
+//! Checker harness for the node KV store.
+
+use crate::spec::{bucket_of, KvSpec};
+use crate::store::{KvMutant, NodeKv};
+use perennial_checker::{Execution, Harness, ThreadBody, World};
+use perennial_disk::single::ModelDisk;
+use std::sync::Arc;
+
+/// Workload shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvWorkload {
+    /// One putter (smallest crash-sweep scenario).
+    SinglePut,
+    /// Two putters on different buckets plus a reader (parallel paths).
+    CrossBucket,
+    /// Two putters racing on the *same* bucket plus a reader of a
+    /// co-bucketed key (bucket-lock contention).
+    SameBucket,
+    /// Put, delete, and get interleaving on one key.
+    PutDeleteGet,
+}
+
+/// KV harness.
+pub struct KvHarness {
+    /// Which mutant.
+    pub mutant: KvMutant,
+    /// Which workload.
+    pub workload: KvWorkload,
+    /// Run a post-recovery verification round.
+    pub after_round: bool,
+}
+
+impl Default for KvHarness {
+    fn default() -> Self {
+        KvHarness {
+            mutant: KvMutant::None,
+            workload: KvWorkload::CrossBucket,
+            after_round: true,
+        }
+    }
+}
+
+struct KvExec {
+    sys: Arc<NodeKv>,
+    workload: KvWorkload,
+    after_round: bool,
+}
+
+/// Two keys guaranteed to share a bucket, and one in a different bucket.
+fn sample_keys() -> (u64, u64, u64) {
+    let k0 = 0u64;
+    let b0 = bucket_of(k0);
+    let same = (1..10_000)
+        .find(|k| bucket_of(*k) == b0)
+        .expect("co-bucket key");
+    let other = (1..10_000)
+        .find(|k| bucket_of(*k) != b0)
+        .expect("cross-bucket key");
+    (k0, same, other)
+}
+
+impl Execution<KvSpec> for KvExec {
+    fn boot(&mut self, w: &World<KvSpec>) {
+        self.sys.boot(w);
+    }
+
+    fn threads(&mut self, w: &World<KvSpec>) -> Vec<(String, ThreadBody)> {
+        let (k0, same, other) = sample_keys();
+        let mut out: Vec<(String, ThreadBody)> = Vec::new();
+        match self.workload {
+            KvWorkload::SinglePut => {
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push(("put".into(), Box::new(move || sys.put(&w2, k0, 100))));
+            }
+            KvWorkload::CrossBucket => {
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push(("put-a".into(), Box::new(move || sys.put(&w2, k0, 1))));
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push(("put-b".into(), Box::new(move || sys.put(&w2, other, 2))));
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push((
+                    "get".into(),
+                    Box::new(move || {
+                        let v = sys.get(&w2, k0);
+                        assert!(v.is_none() || v == Some(1));
+                    }),
+                ));
+            }
+            KvWorkload::SameBucket => {
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push(("put-x".into(), Box::new(move || sys.put(&w2, k0, 1))));
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push(("put-y".into(), Box::new(move || sys.put(&w2, same, 2))));
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push((
+                    "get".into(),
+                    Box::new(move || {
+                        let v = sys.get(&w2, same);
+                        assert!(v.is_none() || v == Some(2));
+                    }),
+                ));
+            }
+            KvWorkload::PutDeleteGet => {
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push(("put".into(), Box::new(move || sys.put(&w2, k0, 9))));
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push((
+                    "delete".into(),
+                    Box::new(move || {
+                        let old = sys.delete(&w2, k0);
+                        assert!(old.is_none() || old == Some(9));
+                    }),
+                ));
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push((
+                    "get".into(),
+                    Box::new(move || {
+                        let v = sys.get(&w2, k0);
+                        assert!(v.is_none() || v == Some(9));
+                    }),
+                ));
+            }
+        }
+        out
+    }
+
+    fn crash_reset(&mut self, _w: &World<KvSpec>) {}
+
+    fn recovery(&mut self, w: &World<KvSpec>) -> ThreadBody {
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        Box::new(move || sys.recover(&w2))
+    }
+
+    fn after_recovery(&mut self, w: &World<KvSpec>) -> Vec<(String, ThreadBody)> {
+        if !self.after_round {
+            return Vec::new();
+        }
+        let (k0, _same, other) = sample_keys();
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        vec![(
+            "post-crash".into(),
+            Box::new(move || {
+                // Reads first: whatever committed must be visible (their
+                // finish_op checks values against σ).
+                let _ = sys.get(&w2, k0);
+                let _ = sys.get(&w2, other);
+                sys.put(&w2, other, 77);
+                assert_eq!(sys.get(&w2, other), Some(77));
+                assert_eq!(sys.delete(&w2, other), Some(77));
+            }),
+        )]
+    }
+
+    fn final_check(&self, w: &World<KvSpec>) -> Result<(), String> {
+        self.sys.abs_check(w)
+    }
+}
+
+impl Harness<KvSpec> for KvHarness {
+    fn spec(&self) -> KvSpec {
+        KvSpec
+    }
+
+    fn make(&self, w: &World<KvSpec>) -> Box<dyn Execution<KvSpec>> {
+        let disk = ModelDisk::new(Arc::clone(&w.rt), NodeKv::NBLOCKS, NodeKv::BLOCK_SIZE);
+        let sys = NodeKv::new(w, disk, self.mutant);
+        Box::new(KvExec {
+            sys: Arc::new(sys),
+            workload: self.workload,
+            after_round: self.after_round,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "node KV store"
+    }
+}

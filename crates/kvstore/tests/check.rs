@@ -1,0 +1,120 @@
+//! Model-checking the node KV store: all workloads, crash sweeps, and
+//! mutants.
+
+use perennial_checker::{check, CheckConfig, ExecOutcome};
+use perennial_kv::{KvHarness, KvMutant, KvWorkload};
+
+fn cfg() -> CheckConfig {
+    CheckConfig {
+        dfs_max_executions: 300,
+        random_samples: 10,
+        random_crash_samples: 20,
+        nested_crash_sweep: false,
+        max_steps: 200_000,
+        ..CheckConfig::default()
+    }
+}
+
+#[test]
+fn cross_bucket_parallel_ops_pass() {
+    let report = check(&KvHarness::default(), &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.executions > 100);
+}
+
+#[test]
+fn same_bucket_contention_passes() {
+    let h = KvHarness {
+        workload: KvWorkload::SameBucket,
+        ..KvHarness::default()
+    };
+    let report = check(&h, &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn put_delete_get_interleavings_pass() {
+    let h = KvHarness {
+        workload: KvWorkload::PutDeleteGet,
+        ..KvHarness::default()
+    };
+    let report = check(&h, &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn crash_during_recovery_is_idempotent() {
+    let h = KvHarness {
+        workload: KvWorkload::SinglePut,
+        after_round: false,
+        ..KvHarness::default()
+    };
+    let report = check(
+        &h,
+        &CheckConfig {
+            dfs_max_executions: 0,
+            random_samples: 0,
+            random_crash_samples: 0,
+            nested_crash_sweep: true,
+            max_steps: 200_000,
+            ..CheckConfig::default()
+        },
+    );
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn mutant_in_place_caught() {
+    let h = KvHarness {
+        workload: KvWorkload::SinglePut,
+        mutant: KvMutant::InPlace,
+        ..KvHarness::default()
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("in-place must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn mutant_flip_first_caught() {
+    let h = KvHarness {
+        workload: KvWorkload::SinglePut,
+        mutant: KvMutant::FlipFirst,
+        ..KvHarness::default()
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("flip-first must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn mutant_no_lock_caught() {
+    let h = KvHarness {
+        workload: KvWorkload::SameBucket,
+        mutant: KvMutant::NoLock,
+        ..KvHarness::default()
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("no-lock must be caught");
+    assert!(
+        matches!(cx.outcome, ExecOutcome::Violation(_) | ExecOutcome::Bug(_)),
+        "unexpected outcome {:?}",
+        cx.outcome
+    );
+}

@@ -1,0 +1,223 @@
+//! Checker harnesses for Mailboat: concurrent deliver/pickup/delete
+//! workloads, crash sweeps, the §8.3 slice-race scenario, and mutants.
+
+use crate::proof::{MbMutant, VerifiedMailboat};
+use crate::server::mail_dirs;
+use crate::spec::MailSpec;
+use goose_rt::fs::ModelFs;
+use goose_rt::heap::Heap;
+use perennial_checker::{Execution, Harness, ThreadBody, World};
+use std::sync::Arc;
+
+/// Scenario shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MbWorkload {
+    /// One delivery (smallest crash-sweep scenario).
+    SingleDeliver,
+    /// A delivery racing a pickup(+delete+unlock) on the same user.
+    DeliverVsPickup,
+    /// Two deliveries racing on the same user.
+    TwoDelivers,
+    /// Deliveries to two users racing a pickup.
+    TwoUsers,
+    /// §8.3: a delivery reading from a heap slice while another thread
+    /// mutates that slice — must be flagged as undefined behaviour.
+    SliceRace,
+}
+
+/// Mailboat harness.
+pub struct MbHarness {
+    /// Number of users.
+    pub users: u64,
+    /// Which mutant ([`MbMutant::None`] = correct system).
+    pub mutant: MbMutant,
+    /// Which workload.
+    pub workload: MbWorkload,
+    /// Run a post-recovery verification round.
+    pub after_round: bool,
+}
+
+impl Default for MbHarness {
+    fn default() -> Self {
+        MbHarness {
+            users: 2,
+            mutant: MbMutant::None,
+            workload: MbWorkload::DeliverVsPickup,
+            after_round: true,
+        }
+    }
+}
+
+struct MbExec {
+    sys: Arc<VerifiedMailboat>,
+    heap: Arc<Heap>,
+    workload: MbWorkload,
+    after_round: bool,
+}
+
+impl Execution<MailSpec> for MbExec {
+    fn boot(&mut self, w: &World<MailSpec>) {
+        self.sys.boot(w);
+    }
+
+    fn threads(&mut self, w: &World<MailSpec>) -> Vec<(String, ThreadBody)> {
+        let mut out: Vec<(String, ThreadBody)> = Vec::new();
+        match self.workload {
+            MbWorkload::SingleDeliver => {
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push((
+                    "deliver".into(),
+                    Box::new(move || sys.deliver(&w2, 0, "alpha-msg")),
+                ));
+            }
+            MbWorkload::DeliverVsPickup => {
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push((
+                    "deliver".into(),
+                    Box::new(move || sys.deliver(&w2, 0, "alpha")),
+                ));
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push((
+                    "pickup".into(),
+                    Box::new(move || {
+                        let msgs = sys.pickup(&w2, 0);
+                        for (id, contents) in &msgs {
+                            // Only complete messages are ever observable.
+                            assert_eq!(contents, "alpha", "partial message read");
+                            sys.delete(&w2, 0, id);
+                        }
+                        sys.unlock(&w2, 0);
+                    }),
+                ));
+            }
+            MbWorkload::TwoDelivers => {
+                for (name, msg) in [("deliver-a", "alpha"), ("deliver-b", "bravo")] {
+                    let sys = Arc::clone(&self.sys);
+                    let w2 = w.clone();
+                    out.push((name.into(), Box::new(move || sys.deliver(&w2, 0, msg))));
+                }
+            }
+            MbWorkload::TwoUsers => {
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push((
+                    "deliver-u0".into(),
+                    Box::new(move || sys.deliver(&w2, 0, "for-zero")),
+                ));
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push((
+                    "deliver-u1".into(),
+                    Box::new(move || sys.deliver(&w2, 1, "for-one")),
+                ));
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                out.push((
+                    "pickup-u0".into(),
+                    Box::new(move || {
+                        let _ = sys.pickup(&w2, 0);
+                        sys.unlock(&w2, 0);
+                    }),
+                ));
+            }
+            MbWorkload::SliceRace => {
+                let msg = "abcdefgh";
+                let slice = self.heap.new_byte_slice(msg.as_bytes());
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                let heap = Arc::clone(&self.heap);
+                out.push((
+                    "deliver-slice".into(),
+                    Box::new(move || sys.deliver_slice(&w2, 0, &heap, slice, msg)),
+                ));
+                let heap = Arc::clone(&self.heap);
+                out.push((
+                    "slice-mutator".into(),
+                    Box::new(move || {
+                        heap.slice_write(slice, 0, b"ZZ");
+                    }),
+                ));
+            }
+        }
+        out
+    }
+
+    fn crash_reset(&mut self, _w: &World<MailSpec>) {
+        self.sys_fs_crash();
+        self.heap.crash();
+    }
+
+    fn recovery(&mut self, w: &World<MailSpec>) -> ThreadBody {
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        Box::new(move || sys.recover(&w2))
+    }
+
+    fn after_recovery(&mut self, w: &World<MailSpec>) -> Vec<(String, ThreadBody)> {
+        if !self.after_round {
+            return Vec::new();
+        }
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        vec![(
+            "post-crash".into(),
+            Box::new(move || {
+                // Everything delivered before the crash must be readable
+                // (the pickup's ghost machinery checks the values).
+                let msgs = sys.pickup(&w2, 0);
+                for (id, _) in &msgs {
+                    sys.delete(&w2, 0, id);
+                }
+                sys.unlock(&w2, 0);
+                // And the system still works.
+                sys.deliver(&w2, 0, "post-crash-msg");
+                let msgs = sys.pickup(&w2, 0);
+                assert!(msgs.iter().any(|(_, c)| c == "post-crash-msg"));
+                sys.unlock(&w2, 0);
+            }),
+        )]
+    }
+
+    fn final_check(&self, w: &World<MailSpec>) -> Result<(), String> {
+        self.sys.abs_check(w, true)
+    }
+}
+
+impl MbExec {
+    fn sys_fs_crash(&self) {
+        use goose_rt::fs::FileSys;
+        // Drop all open descriptors; file data is durable.
+        self.sys_fs().crash();
+    }
+
+    fn sys_fs(&self) -> &ModelFs {
+        self.sys.fs()
+    }
+}
+
+impl Harness<MailSpec> for MbHarness {
+    fn spec(&self) -> MailSpec {
+        MailSpec { users: self.users }
+    }
+
+    fn make(&self, w: &World<MailSpec>) -> Box<dyn Execution<MailSpec>> {
+        let dirs = mail_dirs(self.users);
+        let dir_refs: Vec<&str> = dirs.iter().map(String::as_str).collect();
+        let fs = ModelFs::new(Arc::clone(&w.rt), &dir_refs);
+        let heap = Heap::new(Arc::clone(&w.rt));
+        let sys = VerifiedMailboat::new(w, fs, self.users, self.mutant);
+        Box::new(MbExec {
+            sys: Arc::new(sys),
+            heap,
+            workload: self.workload,
+            after_round: self.after_round,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "mailboat"
+    }
+}

@@ -1,0 +1,258 @@
+//! TCP frontends: serve the SMTP and POP3 session state machines over
+//! real sockets (`std::net`), as the paper's mail server does ("Mailboat
+//! supports SMTP and POP3 over the network", §9.3).
+//!
+//! Like the paper's protocol layer this is unverified plumbing: one
+//! thread per connection, line-delimited framing, sessions from
+//! [`crate::smtp`]. The server binds an ephemeral port and reports it,
+//! so tests and examples can connect as real clients.
+
+use crate::server::MailServer;
+use crate::smtp::{Pop3Session, SmtpSession};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Which protocol a listener speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Delivery (SMTP-style).
+    Smtp,
+    /// Retrieval (POP3-style).
+    Pop3,
+}
+
+/// A running mail listener; dropped or [`MailListener::shutdown`] stops
+/// accepting (existing connections finish their session).
+pub struct MailListener {
+    /// The bound address (ephemeral port).
+    pub addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MailListener {
+    /// Starts serving `protocol` for `server` on a fresh localhost port.
+    pub fn start<S: MailServer + 'static>(
+        server: Arc<S>,
+        protocol: Protocol,
+    ) -> std::io::Result<MailListener> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        // Nonblocking accept loop so shutdown is prompt.
+        listener.set_nonblocking(true)?;
+        let accept_thread = std::thread::spawn(move || loop {
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let server = Arc::clone(&server);
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(server, stream, protocol);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+        });
+        Ok(MailListener {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Stops accepting new connections.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MailListener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection<S: MailServer>(
+    server: Arc<S>,
+    stream: TcpStream,
+    protocol: Protocol,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    match protocol {
+        Protocol::Smtp => {
+            let (mut session, greeting) = SmtpSession::new(server);
+            writeln!(writer, "{greeting}")?;
+            for line in reader.lines() {
+                let line = line?;
+                let quit = line.trim().eq_ignore_ascii_case("QUIT");
+                let reply = session.handle_line(line.trim_end_matches('\r'));
+                if !reply.is_empty() {
+                    writeln!(writer, "{reply}")?;
+                }
+                if quit {
+                    break;
+                }
+            }
+        }
+        Protocol::Pop3 => {
+            let (mut session, greeting) = Pop3Session::new(server);
+            writeln!(writer, "{greeting}")?;
+            for line in reader.lines() {
+                let line = line?;
+                let quit = line.trim().eq_ignore_ascii_case("QUIT");
+                let reply = session.handle_line(line.trim_end_matches('\r'));
+                writeln!(writer, "{reply}")?;
+                if quit {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A minimal line-oriented client for tests and examples (the `postal`
+/// stand-in).
+pub struct LineClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl LineClient {
+    /// Connects and reads the greeting.
+    pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<(LineClient, String)> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        let mut client = LineClient {
+            reader: BufReader::new(stream),
+            writer,
+        };
+        let greeting = client.read_line()?;
+        Ok((client, greeting))
+    }
+
+    /// Sends one line.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.writer, "{line}")
+    }
+
+    /// Reads one reply line.
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut buf = String::new();
+        self.reader.read_line(&mut buf)?;
+        Ok(buf.trim_end().to_string())
+    }
+
+    /// Sends a line and reads one reply.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.send(line)?;
+        self.read_line()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{mail_dirs, Mailboat};
+    use goose_rt::fs::NativeFs;
+    use goose_rt::runtime::NativeRt;
+
+    fn server() -> Arc<Mailboat> {
+        let dirs = mail_dirs(8);
+        let dir_refs: Vec<&str> = dirs.iter().map(String::as_str).collect();
+        Arc::new(Mailboat::init(NativeFs::new(&dir_refs), NativeRt::new(), 8).unwrap())
+    }
+
+    #[test]
+    fn smtp_delivery_over_real_sockets() {
+        let s = server();
+        let mut listener = MailListener::start(Arc::clone(&s), Protocol::Smtp).unwrap();
+        let (mut c, greeting) = LineClient::connect(listener.addr).unwrap();
+        assert!(greeting.starts_with("220"), "{greeting}");
+        assert!(c.roundtrip("HELO test").unwrap().starts_with("250"));
+        assert!(c.roundtrip("MAIL FROM:<a@b>").unwrap().starts_with("250"));
+        assert!(c
+            .roundtrip("RCPT TO:<user3@example.com>")
+            .unwrap()
+            .starts_with("250"));
+        assert!(c.roundtrip("DATA").unwrap().starts_with("354"));
+        c.send("over tcp").unwrap();
+        assert!(c.roundtrip(".").unwrap().starts_with("250"));
+        assert!(c.roundtrip("QUIT").unwrap().starts_with("221"));
+        listener.shutdown();
+
+        let msgs = s.pickup(3);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].contents, b"over tcp\n");
+        s.unlock(3);
+    }
+
+    #[test]
+    fn pop3_retrieval_over_real_sockets() {
+        let s = server();
+        s.deliver(5, b"net msg");
+        let mut listener = MailListener::start(Arc::clone(&s), Protocol::Pop3).unwrap();
+        let (mut c, greeting) = LineClient::connect(listener.addr).unwrap();
+        assert!(greeting.starts_with("+OK"), "{greeting}");
+        assert!(c.roundtrip("USER user5").unwrap().starts_with("+OK"));
+        let list = c.roundtrip("LIST").unwrap();
+        assert!(list.contains("1 messages"), "{list}");
+        // LIST's body lines follow.
+        let _size_line = c.read_line().unwrap();
+        let retr = c.roundtrip("RETR 1").unwrap();
+        assert!(retr.starts_with("+OK"), "{retr}");
+        let body = c.read_line().unwrap();
+        assert_eq!(body, "net msg");
+        let _dot = c.read_line().unwrap();
+        assert!(c.roundtrip("DELE 1").unwrap().starts_with("+OK"));
+        assert!(c.roundtrip("QUIT").unwrap().starts_with("+OK"));
+        listener.shutdown();
+        assert!(s.pickup(5).is_empty());
+        s.unlock(5);
+    }
+
+    #[test]
+    fn concurrent_smtp_clients() {
+        let s = server();
+        let mut listener = MailListener::start(Arc::clone(&s), Protocol::Smtp).unwrap();
+        let addr = listener.addr;
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            handles.push(std::thread::spawn(move || {
+                let (mut c, _) = LineClient::connect(addr).unwrap();
+                c.roundtrip("HELO x").unwrap();
+                c.roundtrip("MAIL FROM:<a@b>").unwrap();
+                c.roundtrip(&format!("RCPT TO:<user{}@x>", t % 2)).unwrap();
+                c.roundtrip("DATA").unwrap();
+                c.send(&format!("msg from {t}")).unwrap();
+                c.roundtrip(".").unwrap();
+                c.roundtrip("QUIT").unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        listener.shutdown();
+        let total = s.pickup(0).len() + {
+            s.unlock(0);
+            let n = s.pickup(1).len();
+            s.unlock(1);
+            n
+        };
+        assert_eq!(total, 4);
+    }
+}

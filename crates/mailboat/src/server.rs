@@ -1,0 +1,251 @@
+//! The `MailServer` interface and the plain (uninstrumented) Mailboat
+//! implementation (§8.2), shared by the benchmarks and examples.
+//!
+//! The implementation is exactly the paper's: each user's mailbox is a
+//! directory with a file per message; deliveries spool the message into a
+//! separate directory, then atomically hard-link it into the mailbox and
+//! unlink the temporary (the shadow-copy pattern); pickups hold a
+//! per-user in-memory lock to exclude concurrent deletes; recovery
+//! deletes everything in the spool.
+
+use goose_rt::fs::{DirH, FileSys, FsResult};
+use goose_rt::runtime::{GLock, Runtime};
+use std::sync::Arc;
+
+/// A message as returned by `Pickup` (Figure 10's `Message`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The message ID (its file name in the mailbox).
+    pub id: String,
+    /// The message contents.
+    pub contents: Vec<u8>,
+}
+
+/// The mail-server operations (Figure 10), implemented by Mailboat and
+/// the GoMail/CMAIL baselines.
+pub trait MailServer: Send + Sync {
+    /// Delivers `msg` to `user`'s mailbox; callable concurrently at any
+    /// time, without locks.
+    fn deliver(&self, user: u64, msg: &[u8]);
+
+    /// Lists and reads all of `user`'s mail, implicitly acquiring the
+    /// per-user lock (released by [`MailServer::unlock`]).
+    fn pickup(&self, user: u64) -> Vec<Message>;
+
+    /// Deletes a message previously returned by `pickup` (the lock must
+    /// be held).
+    fn delete(&self, user: u64, id: &str);
+
+    /// Releases the per-user lock taken by `pickup`.
+    fn unlock(&self, user: u64);
+
+    /// Post-crash recovery: cleans up spooled temporaries.
+    fn recover(&self);
+}
+
+/// Returns the directory layout for `users` mailboxes (plus the spool
+/// and the lock directory used by the file-lock baselines).
+pub fn mail_dirs(users: u64) -> Vec<String> {
+    let mut dirs = vec!["spool".to_string(), "locks".to_string()];
+    dirs.extend((0..users).map(|u| format!("user{u}")));
+    dirs
+}
+
+/// Write chunk size (the paper writes files 4 KiB at a time, §8.3).
+pub const WRITE_CHUNK: usize = 4096;
+
+/// Read chunk size (the §9.5 infinite-loop bug was for messages larger
+/// than this).
+pub const READ_CHUNK: u64 = 512;
+
+/// The plain Mailboat implementation.
+pub struct Mailboat {
+    fs: Arc<dyn FileSys>,
+    rt: Arc<dyn Runtime>,
+    spool: DirH,
+    users: Vec<DirH>,
+    locks: Vec<Arc<dyn GLock>>,
+}
+
+impl Mailboat {
+    /// `Init` (Figure 10): caches directory handles — the relative-
+    /// lookup optimization §9.3 credits for part of Mailboat's speedup —
+    /// and creates the in-memory per-user locks.
+    pub fn init(fs: Arc<dyn FileSys>, rt: Arc<dyn Runtime>, users: u64) -> FsResult<Self> {
+        let spool = fs.resolve("spool")?;
+        let mut user_dirs = Vec::new();
+        let mut locks = Vec::new();
+        for u in 0..users {
+            user_dirs.push(fs.resolve(&format!("user{u}"))?);
+            locks.push(rt.new_lock());
+        }
+        Ok(Mailboat {
+            fs,
+            rt,
+            spool,
+            users: user_dirs,
+            locks,
+        })
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> u64 {
+        self.users.len() as u64
+    }
+
+    fn fresh_name(&self, prefix: &str) -> String {
+        format!("{prefix}{:016x}", self.rt.rand_u64())
+    }
+}
+
+impl MailServer for Mailboat {
+    fn deliver(&self, user: u64, msg: &[u8]) {
+        let udir = self.users[user as usize];
+        // Spool phase: pick a fresh temporary name by retrying random
+        // IDs (§8.2 Deliver/Deliver), then write the contents in chunks.
+        let (tmp, fd) = loop {
+            let tmp = self.fresh_name("t");
+            match self.fs.create(self.spool, &tmp).expect("spool create") {
+                Some(fd) => break (tmp, fd),
+                None => continue,
+            }
+        };
+        for chunk in msg.chunks(WRITE_CHUNK) {
+            self.fs.append(fd, chunk).expect("spool append");
+        }
+        self.fs.close(fd).expect("spool close");
+        // Install phase: atomically link into the mailbox under a fresh
+        // message ID, then drop the temporary.
+        loop {
+            let id = self.fresh_name("m");
+            match self.fs.link(self.spool, &tmp, udir, &id) {
+                Ok(true) => break,
+                Ok(false) => continue,
+                Err(e) => panic!("mailbox link failed: {e}"),
+            }
+        }
+        self.fs.delete(self.spool, &tmp).expect("spool unlink");
+    }
+
+    fn pickup(&self, user: u64) -> Vec<Message> {
+        let udir = self.users[user as usize];
+        self.locks[user as usize].acquire();
+        let names = self.fs.list(udir).expect("mailbox list");
+        let mut out = Vec::with_capacity(names.len());
+        for id in names {
+            let contents = self.fs.read_file(udir, &id, READ_CHUNK).expect("read msg");
+            out.push(Message { id, contents });
+        }
+        out
+    }
+
+    fn delete(&self, user: u64, id: &str) {
+        let udir = self.users[user as usize];
+        self.fs.delete(udir, id).expect("mailbox delete");
+    }
+
+    fn unlock(&self, user: u64) {
+        self.locks[user as usize].release();
+    }
+
+    fn recover(&self) {
+        // §8.2 Recovery: the spool may contain temporaries that are no
+        // longer needed; delete them all.
+        let names = self.fs.list(self.spool).expect("spool list");
+        for name in names {
+            self.fs.delete(self.spool, &name).expect("spool cleanup");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goose_rt::fs::NativeFs;
+    use goose_rt::runtime::NativeRt;
+
+    fn server(users: u64) -> Mailboat {
+        let dirs = mail_dirs(users);
+        let dir_refs: Vec<&str> = dirs.iter().map(String::as_str).collect();
+        let fs = NativeFs::new(&dir_refs);
+        Mailboat::init(fs, NativeRt::new(), users).unwrap()
+    }
+
+    #[test]
+    fn deliver_pickup_roundtrip() {
+        let s = server(2);
+        s.deliver(0, b"hello mailboat");
+        s.deliver(0, b"second message");
+        s.deliver(1, b"other user");
+        let msgs = s.pickup(0);
+        assert_eq!(msgs.len(), 2);
+        let bodies: Vec<_> = msgs.iter().map(|m| m.contents.clone()).collect();
+        assert!(bodies.contains(&b"hello mailboat".to_vec()));
+        assert!(bodies.contains(&b"second message".to_vec()));
+        s.unlock(0);
+        assert_eq!(s.pickup(1).len(), 1);
+        s.unlock(1);
+    }
+
+    #[test]
+    fn delete_removes_message() {
+        let s = server(1);
+        s.deliver(0, b"doomed");
+        let msgs = s.pickup(0);
+        s.delete(0, &msgs[0].id);
+        s.unlock(0);
+        assert!(s.pickup(0).is_empty());
+        s.unlock(0);
+    }
+
+    #[test]
+    fn bug_large_message_pickup_terminates() {
+        // §9.5: messages larger than 512 bytes once made Pickup loop
+        // forever. Regression: a 4 KiB + tail message reads back whole.
+        let s = server(1);
+        let big = vec![0x42u8; 4096 + 37];
+        s.deliver(0, &big);
+        let msgs = s.pickup(0);
+        assert_eq!(msgs[0].contents, big);
+        s.unlock(0);
+    }
+
+    #[test]
+    fn spool_left_dirty_without_recovery_then_cleaned() {
+        let dirs = mail_dirs(1);
+        let dir_refs: Vec<&str> = dirs.iter().map(String::as_str).collect();
+        let fs = NativeFs::new(&dir_refs);
+        let s = Mailboat::init(fs.clone() as Arc<dyn FileSys>, NativeRt::new(), 1).unwrap();
+        // Simulate a crash mid-deliver by planting a stray spool file.
+        let spool = fs.resolve("spool").unwrap();
+        let fd = fs.create(spool, "t-orphan").unwrap().unwrap();
+        fs.append(fd, b"partial").unwrap();
+        fs.crash();
+        s.recover();
+        assert!(fs.list(spool).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_deliveries_all_arrive() {
+        let s = Arc::new(server(4));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    let user = (t + i) % 4;
+                    s.deliver(user, format!("msg-{t}-{i}").as_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut total = 0;
+        for u in 0..4 {
+            total += s.pickup(u).len();
+            s.unlock(u);
+        }
+        assert_eq!(total, 200);
+    }
+}

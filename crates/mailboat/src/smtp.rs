@@ -1,0 +1,268 @@
+//! Thin SMTP/POP3-style protocol frontends over a [`MailServer`].
+//!
+//! The paper's protocol layer is explicitly *unverified* ("The protocol
+//! implementation is unverified, but works with the Postal mail server
+//! benchmarking library", §8.2); this module is its analog: line-based
+//! SMTP and POP3 session state machines that drive the verified library
+//! underneath. The `mailboat_server` example wires them to a workload.
+
+use crate::server::MailServer;
+use std::sync::Arc;
+
+/// An SMTP session state machine (the delivery path).
+pub struct SmtpSession<S: MailServer> {
+    server: Arc<S>,
+    state: SmtpState,
+    rcpt: Vec<u64>,
+    data: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SmtpState {
+    Start,
+    Greeted,
+    GotSender,
+    InData,
+}
+
+/// Parses "user<N>@example.com" or plain "<N>" into a user id.
+fn parse_user(addr: &str) -> Option<u64> {
+    let addr = addr.trim().trim_start_matches('<').trim_end_matches('>');
+    let local = addr.split('@').next()?;
+    local.strip_prefix("user").unwrap_or(local).parse().ok()
+}
+
+impl<S: MailServer> SmtpSession<S> {
+    /// Opens a session; the reply is the server greeting.
+    pub fn new(server: Arc<S>) -> (Self, String) {
+        (
+            SmtpSession {
+                server,
+                state: SmtpState::Start,
+                rcpt: Vec::new(),
+                data: Vec::new(),
+            },
+            "220 mailboat ESMTP".to_string(),
+        )
+    }
+
+    /// Handles one client line, returning the server reply (possibly
+    /// empty while accumulating DATA).
+    pub fn handle_line(&mut self, line: &str) -> String {
+        if self.state == SmtpState::InData {
+            if line == "." {
+                for user in self.rcpt.drain(..) {
+                    self.server.deliver(user, &self.data);
+                }
+                self.data.clear();
+                self.state = SmtpState::Greeted;
+                return "250 OK: queued".to_string();
+            }
+            // Dot-stuffing per RFC 5321.
+            let payload = line.strip_prefix('.').unwrap_or(line);
+            self.data.extend_from_slice(payload.as_bytes());
+            self.data.push(b'\n');
+            return String::new();
+        }
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with("HELO") || upper.starts_with("EHLO") {
+            self.state = SmtpState::Greeted;
+            "250 mailboat".to_string()
+        } else if upper.starts_with("MAIL FROM:") {
+            if self.state != SmtpState::Greeted {
+                return "503 bad sequence".to_string();
+            }
+            self.state = SmtpState::GotSender;
+            "250 OK".to_string()
+        } else if upper.starts_with("RCPT TO:") {
+            if self.state != SmtpState::GotSender {
+                return "503 bad sequence".to_string();
+            }
+            match parse_user(&line["RCPT TO:".len()..]) {
+                Some(u) => {
+                    self.rcpt.push(u);
+                    "250 OK".to_string()
+                }
+                None => "550 no such user".to_string(),
+            }
+        } else if upper.starts_with("DATA") {
+            if self.rcpt.is_empty() {
+                return "503 no recipients".to_string();
+            }
+            self.state = SmtpState::InData;
+            "354 end with .".to_string()
+        } else if upper.starts_with("QUIT") {
+            "221 bye".to_string()
+        } else {
+            "500 unrecognized".to_string()
+        }
+    }
+}
+
+/// A POP3 session state machine (the pickup/delete path).
+///
+/// `USER` implicitly performs the Mailboat `Pickup` (taking the per-user
+/// lock); `QUIT` performs `Unlock`, matching §8.1: "the SMTP server calls
+/// Pickup when a user connects and Unlock when they disconnect".
+pub struct Pop3Session<S: MailServer> {
+    server: Arc<S>,
+    user: Option<u64>,
+    msgs: Vec<crate::server::Message>,
+}
+
+impl<S: MailServer> Pop3Session<S> {
+    /// Opens a session; the reply is the server greeting.
+    pub fn new(server: Arc<S>) -> (Self, String) {
+        (
+            Pop3Session {
+                server,
+                user: None,
+                msgs: Vec::new(),
+            },
+            "+OK mailboat POP3".to_string(),
+        )
+    }
+
+    /// Handles one client line, returning the server reply.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("").to_ascii_uppercase();
+        match cmd.as_str() {
+            "USER" => match parts.next().and_then(parse_user) {
+                Some(u) => {
+                    self.msgs = self.server.pickup(u);
+                    self.user = Some(u);
+                    "+OK".to_string()
+                }
+                None => "-ERR no such user".to_string(),
+            },
+            "LIST" => match self.user {
+                Some(_) => {
+                    let mut out = format!("+OK {} messages", self.msgs.len());
+                    for (i, m) in self.msgs.iter().enumerate() {
+                        out.push_str(&format!("\n{} {}", i + 1, m.contents.len()));
+                    }
+                    out
+                }
+                None => "-ERR not authenticated".to_string(),
+            },
+            "RETR" => {
+                let idx: usize = match parts.next().and_then(|s| s.parse().ok()) {
+                    Some(i) => i,
+                    None => return "-ERR bad index".to_string(),
+                };
+                match self.msgs.get(idx.wrapping_sub(1)) {
+                    Some(m) => format!(
+                        "+OK {} octets\n{}\n.",
+                        m.contents.len(),
+                        String::from_utf8_lossy(&m.contents)
+                    ),
+                    None => "-ERR no such message".to_string(),
+                }
+            }
+            "DELE" => {
+                let idx: usize = match parts.next().and_then(|s| s.parse().ok()) {
+                    Some(i) => i,
+                    None => return "-ERR bad index".to_string(),
+                };
+                match (self.user, self.msgs.get(idx.wrapping_sub(1))) {
+                    (Some(u), Some(m)) => {
+                        self.server.delete(u, &m.id.clone());
+                        "+OK deleted".to_string()
+                    }
+                    _ => "-ERR no such message".to_string(),
+                }
+            }
+            "QUIT" => {
+                if let Some(u) = self.user.take() {
+                    self.server.unlock(u);
+                }
+                "+OK bye".to_string()
+            }
+            _ => "-ERR unrecognized".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{mail_dirs, Mailboat};
+    use goose_rt::fs::NativeFs;
+    use goose_rt::runtime::NativeRt;
+
+    fn server() -> Arc<Mailboat> {
+        let dirs = mail_dirs(4);
+        let dir_refs: Vec<&str> = dirs.iter().map(String::as_str).collect();
+        Arc::new(Mailboat::init(NativeFs::new(&dir_refs), NativeRt::new(), 4).unwrap())
+    }
+
+    #[test]
+    fn smtp_delivery_then_pop3_retrieval() {
+        let s = server();
+        let (mut smtp, greet) = SmtpSession::new(Arc::clone(&s));
+        assert!(greet.starts_with("220"));
+        assert!(smtp.handle_line("HELO test").starts_with("250"));
+        assert!(smtp.handle_line("MAIL FROM:<a@b>").starts_with("250"));
+        assert!(smtp
+            .handle_line("RCPT TO:<user2@example.com>")
+            .starts_with("250"));
+        assert!(smtp.handle_line("DATA").starts_with("354"));
+        assert_eq!(smtp.handle_line("Subject: hi"), "");
+        assert_eq!(smtp.handle_line("body text"), "");
+        assert!(smtp.handle_line(".").starts_with("250"));
+
+        let (mut pop, greet) = Pop3Session::new(Arc::clone(&s));
+        assert!(greet.starts_with("+OK"));
+        assert!(pop.handle_line("USER user2").starts_with("+OK"));
+        assert!(pop.handle_line("LIST").contains("1 messages"));
+        let retr = pop.handle_line("RETR 1");
+        assert!(retr.contains("Subject: hi"), "{retr}");
+        assert!(pop.handle_line("DELE 1").starts_with("+OK"));
+        assert!(pop.handle_line("QUIT").starts_with("+OK"));
+
+        // Mailbox now empty.
+        assert!(s.pickup(2).is_empty());
+        s.unlock(2);
+    }
+
+    #[test]
+    fn smtp_enforces_sequencing() {
+        let s = server();
+        let (mut smtp, _) = SmtpSession::new(s);
+        assert!(smtp.handle_line("MAIL FROM:<a@b>").starts_with("503"));
+        assert!(smtp.handle_line("DATA").starts_with("503"));
+        assert!(smtp.handle_line("NONSENSE").starts_with("500"));
+    }
+
+    #[test]
+    fn smtp_dot_stuffing() {
+        let s = server();
+        let (mut smtp, _) = SmtpSession::new(Arc::clone(&s));
+        smtp.handle_line("HELO t");
+        smtp.handle_line("MAIL FROM:<a@b>");
+        smtp.handle_line("RCPT TO:<user0@x>");
+        smtp.handle_line("DATA");
+        smtp.handle_line("..leading dot");
+        smtp.handle_line(".");
+        let msgs = s.pickup(0);
+        assert_eq!(msgs[0].contents, b".leading dot\n");
+        s.unlock(0);
+    }
+
+    #[test]
+    fn pop3_rejects_unauthenticated() {
+        let s = server();
+        let (mut pop, _) = Pop3Session::new(s);
+        assert!(pop.handle_line("LIST").starts_with("-ERR"));
+        assert!(pop.handle_line("USER nobody").starts_with("-ERR"));
+    }
+
+    #[test]
+    fn parse_user_variants() {
+        assert_eq!(parse_user("user7@example.com"), Some(7));
+        assert_eq!(parse_user("<user12@x>"), Some(12));
+        assert_eq!(parse_user("5"), Some(5));
+        assert_eq!(parse_user("bob@x"), None);
+    }
+}

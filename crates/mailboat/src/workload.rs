@@ -1,0 +1,167 @@
+//! The §9.3 workload generator: a closed loop per core, equal mix of
+//! SMTP deliveries and POP3 pickups (pickup + delete + unlock), each
+//! request choosing one of `users` uniformly at random — run against any
+//! [`MailServer`], measuring total requests per second.
+
+use crate::server::MailServer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workload parameters (defaults mirror §9.3).
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of user mailboxes requests are spread over (paper: 100).
+    pub users: u64,
+    /// Total requests across all cores (fixed as cores vary, per §9.3).
+    pub total_requests: u64,
+    /// Message body size in bytes.
+    pub msg_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            users: 100,
+            total_requests: 20_000,
+            msg_len: 256,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Cores (closed-loop worker threads) used.
+    pub cores: usize,
+    /// Requests completed.
+    pub requests: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl WorkloadResult {
+    /// Throughput in requests per second.
+    pub fn req_per_sec(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs the closed-loop workload on `cores` threads against `server`.
+///
+/// Each worker repeatedly claims one request from the shared budget and
+/// issues either a delivery or a pickup(+delete all+unlock) for a
+/// uniformly random user, exactly the CMAIL experiment §9.3 replicates.
+pub fn run_workload<S: MailServer + 'static>(
+    server: Arc<S>,
+    cores: usize,
+    config: &WorkloadConfig,
+) -> WorkloadResult {
+    let remaining = Arc::new(AtomicU64::new(config.total_requests));
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(cores);
+    for core in 0..cores {
+        let server = Arc::clone(&server);
+        let remaining = Arc::clone(&remaining);
+        let users = config.users;
+        let msg: Vec<u8> = vec![b'x'; config.msg_len];
+        let seed = config.seed ^ ((core as u64) << 32);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            loop {
+                // Claim one request from the shared budget.
+                let prev = remaining.fetch_sub(1, Ordering::Relaxed);
+                if prev == 0 || prev > u64::MAX / 2 {
+                    remaining.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                let user = rng.gen_range(0..users);
+                if rng.gen_bool(0.5) {
+                    server.deliver(user, &msg);
+                } else {
+                    let msgs = server.pickup(user);
+                    for m in &msgs {
+                        server.delete(user, &m.id);
+                    }
+                    server.unlock(user);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("workload worker");
+    }
+    WorkloadResult {
+        cores,
+        requests: config.total_requests,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gomail::{CMailSim, GoMail};
+    use crate::server::{mail_dirs, Mailboat};
+    use goose_rt::fs::{FileSys, NativeFs};
+    use goose_rt::runtime::NativeRt;
+
+    fn small() -> WorkloadConfig {
+        WorkloadConfig {
+            users: 8,
+            total_requests: 400,
+            msg_len: 64,
+            seed: 7,
+        }
+    }
+
+    fn fs(users: u64) -> Arc<NativeFs> {
+        let dirs = mail_dirs(users);
+        let dir_refs: Vec<&str> = dirs.iter().map(String::as_str).collect();
+        NativeFs::new(&dir_refs)
+    }
+
+    #[test]
+    fn workload_runs_on_mailboat() {
+        let cfg = small();
+        let server = Arc::new(Mailboat::init(fs(cfg.users), NativeRt::new(), cfg.users).unwrap());
+        let r = run_workload(server, 4, &cfg);
+        assert_eq!(r.requests, 400);
+        assert!(r.req_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn workload_runs_on_gomail_and_cmail() {
+        let cfg = small();
+        let g = Arc::new(GoMail::init(fs(cfg.users), NativeRt::new(), cfg.users).unwrap());
+        let r = run_workload(g, 2, &cfg);
+        assert_eq!(r.requests, 400);
+        let c = Arc::new(CMailSim::init(fs(cfg.users), NativeRt::new(), cfg.users).unwrap());
+        let r = run_workload(c, 2, &cfg);
+        assert_eq!(r.requests, 400);
+    }
+
+    #[test]
+    fn workload_preserves_mailbox_integrity() {
+        // After the run, every remaining message is complete.
+        let cfg = small();
+        let fsys = fs(cfg.users);
+        let server = Arc::new(
+            Mailboat::init(fsys.clone() as Arc<dyn FileSys>, NativeRt::new(), cfg.users).unwrap(),
+        );
+        let _ = run_workload(Arc::clone(&server), 4, &cfg);
+        for u in 0..cfg.users {
+            for m in server.pickup(u) {
+                assert_eq!(m.contents.len(), cfg.msg_len, "partial message survived");
+            }
+            server.unlock(u);
+        }
+        // The spool drains once all deliveries complete.
+        assert!(fsys.list_path("spool").unwrap().is_empty());
+    }
+}

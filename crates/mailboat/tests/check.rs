@@ -1,0 +1,188 @@
+//! Model-checking Mailboat (§8): concurrency, crash sweeps, the §8.3
+//! undefined-behaviour argument, and mutants.
+
+use mailboat::harness::{MbHarness, MbWorkload};
+use mailboat::proof::MbMutant;
+use perennial_checker::{check, CheckConfig, ExecOutcome};
+
+fn cfg() -> CheckConfig {
+    CheckConfig {
+        dfs_max_executions: 250,
+        random_samples: 10,
+        random_crash_samples: 15,
+        nested_crash_sweep: false,
+        max_steps: 200_000,
+        ..CheckConfig::default()
+    }
+}
+
+fn cfg_no_crash() -> CheckConfig {
+    CheckConfig {
+        dfs_max_executions: 400,
+        random_samples: 20,
+        random_crash_samples: 0,
+        crash_sweep: false,
+        nested_crash_sweep: false,
+        max_steps: 200_000,
+        ..CheckConfig::default()
+    }
+}
+
+#[test]
+fn deliver_vs_pickup_passes() {
+    let report = check(&MbHarness::default(), &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.executions > 100);
+    assert!(report.crashes_injected > 10);
+}
+
+#[test]
+fn two_delivers_same_user_pass() {
+    let h = MbHarness {
+        workload: MbWorkload::TwoDelivers,
+        ..MbHarness::default()
+    };
+    let report = check(&h, &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn two_users_with_pickup_pass() {
+    let h = MbHarness {
+        workload: MbWorkload::TwoUsers,
+        ..MbHarness::default()
+    };
+    let report = check(&h, &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn single_deliver_crash_during_recovery() {
+    // §5.5 idempotence for Mailboat's recovery (spool cleanup).
+    let h = MbHarness {
+        workload: MbWorkload::SingleDeliver,
+        after_round: true,
+        ..MbHarness::default()
+    };
+    let report = check(
+        &h,
+        &CheckConfig {
+            dfs_max_executions: 0,
+            random_samples: 0,
+            random_crash_samples: 0,
+            nested_crash_sweep: true,
+            max_steps: 200_000,
+            ..CheckConfig::default()
+        },
+    );
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn sec8_3_slice_race_is_flagged_as_ub() {
+    // §8.3 "Exploiting undefined behaviour": a caller mutating the
+    // message slice during Deliver is UB; the checker must find the
+    // interleaving and classify it as such (not as a refinement bug).
+    let h = MbHarness {
+        workload: MbWorkload::SliceRace,
+        after_round: false,
+        ..MbHarness::default()
+    };
+    let report = check(&h, &cfg_no_crash());
+    let cx = report.counterexample.expect("slice race must be detected");
+    assert!(
+        matches!(cx.outcome, ExecOutcome::Ub(_)),
+        "expected UB, got {:?}",
+        cx.outcome
+    );
+}
+
+// ---------------------------------------------------------------------
+// Mutants (DESIGN.md §8).
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutant_no_spool_caught() {
+    // Direct writes into the mailbox let a concurrent pickup observe a
+    // partial message (or a crash leave one behind).
+    let h = MbHarness {
+        mutant: MbMutant::NoSpool,
+        ..MbHarness::default()
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("no-spool must be caught");
+    assert!(
+        matches!(
+            cx.outcome,
+            ExecOutcome::Violation(_) | ExecOutcome::Bug(_) | ExecOutcome::FinalCheckFailed(_)
+        ),
+        "unexpected outcome {:?}",
+        cx.outcome
+    );
+}
+
+#[test]
+fn mutant_commit_at_spool_caught() {
+    // Premature linearization: a crash between the spool write and the
+    // link loses a committed message.
+    let h = MbHarness {
+        workload: MbWorkload::SingleDeliver,
+        mutant: MbMutant::CommitAtSpool,
+        ..MbHarness::default()
+    };
+    let report = check(&h, &cfg());
+    let cx = report
+        .counterexample
+        .expect("commit-at-spool must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn mutant_skip_recovery_cleanup_caught() {
+    let h = MbHarness {
+        workload: MbWorkload::SingleDeliver,
+        mutant: MbMutant::SkipRecoveryCleanup,
+        ..MbHarness::default()
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("skip-cleanup must be caught");
+    assert!(
+        matches!(cx.outcome, ExecOutcome::FinalCheckFailed(ref m) if m.contains("spool")),
+        "unexpected outcome {:?}",
+        cx.outcome
+    );
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn mutant_delete_without_lock_caught() {
+    let h = MbHarness {
+        mutant: MbMutant::DeleteWithoutLock,
+        ..MbHarness::default()
+    };
+    let report = check(&h, &cfg_no_crash());
+    let cx = report
+        .counterexample
+        .expect("delete-without-lock must be caught");
+    assert!(
+        matches!(cx.outcome, ExecOutcome::Violation(_) | ExecOutcome::Bug(_)),
+        "unexpected outcome {:?}",
+        cx.outcome
+    );
+}

@@ -1,0 +1,107 @@
+//! Property tests for the Mailboat specification: random well-formed op
+//! sequences replay against a reference mailbox model, and the refine-
+//! ment relation behaves like the paper describes.
+
+use mailboat::spec::{MailOp, MailRet, MailSpec};
+use perennial_spec::system::SeqReplay;
+use perennial_spec::SpecTS;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const USERS: u64 = 3;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Deliver(u64, String),
+    PickupAll(u64),
+    DeleteOldest(u64),
+    Crash,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..USERS, "[a-z]{1,6}").prop_map(|(u, m)| Step::Deliver(u, m)),
+        (0..USERS).prop_map(Step::PickupAll),
+        (0..USERS).prop_map(Step::DeleteOldest),
+        Just(Step::Crash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The spec tracks a reference model under random scripts; message
+    /// IDs are assigned sequentially by the driver (playing the
+    /// implementation's role of choosing fresh names).
+    #[test]
+    fn spec_tracks_reference(script in proptest::collection::vec(arb_step(), 0..40)) {
+        let mut r = SeqReplay::new(MailSpec { users: USERS });
+        let mut reference: BTreeMap<u64, BTreeMap<String, String>> =
+            (0..USERS).map(|u| (u, BTreeMap::new())).collect();
+        let mut next_id = 0u64;
+
+        for step in &script {
+            match step {
+                Step::Deliver(u, m) => {
+                    let id = format!("m{next_id:04}");
+                    next_id += 1;
+                    r.step_op(&MailOp::DeliverAs(*u, m.clone(), id.clone())).unwrap();
+                    reference.get_mut(u).unwrap().insert(id, m.clone());
+                }
+                Step::PickupAll(u) => {
+                    let got = r.step_op(&MailOp::Pickup(*u)).unwrap();
+                    let expect: Vec<(String, String)> = reference[u]
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, MailRet::Msgs(expect));
+                    r.step_op(&MailOp::Unlock(*u)).unwrap();
+                }
+                Step::DeleteOldest(u) => {
+                    if let Some(id) = reference[u].keys().next().cloned() {
+                        r.step_op(&MailOp::Delete(*u, id.clone())).unwrap();
+                        reference.get_mut(u).unwrap().remove(&id);
+                    }
+                }
+                Step::Crash => {
+                    // Mail delivery is durable: the crash transition
+                    // changes nothing.
+                    let before = r.state().clone();
+                    r.step_crash().unwrap();
+                    prop_assert_eq!(r.state(), &before);
+                }
+            }
+        }
+    }
+
+    /// op_refines accepts exactly the id-resolutions of the same
+    /// invocation and nothing else.
+    #[test]
+    fn refinement_relation_is_tight(
+        u1 in 0..USERS, u2 in 0..USERS,
+        m1 in "[a-z]{1,4}", m2 in "[a-z]{1,4}",
+        id in "[a-z0-9]{1,6}"
+    ) {
+        let spec = MailSpec { users: USERS };
+        let invoked = MailOp::Deliver(u1, m1.clone());
+        let committed = MailOp::DeliverAs(u2, m2.clone(), id);
+        let accepted = spec.op_refines(&invoked, &committed);
+        prop_assert_eq!(accepted, u1 == u2 && m1 == m2);
+        // Non-Deliver ops refine only to themselves.
+        let p = MailOp::Pickup(u1);
+        prop_assert!(spec.op_refines(&p, &p.clone()));
+        prop_assert!(!spec.op_refines(&p, &MailOp::Unlock(u1)));
+    }
+
+    /// Duplicate-ID deliveries are disabled (blocked), never UB, and
+    /// never clobber existing mail.
+    #[test]
+    fn duplicate_ids_never_clobber(u in 0..USERS, m1 in "[a-z]{1,4}", m2 in "[a-z]{1,4}") {
+        let mut r = SeqReplay::new(MailSpec { users: USERS });
+        r.step_op(&MailOp::DeliverAs(u, m1.clone(), "dup".into())).unwrap();
+        let second = r.step_op(&MailOp::DeliverAs(u, m2.clone(), "dup".into()));
+        prop_assert!(second.is_err());
+        let got = r.step_op(&MailOp::Pickup(u)).unwrap();
+        prop_assert_eq!(got, MailRet::Msgs(vec![("dup".into(), m1.clone())]));
+    }
+}

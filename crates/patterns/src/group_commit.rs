@@ -1,0 +1,429 @@
+//! The group-commit pattern (§9.1): transactions are buffered in memory
+//! and committed to disk in batches, amortizing the cost of commit at the
+//! price of *losing buffered transactions on crash* — which the
+//! specification says explicitly, via a crash transition that truncates
+//! the un-persisted suffix.
+//!
+//! Disk layout (block size 8):
+//!
+//! ```text
+//! block 0: count of persisted entries
+//! blocks 1..=CAP: one entry per block, in append order
+//! ```
+//!
+//! `append` linearizes immediately (the entry is in the logical log even
+//! though it is volatile); `flush` persists the buffered suffix and then
+//! advances the spec's `persisted` watermark via an *internal* spec
+//! transition adjacent to the count-block write. The crash transition
+//! then truncates precisely the entries beyond the watermark.
+
+use goose_rt::runtime::{GLock, ModelRtExt};
+use parking_lot::{Mutex, RwLock};
+use perennial::{DurId, GhostUnwrap, Lease, LockInv};
+use perennial_checker::{Execution, Harness, ThreadBody, World};
+use perennial_disk::single::{ModelDisk, SingleDisk};
+use perennial_spec::{SpecTS, Transition};
+use std::sync::Arc;
+
+/// Maximum entries the on-disk log holds.
+pub const CAP: u64 = 8;
+
+/// Abstract state of the group-commit log.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GcState {
+    /// The logical log (including buffered entries).
+    pub entries: Vec<u64>,
+    /// How many leading entries are durable.
+    pub persisted: usize,
+}
+
+/// Operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcOp {
+    /// Append an entry (buffered until the next flush).
+    Append(u64),
+    /// Read the whole logical log.
+    ReadAll,
+}
+
+/// Return values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcRet {
+    /// `Append` acknowledgement.
+    Done,
+    /// `ReadAll` result.
+    Entries(Vec<u64>),
+}
+
+/// The group-commit specification.
+#[derive(Debug, Clone, Default)]
+pub struct GcSpec;
+
+impl GcSpec {
+    /// The internal flush transition: everything buffered becomes
+    /// durable.
+    pub fn flush_transition() -> Transition<GcState, ()> {
+        Transition::modify(|s: &GcState| {
+            let mut s = s.clone();
+            s.persisted = s.entries.len();
+            s
+        })
+    }
+}
+
+impl SpecTS for GcSpec {
+    type State = GcState;
+    type Op = GcOp;
+    type Ret = GcRet;
+
+    fn init(&self) -> GcState {
+        GcState::default()
+    }
+
+    fn op_transition(&self, op: &GcOp) -> Transition<GcState, GcRet> {
+        match op.clone() {
+            GcOp::Append(v) => {
+                Transition::gets(|s: &GcState| s.entries.len() as u64).and_then(move |len| {
+                    if len >= CAP {
+                        // Appending past capacity is caller UB.
+                        Transition::undefined()
+                    } else {
+                        Transition::modify(move |s: &GcState| {
+                            let mut s = s.clone();
+                            s.entries.push(v);
+                            s
+                        })
+                        .map(|()| GcRet::Done)
+                    }
+                })
+            }
+            GcOp::ReadAll => Transition::gets(|s: &GcState| GcRet::Entries(s.entries.clone())),
+        }
+    }
+
+    /// The crash transition drops the un-persisted suffix — this is the
+    /// "specifies when transactions can be lost" of §9.1.
+    fn crash_transition(&self) -> Transition<GcState, ()> {
+        Transition::modify(|s: &GcState| {
+            let mut s = s.clone();
+            s.entries.truncate(s.persisted);
+            s
+        })
+    }
+}
+
+/// Deliberate bugs for mutation tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcMutant {
+    /// The correct system.
+    None,
+    /// Write the count block before the entry blocks (a crash in between
+    /// makes recovery read garbage entries as persisted).
+    CountFirst,
+    /// Acknowledge appends as durable: advance the spec watermark at
+    /// append time without writing anything (crash loses acknowledged
+    /// durability).
+    FakeDurability,
+}
+
+/// Ghost bundle protected by the global lock.
+pub struct GcBundle {
+    leases: Vec<Lease<Vec<u8>>>,
+}
+
+/// The instrumented group-commit log.
+pub struct GroupCommitLog {
+    mutant: GcMutant,
+    disk: Arc<ModelDisk>,
+    cells: Vec<DurId<Vec<u8>>>,
+    lockinv: Arc<LockInv<GcBundle>>,
+    lock: RwLock<Option<Arc<dyn GLock>>>,
+    /// Volatile: entries appended since the last flush. Cleared at boot.
+    buffer: Mutex<Vec<u64>>,
+}
+
+fn enc(v: u64) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+fn dec(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("short block"))
+}
+
+impl GroupCommitLog {
+    /// Blocks used by the pattern.
+    pub const NBLOCKS: u64 = CAP + 1;
+
+    /// Sets up ghost resources over a fresh disk.
+    pub fn new(w: &World<GcSpec>, disk: Arc<ModelDisk>, mutant: GcMutant) -> Self {
+        let mut cells = Vec::new();
+        let mut leases = Vec::new();
+        for _ in 0..Self::NBLOCKS {
+            let (c, l) = w.ghost.alloc_durable(vec![0u8; 8]);
+            cells.push(c);
+            leases.push(l);
+        }
+        GroupCommitLog {
+            mutant,
+            disk,
+            cells,
+            lockinv: Arc::new(LockInv::new(GcBundle { leases })),
+            lock: RwLock::new(None),
+            buffer: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Rebuilds volatile state at boot: a fresh lock and an empty buffer
+    /// (buffered transactions are lost — that is the point).
+    pub fn boot(&self, w: &World<GcSpec>) {
+        *self.lock.write() = Some(w.rt.new_glock());
+        self.buffer.lock().clear();
+    }
+
+    fn lock(&self) -> Arc<dyn GLock> {
+        Arc::clone(self.lock.read().as_ref().expect("boot() not called"))
+    }
+
+    /// Appends an entry. Linearizes immediately (at the buffer insert);
+    /// durability comes only from a later flush.
+    pub fn append(&self, w: &World<GcSpec>, v: u64) {
+        let tok = w.ghost.begin_op(GcOp::Append(v)).ghost_unwrap();
+        let lock = self.lock();
+        lock.acquire();
+        // The buffer insert is the linearization point.
+        self.buffer.lock().push(v);
+        let ret = w.ghost.commit_op(&tok).ghost_unwrap();
+        if self.mutant == GcMutant::FakeDurability {
+            // Lie: advance the durable watermark without touching disk.
+            w.ghost
+                .internal_step(&GcSpec::flush_transition())
+                .ghost_unwrap();
+        }
+        lock.release();
+        w.ghost.finish_op(tok, &ret).ghost_unwrap();
+    }
+
+    /// Flushes buffered entries to disk as one batch (the amortization).
+    pub fn flush(&self, w: &World<GcSpec>) {
+        let lock = self.lock();
+        lock.acquire();
+        let mut bundle = self.lockinv.take().ghost_unwrap();
+        let persisted = dec(&self.disk.read(0)) as usize;
+        let buffered: Vec<u64> = self.buffer.lock().clone();
+
+        if self.mutant == GcMutant::CountFirst {
+            let n = persisted + buffered.len();
+            self.disk.write(0, &enc(n as u64));
+            w.ghost
+                .write_durable(self.cells[0], &mut bundle.leases[0], enc(n as u64))
+                .ghost_unwrap();
+            w.ghost
+                .internal_step(&GcSpec::flush_transition())
+                .ghost_unwrap();
+            for (i, v) in buffered.iter().enumerate() {
+                let blk = (persisted + i + 1) as u64;
+                self.disk.write(blk, &enc(*v));
+                w.ghost
+                    .write_durable(
+                        self.cells[blk as usize],
+                        &mut bundle.leases[blk as usize],
+                        enc(*v),
+                    )
+                    .ghost_unwrap();
+            }
+        } else {
+            // Entry blocks first…
+            for (i, v) in buffered.iter().enumerate() {
+                let blk = (persisted + i + 1) as u64;
+                self.disk.write(blk, &enc(*v));
+                w.ghost
+                    .write_durable(
+                        self.cells[blk as usize],
+                        &mut bundle.leases[blk as usize],
+                        enc(*v),
+                    )
+                    .ghost_unwrap();
+            }
+            // …then the count block: the durability point. The internal
+            // spec step advancing the watermark is adjacent.
+            let n = persisted + buffered.len();
+            self.disk.write(0, &enc(n as u64));
+            w.ghost
+                .write_durable(self.cells[0], &mut bundle.leases[0], enc(n as u64))
+                .ghost_unwrap();
+            w.ghost
+                .internal_step(&GcSpec::flush_transition())
+                .ghost_unwrap();
+        }
+
+        self.buffer.lock().clear();
+        self.lockinv.put(bundle).ghost_unwrap();
+        lock.release();
+    }
+
+    /// Reads the whole logical log (durable prefix plus buffer).
+    pub fn read_all(&self, w: &World<GcSpec>) -> Vec<u64> {
+        let tok = w.ghost.begin_op(GcOp::ReadAll).ghost_unwrap();
+        let lock = self.lock();
+        lock.acquire();
+        let bundle = self.lockinv.take().ghost_unwrap();
+        let persisted = dec(&self.disk.read(0)) as usize;
+        let mut out = Vec::new();
+        for i in 0..persisted {
+            out.push(dec(&self.disk.read(i as u64 + 1)));
+        }
+        out.extend(self.buffer.lock().iter().copied());
+        let ret = w.ghost.commit_op(&tok).ghost_unwrap();
+        self.lockinv.put(bundle).ghost_unwrap();
+        lock.release();
+        w.ghost
+            .finish_op(tok, &GcRet::Entries(out.clone()))
+            .ghost_unwrap();
+        match ret {
+            GcRet::Entries(spec) => {
+                debug_assert_eq!(spec, out);
+                out
+            }
+            GcRet::Done => unreachable!("read committed an append transition"),
+        }
+    }
+
+    /// Recovery: the durable prefix is already consistent; re-establish
+    /// leases and spend the crash token (whose spec transition truncates
+    /// the buffered suffix).
+    pub fn recover(&self, w: &World<GcSpec>) {
+        let mut leases = Vec::new();
+        for c in &self.cells {
+            leases.push(w.ghost.recover_lease(*c).ghost_unwrap());
+        }
+        self.lockinv.reset(GcBundle { leases });
+        w.ghost.recovery_done().ghost_unwrap();
+    }
+
+    /// AbsR at quiescence: disk prefix + buffer equals σ's entries, and
+    /// the persisted watermark matches the count block.
+    pub fn abs_check(&self, w: &World<GcSpec>) -> Result<(), String> {
+        let sigma = w.ghost.spec_state();
+        let persisted = dec(&self.disk.peek(0)) as usize;
+        let mut log = Vec::new();
+        for i in 0..persisted {
+            log.push(dec(&self.disk.peek(i as u64 + 1)));
+        }
+        log.extend(self.buffer.lock().iter().copied());
+        if log != sigma.entries {
+            return Err(format!(
+                "AbsR violated: disk+buffer {log:?}, spec {:?}",
+                sigma.entries
+            ));
+        }
+        if persisted > sigma.entries.len() || persisted != sigma.persisted {
+            return Err(format!(
+                "AbsR violated: disk watermark {persisted}, spec watermark {}",
+                sigma.persisted
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Checker harness for group commit.
+pub struct GcHarness {
+    /// Which mutant to run.
+    pub mutant: GcMutant,
+}
+
+impl Default for GcHarness {
+    fn default() -> Self {
+        GcHarness {
+            mutant: GcMutant::None,
+        }
+    }
+}
+
+struct GcExec {
+    sys: Arc<GroupCommitLog>,
+}
+
+impl Execution<GcSpec> for GcExec {
+    fn boot(&mut self, w: &World<GcSpec>) {
+        self.sys.boot(w);
+    }
+
+    fn threads(&mut self, w: &World<GcSpec>) -> Vec<(String, ThreadBody)> {
+        let mut out: Vec<(String, ThreadBody)> = Vec::new();
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        out.push((
+            "appender-a".into(),
+            Box::new(move || {
+                sys.append(&w2, 1);
+                sys.append(&w2, 2);
+            }),
+        ));
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        out.push((
+            "flusher".into(),
+            Box::new(move || {
+                sys.flush(&w2);
+                sys.append(&w2, 3);
+                sys.flush(&w2);
+            }),
+        ));
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        out.push((
+            "reader".into(),
+            Box::new(move || {
+                let _ = sys.read_all(&w2);
+            }),
+        ));
+        out
+    }
+
+    fn crash_reset(&mut self, _w: &World<GcSpec>) {}
+
+    fn recovery(&mut self, w: &World<GcSpec>) -> ThreadBody {
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        Box::new(move || sys.recover(&w2))
+    }
+
+    fn after_recovery(&mut self, w: &World<GcSpec>) -> Vec<(String, ThreadBody)> {
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        vec![(
+            "post-crash".into(),
+            Box::new(move || {
+                // Whatever survived, appending and flushing still works
+                // and reads reflect the spec.
+                let before = sys.read_all(&w2);
+                sys.append(&w2, 9);
+                sys.flush(&w2);
+                let after = sys.read_all(&w2);
+                assert_eq!(after.len(), before.len() + 1);
+                assert_eq!(*after.last().unwrap(), 9);
+            }),
+        )]
+    }
+
+    fn final_check(&self, w: &World<GcSpec>) -> Result<(), String> {
+        self.sys.abs_check(w)
+    }
+}
+
+impl Harness<GcSpec> for GcHarness {
+    fn spec(&self) -> GcSpec {
+        GcSpec
+    }
+
+    fn make(&self, w: &World<GcSpec>) -> Box<dyn Execution<GcSpec>> {
+        let disk = ModelDisk::new(Arc::clone(&w.rt), GroupCommitLog::NBLOCKS, 8);
+        let sys = GroupCommitLog::new(w, disk, self.mutant);
+        Box::new(GcExec { sys: Arc::new(sys) })
+    }
+
+    fn name(&self) -> &str {
+        "group commit"
+    }
+}

@@ -1,0 +1,23 @@
+//! The three crash-safety patterns of §9.1 (Table 3), each verified with
+//! the checker: storage systems broadly use **replication** (see the
+//! `repldisk` crate), **shadow copies**, and **write-ahead logging**
+//! [Gray 1978]; plus the **group commit** optimization with its
+//! weaker crash specification.
+//!
+//! Each pattern module contains the instrumented implementation (the
+//! runtime analog of the paper's per-pattern proof), its checker harness,
+//! and mutants for the mutation tests in `tests/check.rs`.
+
+pub mod group_commit;
+pub mod pair_spec;
+pub mod shadow;
+pub mod synced_log;
+pub mod txn_wal;
+pub mod wal;
+
+pub use group_commit::{GcHarness, GcMutant, GcSpec, GroupCommitLog};
+pub use pair_spec::{PairOp, PairRet, PairSpec};
+pub use shadow::{ShadowHarness, ShadowMutant, ShadowPair};
+pub use synced_log::{SlHarness, SlMutant, SyncedLog};
+pub use txn_wal::{TxnHarness, TxnMutant, TxnWal};
+pub use wal::{WalHarness, WalMutant, WalPair};

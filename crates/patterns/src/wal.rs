@@ -1,0 +1,312 @@
+//! The write-ahead-log pattern (§9.1): atomic update of a pair of disk
+//! blocks via a log, with **recovery helping** for a committed but
+//! unapplied transaction — the paper: "The proof uses recovery helping to
+//! justify completing a committed but unapplied transaction."
+//!
+//! Disk layout (block size 8):
+//!
+//! ```text
+//! block 0: log header — 0 = empty, 1 = committed
+//! blocks 1,2: logged pair
+//! blocks 3,4: main pair (what readers see)
+//! ```
+//!
+//! `put` logs both values, sets the header (making the transaction
+//! durable), applies the log to the main region, and clears the header.
+//! The *logical* update happens when the main region is complete: the
+//! thread commits its spec step adjacently with the header-clear write.
+//! If it crashes after setting the header but before clearing it,
+//! recovery finds the committed transaction, finishes applying it, and
+//! redeems the helping token stashed in the crash invariant to justify
+//! the spec step on the crashed thread's behalf.
+
+use crate::pair_spec::{dec, enc, PairOp, PairRet, PairSpec};
+use goose_rt::runtime::{GLock, ModelRtExt};
+use parking_lot::RwLock;
+use perennial::{DurId, GhostUnwrap, Lease, LockInv};
+use perennial_checker::{Execution, Harness, ThreadBody, World};
+use perennial_disk::single::{ModelDisk, SingleDisk};
+use std::sync::Arc;
+
+/// Helping key for the single in-flight transaction (the global lock
+/// admits one at a time).
+const TXN_KEY: u64 = 0;
+
+/// Deliberate bugs for mutation tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalMutant {
+    /// The correct system.
+    None,
+    /// Recovery ignores a committed-but-unapplied transaction (drops it).
+    SkipRecoveryApply,
+    /// Set the header before writing the log entries (a crash in between
+    /// makes recovery apply garbage).
+    HeaderFirst,
+    /// Never stash the helping token.
+    SkipHelping,
+}
+
+/// Ghost bundle protected by the global lock.
+pub struct WalBundle {
+    leases: Vec<Lease<Vec<u8>>>,
+}
+
+/// The instrumented write-ahead-log pair store.
+pub struct WalPair {
+    mutant: WalMutant,
+    disk: Arc<ModelDisk>,
+    cells: Vec<DurId<Vec<u8>>>,
+    lockinv: Arc<LockInv<WalBundle>>,
+    lock: RwLock<Option<Arc<dyn GLock>>>,
+}
+
+impl WalPair {
+    /// Blocks used by the pattern.
+    pub const NBLOCKS: u64 = 5;
+
+    /// Sets up ghost resources over a fresh 5-block disk.
+    pub fn new(w: &World<PairSpec>, disk: Arc<ModelDisk>, mutant: WalMutant) -> Self {
+        let mut cells = Vec::new();
+        let mut leases = Vec::new();
+        for _ in 0..Self::NBLOCKS {
+            let (c, l) = w.ghost.alloc_durable(vec![0u8; 8]);
+            cells.push(c);
+            leases.push(l);
+        }
+        WalPair {
+            mutant,
+            disk,
+            cells,
+            lockinv: Arc::new(LockInv::new(WalBundle { leases })),
+            lock: RwLock::new(None),
+        }
+    }
+
+    /// Rebuilds the in-memory lock at boot.
+    pub fn boot(&self, w: &World<PairSpec>) {
+        *self.lock.write() = Some(w.rt.new_glock());
+    }
+
+    fn lock(&self) -> Arc<dyn GLock> {
+        Arc::clone(self.lock.read().as_ref().expect("boot() not called"))
+    }
+
+    fn wblk(&self, w: &World<PairSpec>, bundle: &mut WalBundle, block: u64, v: u64) {
+        self.disk.write(block, &enc(v));
+        w.ghost
+            .write_durable(
+                self.cells[block as usize],
+                &mut bundle.leases[block as usize],
+                enc(v),
+            )
+            .ghost_unwrap();
+    }
+
+    /// Atomically replaces the pair via the log.
+    pub fn put(&self, w: &World<PairSpec>, a: u64, b: u64) {
+        let tok = w.ghost.begin_op(PairOp::Put(a, b)).ghost_unwrap();
+        let lock = self.lock();
+        lock.acquire();
+        let mut bundle = self.lockinv.take().ghost_unwrap();
+
+        // Stash j ⇛ Put(a, b): from the header write until the apply
+        // completes, recovery may finish this transaction on our behalf.
+        if self.mutant != WalMutant::SkipHelping {
+            w.ghost.stash_op(&tok, TXN_KEY).ghost_unwrap();
+        }
+
+        if self.mutant == WalMutant::HeaderFirst {
+            self.wblk(w, &mut bundle, 0, 1);
+            self.wblk(w, &mut bundle, 1, a);
+            self.wblk(w, &mut bundle, 2, b);
+        } else {
+            // Log both values, then commit the transaction durably by
+            // setting the header (a single atomic block write).
+            self.wblk(w, &mut bundle, 1, a);
+            self.wblk(w, &mut bundle, 2, b);
+            self.wblk(w, &mut bundle, 0, 1);
+        }
+
+        // Apply the log to the main region.
+        self.wblk(w, &mut bundle, 3, a);
+        self.wblk(w, &mut bundle, 4, b);
+
+        // Clear the header: the apply is complete and the logical update
+        // takes effect — retrieve the helping token and commit adjacently
+        // with this atomic block write.
+        self.disk.write(0, &enc(0));
+        w.ghost
+            .write_durable(self.cells[0], &mut bundle.leases[0], enc(0))
+            .ghost_unwrap();
+        if self.mutant != WalMutant::SkipHelping {
+            w.ghost.unstash_op(&tok, TXN_KEY).ghost_unwrap();
+        }
+        let ret = w.ghost.commit_op(&tok).ghost_unwrap();
+
+        self.lockinv.put(bundle).ghost_unwrap();
+        lock.release();
+        w.ghost.finish_op(tok, &ret).ghost_unwrap();
+    }
+
+    /// Reads the pair from the main region.
+    pub fn get(&self, w: &World<PairSpec>) -> (u64, u64) {
+        let tok = w.ghost.begin_op(PairOp::Get).ghost_unwrap();
+        let lock = self.lock();
+        lock.acquire();
+        let bundle = self.lockinv.take().ghost_unwrap();
+        let a = dec(&self.disk.read(3));
+        let b = dec(&self.disk.read(4));
+        let ret = w.ghost.commit_op(&tok).ghost_unwrap();
+        self.lockinv.put(bundle).ghost_unwrap();
+        lock.release();
+        w.ghost.finish_op(tok, &PairRet::Val(a, b)).ghost_unwrap();
+        match ret {
+            PairRet::Val(x, y) => (x, y),
+            PairRet::Unit => unreachable!("get committed a put transition"),
+        }
+    }
+
+    /// Recovery (§9.1): delete incomplete transactions (header empty —
+    /// nothing to do, the log is garbage) and finish applying committed
+    /// ones, justifying the completion by redeeming the helping token.
+    pub fn recover(&self, w: &World<PairSpec>) {
+        let mut leases = Vec::new();
+        for c in &self.cells {
+            leases.push(w.ghost.recover_lease(*c).ghost_unwrap());
+        }
+        let mut bundle = WalBundle { leases };
+
+        let header = dec(&self.disk.read(0));
+        if header == 1 && self.mutant != WalMutant::SkipRecoveryApply {
+            // Committed but unapplied: finish the apply.
+            let a = dec(&self.disk.read(1));
+            let b = dec(&self.disk.read(2));
+            self.wblk(w, &mut bundle, 3, a);
+            self.wblk(w, &mut bundle, 4, b);
+            // Clear the header; the crashed thread's operation takes
+            // logical effect here — redeem its token (§5.4).
+            self.disk.write(0, &enc(0));
+            w.ghost
+                .write_durable(self.cells[0], &mut bundle.leases[0], enc(0))
+                .ghost_unwrap();
+            let (_jid, ret) = w.ghost.help_commit(TXN_KEY).ghost_unwrap();
+            debug_assert_eq!(ret, PairRet::Unit);
+        } else if w.ghost.has_help(TXN_KEY) {
+            // Incomplete (header empty): the transaction never committed;
+            // the crashed operation never happened.
+            w.ghost.drop_help(TXN_KEY).ghost_unwrap();
+        }
+
+        self.lockinv.reset(bundle);
+        w.ghost.recovery_done().ghost_unwrap();
+    }
+
+    /// AbsR at quiescence: the main region equals σ and no transaction is
+    /// left committed-but-unapplied.
+    pub fn abs_check(&self, w: &World<PairSpec>) -> Result<(), String> {
+        let sigma = w.ghost.spec_state();
+        let pair = (dec(&self.disk.peek(3)), dec(&self.disk.peek(4)));
+        if pair != sigma {
+            return Err(format!(
+                "AbsR violated: main region {pair:?}, spec {sigma:?}"
+            ));
+        }
+        if dec(&self.disk.peek(0)) != 0 {
+            return Err("AbsR violated: header left committed at quiescence".into());
+        }
+        Ok(())
+    }
+}
+
+/// Checker harness for the write-ahead-log pattern.
+pub struct WalHarness {
+    /// Which mutant to run.
+    pub mutant: WalMutant,
+    /// Include a concurrent reader thread.
+    pub with_reader: bool,
+}
+
+impl Default for WalHarness {
+    fn default() -> Self {
+        WalHarness {
+            mutant: WalMutant::None,
+            with_reader: true,
+        }
+    }
+}
+
+struct WalExec {
+    sys: Arc<WalPair>,
+    with_reader: bool,
+}
+
+impl Execution<PairSpec> for WalExec {
+    fn boot(&mut self, w: &World<PairSpec>) {
+        self.sys.boot(w);
+    }
+
+    fn threads(&mut self, w: &World<PairSpec>) -> Vec<(String, ThreadBody)> {
+        let mut out: Vec<(String, ThreadBody)> = Vec::new();
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        out.push(("putter".into(), Box::new(move || sys.put(&w2, 5, 6))));
+        if self.with_reader {
+            let sys = Arc::clone(&self.sys);
+            let w2 = w.clone();
+            out.push((
+                "getter".into(),
+                Box::new(move || {
+                    let (a, b) = sys.get(&w2);
+                    assert!((a, b) == (0, 0) || (a, b) == (5, 6), "torn pair ({a},{b})");
+                }),
+            ));
+        }
+        out
+    }
+
+    fn crash_reset(&mut self, _w: &World<PairSpec>) {}
+
+    fn recovery(&mut self, w: &World<PairSpec>) -> ThreadBody {
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        Box::new(move || sys.recover(&w2))
+    }
+
+    fn after_recovery(&mut self, w: &World<PairSpec>) -> Vec<(String, ThreadBody)> {
+        let sys = Arc::clone(&self.sys);
+        let w2 = w.clone();
+        vec![(
+            "post-crash".into(),
+            Box::new(move || {
+                // Read first: a committed-but-unapplied transaction must
+                // have been completed by recovery and be visible here.
+                let _ = sys.get(&w2);
+                sys.put(&w2, 20, 21);
+                assert_eq!(sys.get(&w2), (20, 21));
+            }),
+        )]
+    }
+
+    fn final_check(&self, w: &World<PairSpec>) -> Result<(), String> {
+        self.sys.abs_check(w)
+    }
+}
+
+impl Harness<PairSpec> for WalHarness {
+    fn spec(&self) -> PairSpec {
+        PairSpec
+    }
+
+    fn make(&self, w: &World<PairSpec>) -> Box<dyn Execution<PairSpec>> {
+        let disk = ModelDisk::new(Arc::clone(&w.rt), WalPair::NBLOCKS, 8);
+        let sys = WalPair::new(w, disk, self.mutant);
+        Box::new(WalExec {
+            sys: Arc::new(sys),
+            with_reader: self.with_reader,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "write-ahead log"
+    }
+}

@@ -1,0 +1,325 @@
+//! Model-checking the three crash-safety patterns (Table 3 of the
+//! paper), with mutation tests for each.
+
+use crash_patterns::group_commit::{GcHarness, GcMutant};
+use crash_patterns::shadow::{ShadowHarness, ShadowMutant};
+use crash_patterns::wal::{WalHarness, WalMutant};
+use perennial_checker::{check, CheckConfig, ExecOutcome};
+
+fn cfg() -> CheckConfig {
+    CheckConfig {
+        dfs_max_executions: 300,
+        random_samples: 10,
+        random_crash_samples: 20,
+        nested_crash_sweep: false,
+        ..CheckConfig::default()
+    }
+}
+
+fn cfg_nested() -> CheckConfig {
+    CheckConfig {
+        dfs_max_executions: 0,
+        random_samples: 0,
+        random_crash_samples: 0,
+        nested_crash_sweep: true,
+        ..CheckConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shadow copy.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shadow_copy_passes() {
+    let report = check(&ShadowHarness::default(), &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.crashes_injected > 10);
+}
+
+#[test]
+fn shadow_copy_crash_during_recovery() {
+    let h = ShadowHarness {
+        with_reader: false,
+        ..ShadowHarness::default()
+    };
+    let report = check(&h, &cfg_nested());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn shadow_mutant_flip_first_caught() {
+    let h = ShadowHarness {
+        mutant: ShadowMutant::FlipFirst,
+        with_reader: false,
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("flip-first must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn shadow_mutant_in_place_caught() {
+    let h = ShadowHarness {
+        mutant: ShadowMutant::InPlace,
+        with_reader: false,
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("in-place must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+// ---------------------------------------------------------------------
+// Write-ahead log.
+// ---------------------------------------------------------------------
+
+#[test]
+fn wal_passes_and_uses_helping() {
+    let report = check(&WalHarness::default(), &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    // The crash sweep must land between the header write and the apply,
+    // forcing recovery to complete a committed-but-unapplied transaction.
+    assert!(
+        report.helped_ops >= 1,
+        "no crash point exercised WAL recovery helping"
+    );
+}
+
+#[test]
+fn wal_crash_during_recovery() {
+    let h = WalHarness {
+        with_reader: false,
+        ..WalHarness::default()
+    };
+    let report = check(&h, &cfg_nested());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn wal_mutant_skip_recovery_apply_caught() {
+    let h = WalHarness {
+        mutant: WalMutant::SkipRecoveryApply,
+        with_reader: false,
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("skip-apply must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn wal_mutant_header_first_caught() {
+    let h = WalHarness {
+        mutant: WalMutant::HeaderFirst,
+        with_reader: false,
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("header-first must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn wal_mutant_skip_helping_caught() {
+    let h = WalHarness {
+        mutant: WalMutant::SkipHelping,
+        with_reader: false,
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("skip-helping must be caught");
+    assert!(
+        matches!(cx.outcome, ExecOutcome::Violation(_)),
+        "expected a ghost violation, got {:?}",
+        cx.outcome
+    );
+}
+
+// ---------------------------------------------------------------------
+// Group commit.
+// ---------------------------------------------------------------------
+
+#[test]
+fn group_commit_passes() {
+    let report = check(&GcHarness::default(), &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.crashes_injected > 10);
+}
+
+#[test]
+fn group_commit_mutant_count_first_caught() {
+    let h = GcHarness {
+        mutant: GcMutant::CountFirst,
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("count-first must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn group_commit_mutant_fake_durability_caught() {
+    let h = GcHarness {
+        mutant: GcMutant::FakeDurability,
+    };
+    let report = check(&h, &cfg());
+    let cx = report
+        .counterexample
+        .expect("fake durability must be caught");
+    assert!(
+        matches!(
+            cx.outcome,
+            ExecOutcome::FinalCheckFailed(_) | ExecOutcome::Violation(_)
+        ),
+        "unexpected outcome {:?}",
+        cx.outcome
+    );
+}
+
+// ---------------------------------------------------------------------
+// Transactional WAL (multi-block extension of the pattern).
+// ---------------------------------------------------------------------
+
+use crash_patterns::txn_wal::{TxnHarness, TxnMutant};
+
+#[test]
+fn txn_wal_passes_and_uses_helping() {
+    let report = check(&TxnHarness::default(), &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(
+        report.helped_ops >= 1,
+        "no crash point exercised txn-WAL recovery helping"
+    );
+}
+
+#[test]
+fn txn_wal_crash_during_recovery() {
+    let h = TxnHarness {
+        with_reader: false,
+        ..TxnHarness::default()
+    };
+    let report = check(&h, &cfg_nested());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn txn_wal_mutant_no_log_caught() {
+    let h = TxnHarness {
+        mutant: TxnMutant::NoLog,
+        with_reader: false,
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("no-log must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn txn_wal_mutant_header_first_caught() {
+    let h = TxnHarness {
+        mutant: TxnMutant::HeaderFirst,
+        with_reader: false,
+    };
+    let report = check(&h, &cfg());
+    report.counterexample.expect("header-first must be caught");
+}
+
+#[test]
+fn txn_wal_mutant_partial_recovery_caught() {
+    let h = TxnHarness {
+        mutant: TxnMutant::PartialRecoveryApply,
+        with_reader: false,
+    };
+    let report = check(&h, &cfg());
+    let cx = report
+        .counterexample
+        .expect("partial recovery apply must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+// ---------------------------------------------------------------------
+// Synced log over the deferred-durability FS (§6.2 future work, built).
+// ---------------------------------------------------------------------
+
+use crash_patterns::synced_log::{SlHarness, SlMutant};
+
+#[test]
+fn synced_log_passes() {
+    let report = check(&SlHarness::default(), &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.crashes_injected > 10);
+}
+
+#[test]
+fn synced_log_crash_during_recovery() {
+    let report = check(&SlHarness::default(), &cfg_nested());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn synced_log_mutant_skip_fsync_caught() {
+    let h = SlHarness {
+        mutant: SlMutant::SkipFsync,
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("skip-fsync must be caught");
+    assert!(
+        matches!(
+            cx.outcome,
+            ExecOutcome::FinalCheckFailed(_) | ExecOutcome::Violation(_)
+        ),
+        "unexpected outcome {:?}",
+        cx.outcome
+    );
+}
+
+#[test]
+fn synced_log_mutant_skip_dir_sync_caught() {
+    let h = SlHarness {
+        mutant: SlMutant::SkipDirSync,
+    };
+    let report = check(&h, &cfg());
+    // Caught either by the durable-image abstraction check (crash-free:
+    // the watermark claims durability the durable image lacks) or by a
+    // post-crash read of the vanished record.
+    let cx = report.counterexample.expect("skip-dir-sync must be caught");
+    assert!(
+        matches!(
+            cx.outcome,
+            ExecOutcome::FinalCheckFailed(_) | ExecOutcome::Violation(_) | ExecOutcome::Bug(_)
+        ),
+        "unexpected outcome {:?}",
+        cx.outcome
+    );
+}

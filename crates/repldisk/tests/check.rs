@@ -1,0 +1,184 @@
+//! Model-checking the replicated disk: the paper's running example,
+//! including the Figure 6 crash-mid-write scenario, disk failover, and
+//! mutants that the checker must reject.
+
+use perennial_checker::{check, CheckConfig, ExecOutcome};
+use repldisk::harness::{RdHarness, RdWorkload};
+use repldisk::proof::RdMutant;
+
+fn cfg() -> CheckConfig {
+    CheckConfig {
+        dfs_max_executions: 400,
+        random_samples: 15,
+        random_crash_samples: 30,
+        nested_crash_sweep: false,
+        ..CheckConfig::default()
+    }
+}
+
+fn cfg_nested() -> CheckConfig {
+    CheckConfig {
+        dfs_max_executions: 0,
+        random_samples: 0,
+        random_crash_samples: 0,
+        nested_crash_sweep: true,
+        ..CheckConfig::default()
+    }
+}
+
+#[test]
+fn fig6_single_write_crash_sweep_uses_helping() {
+    // Figure 6: a crash in the middle of rd_write; recovery completes the
+    // operation via the helping token and the whole sequence refines one
+    // crash step. Sweeping the crash point through the write guarantees
+    // the "between the two disk writes" position is covered.
+    let h = RdHarness {
+        workload: RdWorkload::SingleWrite,
+        ..RdHarness::default()
+    };
+    let report = check(&h, &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    // At least one swept crash point must land between the two disk
+    // writes, forcing a recovery-helping commit.
+    assert!(
+        report.helped_ops >= 1,
+        "no crash point exercised recovery helping (helped={})",
+        report.helped_ops
+    );
+}
+
+#[test]
+fn fig6_crash_during_recovery_is_idempotent() {
+    // §5.5's idempotence obligation: recovery must tolerate crashing and
+    // re-running. Sweep a second crash through every recovery step.
+    let h = RdHarness {
+        workload: RdWorkload::SingleWrite,
+        after_round: false,
+        ..RdHarness::default()
+    };
+    let report = check(&h, &cfg_nested());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.crashes_injected > report.crash_points / 2);
+}
+
+#[test]
+fn mixed_workload_passes_all_passes() {
+    let h = RdHarness::default();
+    let report = check(&h, &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.executions > 100);
+}
+
+#[test]
+fn write_write_race_is_linearizable() {
+    let h = RdHarness {
+        workload: RdWorkload::WriteWrite,
+        ..RdHarness::default()
+    };
+    let report = check(&h, &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn failover_to_second_disk_is_correct() {
+    let h = RdHarness {
+        workload: RdWorkload::Failover,
+        ..RdHarness::default()
+    };
+    let report = check(&h, &cfg());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+// ---------------------------------------------------------------------
+// Mutants (DESIGN.md §8): each must be rejected.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutant_skip_second_write_caught_by_failover() {
+    let h = RdHarness {
+        workload: RdWorkload::Failover,
+        mutant: RdMutant::SkipSecondWrite,
+        ..RdHarness::default()
+    };
+    let report = check(&h, &cfg());
+    let cx = report
+        .counterexample
+        .expect("skip-second-write must be caught");
+    assert!(
+        matches!(
+            cx.outcome,
+            ExecOutcome::Violation(_) | ExecOutcome::FinalCheckFailed(_) | ExecOutcome::Bug(_)
+        ),
+        "unexpected outcome {:?}",
+        cx.outcome
+    );
+}
+
+#[test]
+fn mutant_zeroing_recovery_caught() {
+    // §1: "it would be wrong for recovery to make the disks in sync by
+    // zeroing them both."
+    let h = RdHarness {
+        workload: RdWorkload::SingleWrite,
+        mutant: RdMutant::ZeroingRecovery,
+        ..RdHarness::default()
+    };
+    let report = check(&h, &cfg());
+    let cx = report
+        .counterexample
+        .expect("zeroing recovery must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn mutant_skip_helping_caught() {
+    // Without the stashed token, recovery has no right to complete the
+    // crashed write — the ghost engine rejects the repair.
+    let h = RdHarness {
+        workload: RdWorkload::SingleWrite,
+        mutant: RdMutant::SkipHelping,
+        ..RdHarness::default()
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("skip-helping must be caught");
+    assert!(
+        matches!(cx.outcome, ExecOutcome::Violation(_)),
+        "expected a ghost violation, got {:?}",
+        cx.outcome
+    );
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn mutant_commit_early_caught() {
+    // Premature linearization: committing at the first disk write means a
+    // crash in between loses a committed operation.
+    let h = RdHarness {
+        workload: RdWorkload::SingleWrite,
+        mutant: RdMutant::CommitEarly,
+        ..RdHarness::default()
+    };
+    let report = check(&h, &cfg());
+    let cx = report.counterexample.expect("commit-early must be caught");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}

@@ -1,0 +1,181 @@
+//! Observable histories: invocations, responses, crashes.
+//!
+//! The external behaviour a refinement constrains is the sequence of
+//! invocations and return values of top-level procedures, plus crash
+//! boundaries (§3.1: "the same external I/O"). Histories are produced by
+//! the checker while driving an implementation and consumed by the
+//! linearizability checker and the ghost-trace validator.
+
+use std::fmt::Debug;
+
+/// Identifier of one operation instance — the `j` of the paper's
+/// `j ⇛ op` specification resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Jid(pub u64);
+
+impl std::fmt::Display for Jid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// One observable event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind<Op, Ret> {
+    /// Thread invoked operation `op`.
+    Invoke(Op),
+    /// The operation returned `ret` to its caller.
+    Return(Ret),
+    /// The whole system crashed (all in-flight operations are cut off).
+    Crash,
+    /// Recovery completed; the system accepts new operations.
+    Recovered,
+}
+
+/// An event tagged with the operation instance it belongs to.
+///
+/// `Crash`/`Recovered` events use [`Jid`] `u64::MAX` by convention and the
+/// [`Event::system`] constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event<Op, Ret> {
+    /// Which operation instance this event belongs to.
+    pub jid: Jid,
+    /// What happened.
+    pub kind: EventKind<Op, Ret>,
+}
+
+impl<Op, Ret> Event<Op, Ret> {
+    /// A system-wide event (crash / recovered) not tied to an operation.
+    pub fn system(kind: EventKind<Op, Ret>) -> Self {
+        Event {
+            jid: Jid(u64::MAX),
+            kind,
+        }
+    }
+}
+
+/// An ordered sequence of observable events from one execution.
+#[derive(Debug, Clone)]
+pub struct History<Op, Ret> {
+    events: Vec<Event<Op, Ret>>,
+}
+
+impl<Op, Ret> Default for History<Op, Ret> {
+    fn default() -> Self {
+        History { events: Vec::new() }
+    }
+}
+
+impl<Op: Clone + Debug, Ret: Clone + Debug> History<Op, Ret> {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: Event<Op, Ret>) {
+        self.events.push(ev);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[Event<Op, Ret>] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Operation instances that were invoked but never returned before the
+    /// end of the history (or before the next crash after their
+    /// invocation) — the in-flight set the paper's crash reasoning is
+    /// about.
+    pub fn incomplete(&self) -> Vec<(Jid, Op)> {
+        let mut pending: Vec<(Jid, Op)> = Vec::new();
+        for ev in &self.events {
+            match &ev.kind {
+                EventKind::Invoke(op) => pending.push((ev.jid, op.clone())),
+                EventKind::Return(_) => pending.retain(|(j, _)| *j != ev.jid),
+                EventKind::Crash => { /* in-flight ops stay pending; they were cut off */ }
+                EventKind::Recovered => {}
+            }
+        }
+        pending
+    }
+
+    /// Completed operations as `(jid, op, ret)` triples, in return order.
+    pub fn completed(&self) -> Vec<(Jid, Op, Ret)> {
+        let mut invoked: Vec<(Jid, Op)> = Vec::new();
+        let mut done = Vec::new();
+        for ev in &self.events {
+            match &ev.kind {
+                EventKind::Invoke(op) => invoked.push((ev.jid, op.clone())),
+                EventKind::Return(ret) => {
+                    if let Some(pos) = invoked.iter().position(|(j, _)| *j == ev.jid) {
+                        let (j, op) = invoked.remove(pos);
+                        done.push((j, op, ret.clone()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        done
+    }
+
+    /// Number of crash events.
+    pub fn crash_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Crash))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type H = History<&'static str, u64>;
+
+    fn ev(j: u64, kind: EventKind<&'static str, u64>) -> Event<&'static str, u64> {
+        Event { jid: Jid(j), kind }
+    }
+
+    #[test]
+    fn completed_pairs_invoke_and_return() {
+        let mut h = H::new();
+        h.push(ev(1, EventKind::Invoke("read")));
+        h.push(ev(2, EventKind::Invoke("write")));
+        h.push(ev(2, EventKind::Return(0)));
+        h.push(ev(1, EventKind::Return(7)));
+        let done = h.completed();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0], (Jid(2), "write", 0));
+        assert_eq!(done[1], (Jid(1), "read", 7));
+        assert!(h.incomplete().is_empty());
+    }
+
+    #[test]
+    fn incomplete_tracks_inflight_across_crash() {
+        let mut h = H::new();
+        h.push(ev(1, EventKind::Invoke("write")));
+        h.push(Event::system(EventKind::Crash));
+        h.push(Event::system(EventKind::Recovered));
+        assert_eq!(h.incomplete(), vec![(Jid(1), "write")]);
+        assert_eq!(h.crash_count(), 1);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = H::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert!(h.completed().is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the transition DSL: monad laws and
+//! partiality propagation hold for arbitrary state contents.
+
+use perennial_spec::{Outcome, Transition};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+type S = BTreeMap<u64, u64>;
+
+fn arb_state() -> impl Strategy<Value = S> {
+    proptest::collection::btree_map(0u64..16, 0u64..100, 0..8)
+}
+
+proptest! {
+    // Left identity: ret(v).and_then(f) == f(v).
+    #[test]
+    fn monad_left_identity(s in arb_state(), v in 0u64..100, k in 0u64..16) {
+        let f = move |x: u64| -> Transition<S, u64> {
+            Transition::gets(move |st: &S| st.get(&k).copied().unwrap_or(0) + x)
+        };
+        let lhs = Transition::<S, u64>::ret(v).and_then(f);
+        let rhs = f(v);
+        prop_assert_eq!(lhs.run(&s), rhs.run(&s));
+    }
+
+    // Right identity: t.and_then(ret) == t.
+    #[test]
+    fn monad_right_identity(s in arb_state(), k in 0u64..16) {
+        let t: Transition<S, u64> = Transition::gets(move |st: &S| st.get(&k).copied().unwrap_or(7));
+        let lhs = t.clone().and_then(Transition::ret);
+        prop_assert_eq!(lhs.run(&s), t.run(&s));
+    }
+
+    // Associativity: (t >>= f) >>= g == t >>= (|x| f(x) >>= g).
+    #[test]
+    fn monad_associativity(s in arb_state(), k in 0u64..16, d in 1u64..5) {
+        let t: Transition<S, u64> = Transition::gets(move |st: &S| st.len() as u64 + k);
+        let f = move |x: u64| -> Transition<S, u64> { Transition::ret(x + d) };
+        let g = move |x: u64| -> Transition<S, u64> {
+            Transition::modify(move |st: &S| {
+                let mut st = st.clone();
+                st.insert(x % 16, x);
+                st
+            })
+            .map(move |()| x * 2)
+        };
+        let lhs = t.clone().and_then(f).and_then(g);
+        let rhs = t.and_then(move |x| f(x).and_then(g));
+        prop_assert_eq!(lhs.run(&s), rhs.run(&s));
+    }
+
+    // gets never mutates the state.
+    #[test]
+    fn gets_is_pure(s in arb_state(), k in 0u64..16) {
+        let t: Transition<S, Option<u64>> = Transition::gets(move |st: &S| st.get(&k).copied());
+        match t.run(&s) {
+            Outcome::Ok(s2, _) => prop_assert_eq!(s2, s),
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
+    // Undefined is absorbing on both sides of bind.
+    #[test]
+    fn undefined_absorbs(s in arb_state()) {
+        let left: Transition<S, u64> =
+            Transition::<S, u64>::undefined().and_then(Transition::ret);
+        prop_assert_eq!(left.run(&s), Outcome::Undefined);
+        let right: Transition<S, u64> =
+            Transition::<S, u64>::ret(1).and_then(|_| Transition::undefined());
+        prop_assert_eq!(right.run(&s), Outcome::Undefined);
+    }
+
+    // modify composes like function composition.
+    #[test]
+    fn modify_composes(s in arb_state(), a in 0u64..16, v1 in 0u64..100, v2 in 0u64..100) {
+        let w = |a: u64, v: u64| -> Transition<S, ()> {
+            Transition::modify(move |st: &S| {
+                let mut st = st.clone();
+                st.insert(a, v);
+                st
+            })
+        };
+        let seq = w(a, v1).and_then(move |()| w(a, v2));
+        let (s2, ()) = seq.run(&s).unwrap();
+        prop_assert_eq!(s2.get(&a).copied(), Some(v2));
+    }
+}

@@ -1,0 +1,181 @@
+//! Crash hunt: demonstrate that the checker has teeth by running every
+//! deliberately broken variant in the repository and printing how each
+//! one is caught — which exploration pass, which crash point, which
+//! capability rule.
+//!
+//! Run with: `cargo run --example crash_hunt`
+
+use crash_patterns::group_commit::{GcHarness, GcMutant};
+use crash_patterns::shadow::{ShadowHarness, ShadowMutant};
+use crash_patterns::synced_log::{SlHarness, SlMutant};
+use crash_patterns::txn_wal::{TxnHarness, TxnMutant};
+use crash_patterns::wal::{WalHarness, WalMutant};
+use mailboat::harness::{MbHarness, MbWorkload};
+use mailboat::proof::MbMutant;
+use perennial_checker::{check, CheckConfig, CheckReport};
+use perennial_kv::{KvHarness, KvMutant, KvWorkload};
+use repldisk::harness::{RdHarness, RdWorkload};
+use repldisk::proof::RdMutant;
+
+fn show(name: &str, report: CheckReport) {
+    match report.counterexample {
+        Some(cx) => println!(
+            "  CAUGHT {name}\n         pass={} crash_points={:?}\n         {:?}",
+            cx.pass, cx.crash_points, cx.outcome
+        ),
+        None => println!("  MISSED {name} — this should not happen"),
+    }
+}
+
+fn main() {
+    let cfg = CheckConfig {
+        dfs_max_executions: 300,
+        random_samples: 10,
+        random_crash_samples: 25,
+        nested_crash_sweep: false,
+        max_steps: 200_000,
+        ..CheckConfig::default()
+    };
+
+    println!("Replicated disk mutants:");
+    for (name, mutant, workload) in [
+        (
+            "skip second disk write",
+            RdMutant::SkipSecondWrite,
+            RdWorkload::Failover,
+        ),
+        (
+            "zeroing recovery (§1)",
+            RdMutant::ZeroingRecovery,
+            RdWorkload::SingleWrite,
+        ),
+        (
+            "no helping token",
+            RdMutant::SkipHelping,
+            RdWorkload::SingleWrite,
+        ),
+        (
+            "commit at first write",
+            RdMutant::CommitEarly,
+            RdWorkload::SingleWrite,
+        ),
+    ] {
+        let h = RdHarness {
+            mutant,
+            workload,
+            ..RdHarness::default()
+        };
+        show(name, check(&h, &cfg));
+    }
+
+    println!("\nShadow-copy mutants:");
+    for (name, mutant) in [
+        ("flip install pointer first", ShadowMutant::FlipFirst),
+        ("update in place", ShadowMutant::InPlace),
+    ] {
+        let h = ShadowHarness {
+            mutant,
+            with_reader: false,
+        };
+        show(name, check(&h, &cfg));
+    }
+
+    println!("\nWrite-ahead-log mutants:");
+    for (name, mutant) in [
+        ("recovery skips committed txn", WalMutant::SkipRecoveryApply),
+        ("header before log entries", WalMutant::HeaderFirst),
+        ("no helping token", WalMutant::SkipHelping),
+    ] {
+        let h = WalHarness {
+            mutant,
+            with_reader: false,
+        };
+        show(name, check(&h, &cfg));
+    }
+
+    println!("\nGroup-commit mutants:");
+    for (name, mutant) in [
+        ("count block before entries", GcMutant::CountFirst),
+        ("fake durability ack", GcMutant::FakeDurability),
+    ] {
+        let h = GcHarness { mutant };
+        show(name, check(&h, &cfg));
+    }
+
+    println!("\nTransactional-WAL mutants:");
+    for (name, mutant) in [
+        ("no log at all", TxnMutant::NoLog),
+        ("header before entries", TxnMutant::HeaderFirst),
+        ("partial recovery apply", TxnMutant::PartialRecoveryApply),
+    ] {
+        let h = TxnHarness {
+            mutant,
+            with_reader: false,
+        };
+        show(name, check(&h, &cfg));
+    }
+
+    println!("\nSynced-log (deferred durability) mutants:");
+    for (name, mutant) in [
+        ("skip fsync", SlMutant::SkipFsync),
+        ("skip dir sync", SlMutant::SkipDirSync),
+    ] {
+        show(name, check(&SlHarness { mutant }, &cfg));
+    }
+
+    println!("\nNode-KV mutants:");
+    for (name, mutant, workload) in [
+        (
+            "in-place bucket update",
+            KvMutant::InPlace,
+            KvWorkload::SinglePut,
+        ),
+        (
+            "flip pointer first",
+            KvMutant::FlipFirst,
+            KvWorkload::SinglePut,
+        ),
+        ("no bucket lock", KvMutant::NoLock, KvWorkload::SameBucket),
+    ] {
+        let h = KvHarness {
+            mutant,
+            workload,
+            ..KvHarness::default()
+        };
+        show(name, check(&h, &cfg));
+    }
+
+    println!("\nMailboat mutants:");
+    for (name, mutant, workload) in [
+        (
+            "deliver without spool",
+            MbMutant::NoSpool,
+            MbWorkload::DeliverVsPickup,
+        ),
+        (
+            "commit at spool write",
+            MbMutant::CommitAtSpool,
+            MbWorkload::SingleDeliver,
+        ),
+        (
+            "recovery skips spool cleanup",
+            MbMutant::SkipRecoveryCleanup,
+            MbWorkload::SingleDeliver,
+        ),
+        (
+            "delete without pickup lock",
+            MbMutant::DeleteWithoutLock,
+            MbWorkload::DeliverVsPickup,
+        ),
+    ] {
+        let h = MbHarness {
+            mutant,
+            workload,
+            ..MbHarness::default()
+        };
+        show(name, check(&h, &cfg));
+    }
+
+    println!("\nEvery mutant above must read CAUGHT; the matching assertions run");
+    println!("in CI as the mutation tests (DESIGN.md §8).");
+}

@@ -1,0 +1,108 @@
+//! Deep verification runs: larger exploration budgets than the default
+//! CI tests. Ignored by default; run with
+//!
+//! ```console
+//! cargo test --release --test deep_check -- --ignored --nocapture
+//! ```
+
+use crash_patterns::txn_wal::TxnHarness;
+use crash_patterns::wal::WalHarness;
+use mailboat::harness::{MbHarness, MbWorkload};
+use perennial_checker::{check, CheckConfig};
+use perennial_kv::{KvHarness, KvWorkload};
+use repldisk::harness::{RdHarness, RdWorkload};
+
+fn deep() -> CheckConfig {
+    CheckConfig {
+        dfs_max_executions: 5_000,
+        random_samples: 200,
+        random_crash_samples: 300,
+        crash_sweep: true,
+        nested_crash_sweep: true,
+        max_steps: 500_000,
+        ..CheckConfig::default()
+    }
+}
+
+#[test]
+#[ignore = "deep exploration; run explicitly with --ignored"]
+fn deep_replicated_disk_mixed() {
+    let report = check(&RdHarness::default(), &deep());
+    eprintln!("{}", report.summary());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.executions > 1_000);
+}
+
+#[test]
+#[ignore = "deep exploration; run explicitly with --ignored"]
+fn deep_repldisk_failover() {
+    let h = RdHarness {
+        workload: RdWorkload::Failover,
+        ..RdHarness::default()
+    };
+    let report = check(&h, &deep());
+    eprintln!("{}", report.summary());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+#[ignore = "deep exploration; run explicitly with --ignored"]
+fn deep_wal_and_txn_wal() {
+    let report = check(&WalHarness::default(), &deep());
+    eprintln!("{}", report.summary());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.helped_ops > 0);
+
+    let report = check(&TxnHarness::default(), &deep());
+    eprintln!("{}", report.summary());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.helped_ops > 0);
+}
+
+#[test]
+#[ignore = "deep exploration; run explicitly with --ignored"]
+fn deep_mailboat_two_users() {
+    let h = MbHarness {
+        workload: MbWorkload::TwoUsers,
+        ..MbHarness::default()
+    };
+    let report = check(&h, &deep());
+    eprintln!("{}", report.summary());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+#[ignore = "deep exploration; run explicitly with --ignored"]
+fn deep_kv_same_bucket() {
+    let h = KvHarness {
+        workload: KvWorkload::SameBucket,
+        ..KvHarness::default()
+    };
+    let report = check(&h, &deep());
+    eprintln!("{}", report.summary());
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+}

@@ -1,0 +1,116 @@
+//! Workspace integration: every verified system through the full
+//! checking pipeline, at a budget between the per-crate quick tests and
+//! the harness binary's full runs.
+
+use crash_patterns::group_commit::GcHarness;
+use crash_patterns::shadow::ShadowHarness;
+use crash_patterns::wal::WalHarness;
+use mailboat::harness::MbHarness;
+use perennial_checker::{check, CheckConfig};
+use perennial_kv::KvHarness;
+use repldisk::harness::{RdHarness, RdWorkload};
+
+fn cfg() -> CheckConfig {
+    CheckConfig {
+        dfs_max_executions: 400,
+        random_samples: 20,
+        random_crash_samples: 30,
+        nested_crash_sweep: false,
+        max_steps: 200_000,
+        ..CheckConfig::default()
+    }
+}
+
+#[test]
+fn all_verified_systems_pass() {
+    let mut summaries = Vec::new();
+
+    let r = check(&RdHarness::default(), &cfg());
+    assert!(r.passed(), "replicated disk: {:?}", r.counterexample);
+    summaries.push(r.summary());
+
+    let r = check(&ShadowHarness::default(), &cfg());
+    assert!(r.passed(), "shadow copy: {:?}", r.counterexample);
+    summaries.push(r.summary());
+
+    let r = check(&WalHarness::default(), &cfg());
+    assert!(r.passed(), "WAL: {:?}", r.counterexample);
+    summaries.push(r.summary());
+
+    let r = check(&GcHarness::default(), &cfg());
+    assert!(r.passed(), "group commit: {:?}", r.counterexample);
+    summaries.push(r.summary());
+
+    let r = check(&MbHarness::default(), &cfg());
+    assert!(r.passed(), "mailboat: {:?}", r.counterexample);
+    summaries.push(r.summary());
+
+    let r = check(&KvHarness::default(), &cfg());
+    assert!(r.passed(), "node KV: {:?}", r.counterexample);
+    summaries.push(r.summary());
+
+    for s in &summaries {
+        eprintln!("{s}");
+    }
+}
+
+#[test]
+fn helping_systems_actually_help_under_crash_sweep() {
+    // The two systems whose proofs rely on recovery helping must
+    // exercise it when a crash is swept through their write paths.
+    let r = check(
+        &RdHarness {
+            workload: RdWorkload::SingleWrite,
+            ..RdHarness::default()
+        },
+        &cfg(),
+    );
+    assert!(r.passed());
+    assert!(r.helped_ops > 0, "replicated disk: helping never fired");
+
+    let r = check(&WalHarness::default(), &cfg());
+    assert!(r.passed());
+    assert!(r.helped_ops > 0, "WAL: helping never fired");
+
+    // The two that don't use helping must never fire it.
+    let r = check(&ShadowHarness::default(), &cfg());
+    assert!(r.passed());
+    assert_eq!(r.helped_ops, 0, "shadow copy must not need helping");
+
+    let r = check(&GcHarness::default(), &cfg());
+    assert!(r.passed());
+    assert_eq!(r.helped_ops, 0, "group commit must not need helping");
+}
+
+#[test]
+fn deeper_nested_crash_sweep_on_two_systems() {
+    // Crash-during-recovery (the idempotence obligation), at integration
+    // depth for the two helping-based systems.
+    let nested = CheckConfig {
+        dfs_max_executions: 0,
+        random_samples: 0,
+        random_crash_samples: 0,
+        crash_sweep: true,
+        nested_crash_sweep: true,
+        max_steps: 200_000,
+        ..CheckConfig::default()
+    };
+    let r = check(
+        &RdHarness {
+            workload: RdWorkload::SingleWrite,
+            after_round: false,
+            ..RdHarness::default()
+        },
+        &nested,
+    );
+    assert!(r.passed(), "replicated disk nested: {:?}", r.counterexample);
+
+    let r = check(
+        &WalHarness {
+            with_reader: false,
+            ..WalHarness::default()
+        },
+        &nested,
+    );
+    assert!(r.passed(), "WAL nested: {:?}", r.counterexample);
+}
