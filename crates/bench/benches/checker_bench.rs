@@ -36,13 +36,12 @@ fn one_execution(c: &mut Criterion) {
 }
 
 fn sweep_passes(c: &mut Criterion) {
-    let quick = CheckConfig {
-        dfs_max_executions: 50,
-        random_samples: 5,
-        random_crash_samples: 5,
-        nested_crash_sweep: false,
-        ..CheckConfig::default()
-    };
+    let quick = CheckConfig::builder()
+        .dfs_max_executions(50)
+        .random_samples(5)
+        .random_crash_samples(5)
+        .nested_crash_sweep(false)
+        .build();
     c.bench_function("checker/sweep_shadow", |b| {
         let h = ShadowHarness {
             with_reader: false,

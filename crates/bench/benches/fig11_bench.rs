@@ -18,11 +18,7 @@ fn fresh_fs() -> Arc<NativeFs> {
     NativeFs::new(&dir_refs)
 }
 
-fn bench_server<S: MailServer + 'static>(
-    c: &mut Criterion,
-    name: &str,
-    make: impl Fn() -> Arc<S>,
-) {
+fn bench_server<S: MailServer + 'static>(c: &mut Criterion, name: &str, make: impl Fn() -> Arc<S>) {
     // Separate server instances per benchmark: the deliver benchmark
     // floods mailboxes with criterion's many iterations, which would
     // make a shared pickup benchmark read thousands of messages.

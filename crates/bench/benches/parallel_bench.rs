@@ -1,0 +1,43 @@
+//! Parallel vs sequential explorer throughput (the tentpole
+//! measurement): the same scenario and config, one worker vs a full
+//! pool. The determinism contract guarantees both sides do identical
+//! work, so the time difference is pure scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perennial_checker::CheckConfig;
+
+fn base_cfg() -> CheckConfig {
+    CheckConfig::builder()
+        .dfs_max_executions(100)
+        .random_samples(20)
+        .random_crash_samples(40)
+        .crash_sweep(true)
+        .nested_crash_sweep(false)
+        .max_steps(200_000)
+        .build()
+}
+
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let registry = crash_patterns::scenarios();
+    let scenario = registry.get("patterns/wal").expect("registered");
+    let pool = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut seq = base_cfg();
+    seq.workers = 1;
+    c.bench_function("check/patterns-wal/workers=1", |b| {
+        b.iter(|| scenario.run(&seq))
+    });
+
+    let mut par = base_cfg();
+    par.workers = pool;
+    c.bench_function(&format!("check/patterns-wal/workers={pool}"), |b| {
+        b.iter(|| scenario.run(&par))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_vs_sequential
+}
+criterion_main!(benches);

@@ -62,36 +62,24 @@ impl Pass {
     }
 
     fn config(&self) -> CheckConfig {
-        let base = CheckConfig {
-            dfs_max_executions: 0,
-            random_samples: 0,
-            random_crash_samples: 0,
-            crash_sweep: false,
-            nested_crash_sweep: false,
-            max_steps: 200_000,
-            ..CheckConfig::default()
-        };
+        let base = CheckConfig::builder()
+            .dfs_max_executions(0)
+            .random_samples(0)
+            .random_crash_samples(0)
+            .crash_sweep(false)
+            .nested_crash_sweep(false)
+            .max_steps(200_000);
         match self {
-            Pass::DfsOnly => CheckConfig {
-                dfs_max_executions: 300,
-                ..base
-            },
-            Pass::RandomOnly => CheckConfig {
-                random_samples: 40,
-                ..base
-            },
-            Pass::CrashSweepOnly => CheckConfig {
-                crash_sweep: true,
-                ..base
-            },
-            Pass::Full => CheckConfig {
-                dfs_max_executions: 300,
-                random_samples: 15,
-                random_crash_samples: 25,
-                crash_sweep: true,
-                max_steps: 200_000,
-                ..CheckConfig::default()
-            },
+            Pass::DfsOnly => base.dfs_max_executions(300).build(),
+            Pass::RandomOnly => base.random_samples(40).build(),
+            Pass::CrashSweepOnly => base.crash_sweep(true).build(),
+            Pass::Full => CheckConfig::builder()
+                .dfs_max_executions(300)
+                .random_samples(15)
+                .random_crash_samples(25)
+                .crash_sweep(true)
+                .max_steps(200_000)
+                .build(),
         }
     }
 }

@@ -17,14 +17,13 @@ use perennial_bench::tables::{
 use perennial_checker::CheckConfig;
 
 fn pattern_check_config() -> CheckConfig {
-    CheckConfig {
-        dfs_max_executions: 300,
-        random_samples: 10,
-        random_crash_samples: 20,
-        nested_crash_sweep: false,
-        max_steps: 200_000,
-        ..CheckConfig::default()
-    }
+    CheckConfig::builder()
+        .dfs_max_executions(300)
+        .random_samples(10)
+        .random_crash_samples(20)
+        .nested_crash_sweep(false)
+        .max_steps(200_000)
+        .build()
 }
 
 fn main() {

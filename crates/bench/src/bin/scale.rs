@@ -1,0 +1,55 @@
+//! Parallel-explorer scaling driver.
+//!
+//! Usage: `cargo run --release -p perennial-bench --bin scale -- \
+//!           [scenario-name] [worker counts…]`
+//!
+//! Defaults to `patterns/wal` over pool sizes 1 2 4 8. The acceptance
+//! target on an 8-core machine is ≥3x execs/sec at 8 workers vs 1.
+
+use perennial_bench::scale::{render_scale, run_scale};
+use perennial_checker::{CheckConfig, ScenarioSet};
+
+fn registry() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    set.extend(perennial_kv::scenarios());
+    set.extend(repldisk::harness::scenarios());
+    set.extend(mailboat::scenarios());
+    set.extend(crash_patterns::scenarios());
+    set
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "patterns/wal".to_string());
+    let mut counts: Vec<usize> = args.filter_map(|a| a.parse().ok()).collect();
+    if counts.is_empty() {
+        counts = vec![1, 2, 4, 8];
+    }
+
+    let registry = registry();
+    let Some(scenario) = registry.get(&name) else {
+        eprintln!("unknown scenario {name:?}; registered names:");
+        for n in registry.names() {
+            eprintln!("  {n}");
+        }
+        std::process::exit(2);
+    };
+
+    // A deliberately heavy config: the nested crash sweep gives the pool
+    // thousands of independent executions to chew on.
+    let cfg = CheckConfig::builder()
+        .dfs_max_executions(500)
+        .random_samples(100)
+        .random_crash_samples(200)
+        .crash_sweep(true)
+        .nested_crash_sweep(true)
+        .max_steps(200_000)
+        .build();
+
+    println!(
+        "(host reports {} available cores)\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let rows = run_scale(scenario, &cfg, &counts);
+    print!("{}", render_scale(scenario.name(), &rows));
+}

@@ -242,8 +242,7 @@ pub fn calibrate_cmail(m: &CostModel) -> u64 {
     // Average GoMail request cost (50/50 mix), spread over the average
     // burn invocations per request.
     let gm_avg = (m.gm_deliver + m.gm_pickup) / 2;
-    let extra_ns =
-        (gm_avg as f64 * (CMAIL_TARGET_RATIO - 1.0) / CMAIL_BURNS_PER_REQUEST) as u64;
+    let extra_ns = (gm_avg as f64 * (CMAIL_TARGET_RATIO - 1.0) / CMAIL_BURNS_PER_REQUEST) as u64;
     (extra_ns * 1000 / m.burn_per_kiter.max(1)).max(1)
 }
 
@@ -396,8 +395,7 @@ pub fn run_fig11(cfg: &Fig11Config) -> Fig11Report {
     let gm = Arc::new(GoMail::init(fresh_fs(cfg.users), NativeRt::new(), cfg.users).unwrap());
     let gm_1 = measure_1core(gm, cfg);
     let gm_req_ns = (1e9 / gm_1) as u64;
-    let extra_ns =
-        (gm_req_ns as f64 * (CMAIL_TARGET_RATIO - 1.0) / CMAIL_BURNS_PER_REQUEST) as u64;
+    let extra_ns = (gm_req_ns as f64 * (CMAIL_TARGET_RATIO - 1.0) / CMAIL_BURNS_PER_REQUEST) as u64;
     let cmail_iters = (extra_ns * 1000 / m.burn_per_kiter.max(1)).max(1);
     let mut cm = CMailSim::init(fresh_fs(cfg.users), NativeRt::new(), cfg.users).unwrap();
     cm.overhead_iters = cmail_iters;

@@ -18,5 +18,6 @@
 pub mod ablation;
 pub mod fig11;
 pub mod loc;
+pub mod scale;
 pub mod sim;
 pub mod tables;

@@ -1,0 +1,96 @@
+//! Parallel-explorer scaling measurement: run the same scenario at
+//! several pool sizes and report throughput and speedup over one worker.
+//!
+//! The determinism contract means every row explores the *same* set of
+//! executions, so the comparison is pure wall-clock — see
+//! `cargo run --release -p perennial-bench --bin scale`.
+
+use perennial_checker::{CheckConfig, Scenario};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One pool size's measurement.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    pub workers: usize,
+    pub executions: usize,
+    pub wall_time: Duration,
+    pub execs_per_sec: f64,
+    /// Throughput relative to the 1-worker row.
+    pub speedup: f64,
+}
+
+/// Runs `scenario` once per pool size in `worker_counts` (the base
+/// config's own `workers` field is overridden per row).
+pub fn run_scale(
+    scenario: &Scenario,
+    base: &CheckConfig,
+    worker_counts: &[usize],
+) -> Vec<ScaleRow> {
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    let mut baseline: Option<f64> = None;
+    for &workers in worker_counts {
+        let mut cfg = base.clone();
+        cfg.workers = workers.max(1);
+        let report = scenario.run(&cfg);
+        let per_sec = report.execs_per_sec;
+        let base_rate = *baseline.get_or_insert(per_sec);
+        rows.push(ScaleRow {
+            workers: cfg.workers,
+            executions: report.executions,
+            wall_time: report.wall_time,
+            execs_per_sec: per_sec,
+            speedup: per_sec / base_rate.max(1e-9),
+        });
+    }
+    rows
+}
+
+/// Renders the scaling table.
+pub fn render_scale(name: &str, rows: &[ScaleRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Explorer scaling: {name}");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>14} {:>9}",
+        "workers", "executions", "wall time", "execs/sec", "speedup"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>11.2}s {:>14.0} {:>8.2}x",
+            r.workers,
+            r.executions,
+            r.wall_time.as_secs_f64(),
+            r.execs_per_sec,
+            r.speedup
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perennial_checker::CheckConfig;
+
+    #[test]
+    fn scale_rows_share_the_execution_count() {
+        let registry = crash_patterns::scenarios();
+        let scenario = registry.get("patterns/wal").expect("registered");
+        let cfg = CheckConfig::builder()
+            .dfs_max_executions(50)
+            .random_samples(5)
+            .random_crash_samples(5)
+            .nested_crash_sweep(false)
+            .build();
+        let rows = run_scale(scenario, &cfg, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        // Determinism contract: both pool sizes explore the same set.
+        assert_eq!(rows[0].executions, rows[1].executions);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+        let table = render_scale("patterns/wal", &rows);
+        assert!(table.contains("workers"));
+        assert!(table.contains("speedup"));
+    }
+}

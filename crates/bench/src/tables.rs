@@ -3,7 +3,7 @@
 
 use crate::fig11::Fig11Report;
 use crate::loc::LocRow;
-use perennial_checker::{check, CheckConfig, CheckReport};
+use perennial_checker::{CheckConfig, CheckReport, ScenarioSet};
 
 /// Renders a LoC comparison table.
 pub fn render_loc_table(title: &str, rows: &[LocRow]) -> String {
@@ -71,17 +71,32 @@ pub fn render_table1() -> String {
     out
 }
 
+/// The scenarios Table 3's dynamic half runs: the default workload of
+/// each system, pulled from the per-crate registries.
+pub fn pattern_scenarios() -> ScenarioSet {
+    let mut all = ScenarioSet::new();
+    all.extend(repldisk::harness::scenarios());
+    all.extend(crash_patterns::scenarios());
+    all.extend(mailboat::scenarios());
+    all.extend(perennial_kv::scenarios());
+    let mut set = ScenarioSet::new();
+    for name in [
+        "repldisk/mixed",
+        "patterns/shadow",
+        "patterns/wal",
+        "patterns/group-commit",
+        "mailboat/deliver-vs-pickup",
+        "kv/cross-bucket",
+    ] {
+        set.register(all.get(name).expect("registered scenario").clone());
+    }
+    set
+}
+
 /// Table 3's dynamic half: check every crash-safety pattern and report
 /// the exploration statistics next to the LoC counts.
 pub fn run_pattern_checks(config: &CheckConfig) -> Vec<CheckReport> {
-    vec![
-        check(&repldisk::harness::RdHarness::default(), config),
-        check(&crash_patterns::shadow::ShadowHarness::default(), config),
-        check(&crash_patterns::wal::WalHarness::default(), config),
-        check(&crash_patterns::group_commit::GcHarness::default(), config),
-        check(&mailboat::harness::MbHarness::default(), config),
-        check(&perennial_kv::KvHarness::default(), config),
-    ]
+    pattern_scenarios().run_all(config)
 }
 
 /// Renders the pattern-check statistics.

@@ -7,18 +7,50 @@
 //! systematic sweep of crash points including crashes during recovery —
 //! and requires the ghost discipline (Theorem 2's obligations) to hold on
 //! every one.
+//!
+//! # Parallel exploration and the determinism contract
+//!
+//! Every explored execution is independent (fresh [`ModelRt`] + ghost
+//! state per run), so the explorer dispatches them across a worker pool
+//! ([`CheckConfig::workers`]). Determinism is preserved by construction:
+//!
+//! - Every execution has a canonical **job key** `(pass_rank, index)`
+//!   assigned before it runs, independent of worker count or timing.
+//!   Pass ranks: dfs=0, random=1, crash-sweep-base=2, crash-sweep=3,
+//!   nested-crash-sweep=4, random-crash-probe=5, random-crash=6.
+//! - Each execution's model seed is `hash(base_seed, pass_rank, index)`
+//!   (see [`exec_seed`]), never a shared mutable RNG.
+//! - The reported counterexample is the failure with the **minimum job
+//!   key**, not the first one found on the wall clock. A job is skipped
+//!   only when a failure with a *smaller* key is already known, which
+//!   cannot hide the minimum-key failure — so `workers = 8` reports the
+//!   same [`Counterexample`] as `workers = 1` for the same config.
+//! - Report statistics count exactly the executions with keys up to the
+//!   winning counterexample's key (all of them, if no failure), so
+//!   `executions`/`total_steps`/... are reproducible too.
+//!
+//! With [`CheckConfig::keep_going`] set, nothing is cancelled and every
+//! failure is collected into [`CheckReport::counterexamples`], sorted by
+//! canonical key.
 
 use crate::harness::{Harness, World};
 use goose_rt::sched::{ModelRt, PanicKind, StepResult, Tid};
+use parking_lot::Mutex;
 use perennial::{Ghost, GhostError};
 use perennial_spec::SpecTS;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Explorer configuration.
+///
+/// Construct with [`CheckConfig::builder`] (preferred), or start from
+/// [`CheckConfig::default`] / [`CheckConfig::quick`] and override fields.
 #[derive(Debug, Clone)]
 pub struct CheckConfig {
-    /// Base seed for deterministic randomness (model RNG and random
-    /// schedules).
+    /// Base seed for deterministic randomness. Per-execution seeds are
+    /// derived from it as `hash(seed, pass_rank, index)`.
     pub seed: u64,
     /// Per-execution step bound (livelock backstop).
     pub max_steps: u64,
@@ -32,6 +64,12 @@ pub struct CheckConfig {
     pub nested_crash_sweep: bool,
     /// Random schedules to sample *with* a random crash point each.
     pub random_crash_samples: usize,
+    /// Worker threads for the exploration pool; `0` means use
+    /// `std::thread::available_parallelism()`.
+    pub workers: usize,
+    /// Keep exploring after a failure and collect every counterexample
+    /// (instead of cancelling outstanding work).
+    pub keep_going: bool,
 }
 
 impl Default for CheckConfig {
@@ -44,6 +82,8 @@ impl Default for CheckConfig {
             crash_sweep: true,
             nested_crash_sweep: true,
             random_crash_samples: 100,
+            workers: 0,
+            keep_going: false,
         }
     }
 }
@@ -58,6 +98,88 @@ impl CheckConfig {
             nested_crash_sweep: false,
             ..CheckConfig::default()
         }
+    }
+
+    /// Starts a builder preloaded with the defaults.
+    pub fn builder() -> CheckConfigBuilder {
+        CheckConfigBuilder {
+            config: CheckConfig::default(),
+        }
+    }
+
+    /// The worker count this config resolves to at run time.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Fluent constructor for [`CheckConfig`]:
+///
+/// ```
+/// use perennial_checker::CheckConfig;
+/// let cfg = CheckConfig::builder().seed(7).workers(8).crash_sweep(true).build();
+/// assert_eq!(cfg.seed, 7);
+/// assert_eq!(cfg.workers, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckConfigBuilder {
+    config: CheckConfig,
+}
+
+impl CheckConfigBuilder {
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.config.max_steps = max_steps;
+        self
+    }
+
+    pub fn dfs_max_executions(mut self, n: usize) -> Self {
+        self.config.dfs_max_executions = n;
+        self
+    }
+
+    pub fn random_samples(mut self, n: usize) -> Self {
+        self.config.random_samples = n;
+        self
+    }
+
+    pub fn crash_sweep(mut self, on: bool) -> Self {
+        self.config.crash_sweep = on;
+        self
+    }
+
+    pub fn nested_crash_sweep(mut self, on: bool) -> Self {
+        self.config.nested_crash_sweep = on;
+        self
+    }
+
+    pub fn random_crash_samples(mut self, n: usize) -> Self {
+        self.config.random_crash_samples = n;
+        self
+    }
+
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    pub fn keep_going(mut self, on: bool) -> Self {
+        self.config.keep_going = on;
+        self
+    }
+
+    pub fn build(self) -> CheckConfig {
+        self.config
     }
 }
 
@@ -93,12 +215,49 @@ pub struct Counterexample {
     pub outcome: ExecOutcome,
     /// Which exploration pass produced it.
     pub pass: &'static str,
-    /// The schedule prefix (choice indices) that reproduces it.
+    /// Canonical index of the failing execution within its pass; the
+    /// pair (pass, index) totally orders counterexamples and is how the
+    /// parallel explorer picks the one to report.
+    pub index: u64,
+    /// The derived per-execution seed (model randomness; also the
+    /// schedule seed for random passes). [`replay`] feeds it back in.
+    pub seed: u64,
+    /// The schedule prefix (choice indices) that reproduces it — DFS
+    /// passes only; empty for round-robin and random passes.
     pub schedule_prefix: Vec<usize>,
-    /// Injected crash points (absolute grant counts).
+    /// Injected crash points. Unit: **absolute grant counts** from the
+    /// start of the execution (crash k fires before the (k+1)-th grant);
+    /// an injected crash itself consumes one count, so nested points
+    /// land inside recovery.
     pub crash_points: Vec<u64>,
+    /// Decision depths at which the DFS prefix asked for a choice index
+    /// out of range and was clamped to the last runnable thread —
+    /// non-empty means the prefix came from a differently-shaped run.
+    pub clamped: Vec<usize>,
     /// Rendered ghost trace at failure.
     pub trace: String,
+}
+
+impl Counterexample {
+    /// The canonical ordering key `(pass_rank, index)`.
+    pub fn key(&self) -> (u8, u64) {
+        (pass_rank(self.pass), self.index)
+    }
+}
+
+/// Canonical rank of an exploration pass (the major sort key for
+/// counterexample selection).
+pub fn pass_rank(pass: &str) -> u8 {
+    match pass {
+        "dfs" => 0,
+        "random" => 1,
+        "crash-sweep-base" => 2,
+        "crash-sweep" => 3,
+        "nested-crash-sweep" => 4,
+        "random-crash-probe" => 5,
+        "random-crash" => 6,
+        _ => u8::MAX,
+    }
 }
 
 /// Aggregate result of checking one scenario.
@@ -106,7 +265,8 @@ pub struct Counterexample {
 pub struct CheckReport {
     /// Scenario name.
     pub name: String,
-    /// Executions explored.
+    /// Executions explored (counted up to the winning counterexample's
+    /// canonical key, so the number is worker-count independent).
     pub executions: usize,
     /// Total scheduled steps across executions.
     pub total_steps: u64,
@@ -116,8 +276,17 @@ pub struct CheckReport {
     pub crash_points: usize,
     /// Operations helped by recovery across executions.
     pub helped_ops: u64,
-    /// First counterexample found, if any.
+    /// Wall-clock time the check took.
+    pub wall_time: Duration,
+    /// Worker threads the pool actually used.
+    pub workers: usize,
+    /// Executions per wall-clock second.
+    pub execs_per_sec: f64,
+    /// The canonical (minimum-key) counterexample, if any.
     pub counterexample: Option<Counterexample>,
+    /// All counterexamples found, sorted by canonical key. Without
+    /// [`CheckConfig::keep_going`] this holds at most the canonical one.
+    pub counterexamples: Vec<Counterexample>,
 }
 
 impl CheckReport {
@@ -129,13 +298,16 @@ impl CheckReport {
     /// One-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "{}: {} executions, {} steps, {} crashes over {} crash points, {} helped ops — {}",
+            "{}: {} executions, {} steps, {} crashes over {} crash points, {} helped ops, \
+             {:.0} execs/s on {} workers — {}",
             self.name,
             self.executions,
             self.total_steps,
             self.crashes_injected,
             self.crash_points,
             self.helped_ops,
+            self.execs_per_sec,
+            self.workers,
             if self.passed() { "PASS" } else { "FAIL" }
         )
     }
@@ -156,6 +328,8 @@ struct ScheduleState {
     policy: Policy,
     /// (choice index, number of runnable options) per decision.
     decisions: Vec<(usize, usize)>,
+    /// Decision depths where a DFS prefix index was out of range.
+    clamped: Vec<usize>,
     rr_next: usize,
     rng: u64,
 }
@@ -169,6 +343,7 @@ impl ScheduleState {
         ScheduleState {
             policy,
             decisions: Vec::new(),
+            clamped: Vec::new(),
             rr_next: 0,
             rng,
         }
@@ -176,10 +351,16 @@ impl ScheduleState {
 
     fn choose(&mut self, runnable: &[Tid]) -> Tid {
         let n = runnable.len();
+        let d = self.decisions.len();
         let idx = match &self.policy {
             Policy::DfsPrefix(prefix) => {
-                let d = self.decisions.len();
                 if d < prefix.len() {
+                    if prefix[d] >= n {
+                        // Out-of-range prefix entry: the prefix came from
+                        // a run that had more runnable threads here.
+                        // Record the clamp so reports can surface it.
+                        self.clamped.push(d);
+                    }
                     prefix[d].min(n - 1)
                 } else {
                     0
@@ -214,6 +395,7 @@ enum Phase {
 struct RunResult {
     outcome: ExecOutcome,
     decisions: Vec<(usize, usize)>,
+    clamped: Vec<usize>,
     steps: u64,
     crashes: usize,
     helped: u64,
@@ -256,6 +438,7 @@ fn run_one<S: SpecTS, H: Harness<S>>(
                   ghost: &Arc<Ghost<S>>| RunResult {
         outcome,
         decisions: sched.decisions.clone(),
+        clamped: sched.clamped.clone(),
         steps,
         crashes,
         helped: 0,
@@ -340,178 +523,445 @@ fn run_one<S: SpecTS, H: Harness<S>>(
     r
 }
 
-/// Advances a DFS prefix to the next unexplored schedule; `None` when the
-/// tree is exhausted.
-fn next_prefix(decisions: &[(usize, usize)]) -> Option<Vec<usize>> {
-    let mut prefix: Vec<usize> = decisions.iter().map(|(i, _)| *i).collect();
-    loop {
-        let last = prefix.len().checked_sub(1)?;
-        let (_, n) = decisions[last];
-        if prefix[last] + 1 < n {
-            prefix[last] += 1;
-            return Some(prefix);
+// ---------------------------------------------------------------------
+// Parallel exploration machinery
+// ---------------------------------------------------------------------
+
+/// Canonical job key: (pass rank, index within the pass).
+type JobKey = (u8, u64);
+
+/// Derives the per-execution seed: `hash(base_seed, pass_rank, index)`.
+/// Every execution's randomness is a pure function of these three, which
+/// is what makes parallel and sequential runs indistinguishable.
+fn exec_seed(base: u64, rank: u8, index: u64) -> u64 {
+    splitmix(splitmix(base ^ (rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ index)
+}
+
+enum JobKind {
+    /// One `run_one` execution.
+    Single,
+    /// A random-crash pair: probe the schedule crash-free to find its
+    /// horizon, then rerun it with one derived crash point. The crash
+    /// run reports under pass "random-crash" with the same index.
+    ProbeThenCrash,
+}
+
+enum PolicySpec {
+    Dfs(Vec<usize>),
+    RoundRobin,
+    Random,
+}
+
+struct Job {
+    key: JobKey,
+    pass: &'static str,
+    policy: PolicySpec,
+    crash_points: Vec<u64>,
+    /// Distinct crash points this job sweeps (for the report counter).
+    swept: usize,
+    kind: JobKind,
+}
+
+struct JobOutcome {
+    key: JobKey,
+    steps: u64,
+    crashes: usize,
+    helped: u64,
+    swept: usize,
+    /// Full decision path — kept for DFS jobs only (tree expansion).
+    decisions: Vec<(usize, usize)>,
+    cx: Option<Counterexample>,
+}
+
+/// Shared cancellation state: the minimum-key counterexample found so
+/// far, plus a cheap "anything failed yet?" flag.
+struct Cancel {
+    keep_going: bool,
+    stop: AtomicBool,
+    best: Mutex<Option<JobKey>>,
+}
+
+impl Cancel {
+    fn new(keep_going: bool) -> Self {
+        Cancel {
+            keep_going,
+            stop: AtomicBool::new(false),
+            best: Mutex::new(None),
         }
-        prefix.pop();
-        if prefix.is_empty() {
-            return None;
+    }
+
+    /// Whether a job with this key still needs to run. Skipping only
+    /// jobs whose key is *greater* than a known failure's key preserves
+    /// determinism: the minimum-key failure can never be skipped, so the
+    /// reported counterexample is independent of worker timing.
+    fn should_run(&self, key: JobKey) -> bool {
+        if self.keep_going || !self.stop.load(Ordering::Relaxed) {
+            return true;
+        }
+        match *self.best.lock() {
+            Some(best) => key < best,
+            None => true,
+        }
+    }
+
+    fn offer(&self, key: JobKey) {
+        let mut best = self.best.lock();
+        if best.is_none_or(|b| key < b) {
+            *best = Some(key);
+        }
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn any_failure(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Whether the exploration should stop scheduling further phases:
+    /// a failure has been found and the config asked for early exit.
+    fn cancelled(&self) -> bool {
+        !self.keep_going && self.any_failure()
+    }
+}
+
+fn make_counterexample(
+    r: &RunResult,
+    pass: &'static str,
+    index: u64,
+    seed: u64,
+    schedule_prefix: Vec<usize>,
+    crash_points: Vec<u64>,
+) -> Counterexample {
+    Counterexample {
+        outcome: r.outcome.clone(),
+        pass,
+        index,
+        seed,
+        schedule_prefix,
+        crash_points,
+        clamped: r.clamped.clone(),
+        trace: r.trace.clone(),
+    }
+}
+
+/// Runs one job (one or two executions) and produces its outcomes.
+fn execute_job<S: SpecTS, H: Harness<S>>(
+    harness: &H,
+    config: &CheckConfig,
+    cancel: &Cancel,
+    job: &Job,
+) -> Vec<JobOutcome> {
+    if !cancel.should_run(job.key) {
+        return Vec::new();
+    }
+    let (rank, index) = job.key;
+    let seed = exec_seed(config.seed, rank, index);
+    let policy = match &job.policy {
+        PolicySpec::Dfs(prefix) => Policy::DfsPrefix(prefix.clone()),
+        PolicySpec::RoundRobin => Policy::RoundRobin,
+        PolicySpec::Random => Policy::Random(seed),
+    };
+    let keep_decisions = matches!(job.policy, PolicySpec::Dfs(_));
+    let r = run_one(harness, policy, &job.crash_points, seed, config.max_steps);
+
+    let mut out = JobOutcome {
+        key: job.key,
+        steps: r.steps,
+        crashes: r.crashes,
+        helped: r.helped,
+        swept: job.swept,
+        decisions: if keep_decisions {
+            r.decisions.clone()
+        } else {
+            Vec::new()
+        },
+        cx: None,
+    };
+    if r.outcome.is_failure() {
+        let prefix = match &job.policy {
+            PolicySpec::Dfs(p) => p.clone(),
+            _ => Vec::new(),
+        };
+        out.cx = Some(make_counterexample(
+            &r,
+            job.pass,
+            index,
+            seed,
+            prefix,
+            job.crash_points.clone(),
+        ));
+        cancel.offer(job.key);
+        return vec![out];
+    }
+
+    match job.kind {
+        JobKind::Single => vec![out],
+        JobKind::ProbeThenCrash => {
+            // The probe succeeded: rerun the same schedule with one
+            // crash point derived from the probe's horizon. The crash
+            // run reuses the probe's seed so the schedule replays.
+            let crash_key = (pass_rank("random-crash"), index);
+            if !cancel.should_run(crash_key) {
+                return vec![out];
+            }
+            let horizon = r.steps.max(1);
+            let k = splitmix(seed) % horizon;
+            let r2 = run_one(harness, Policy::Random(seed), &[k], seed, config.max_steps);
+            let mut out2 = JobOutcome {
+                key: crash_key,
+                steps: r2.steps,
+                crashes: r2.crashes,
+                helped: r2.helped,
+                swept: 1,
+                decisions: Vec::new(),
+                cx: None,
+            };
+            if r2.outcome.is_failure() {
+                out2.cx = Some(make_counterexample(
+                    &r2,
+                    "random-crash",
+                    index,
+                    seed,
+                    Vec::new(),
+                    vec![k],
+                ));
+                cancel.offer(crash_key);
+            }
+            vec![out, out2]
         }
     }
 }
 
-/// Runs all configured exploration passes over a scenario.
-pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> CheckReport {
-    let mut report = CheckReport {
-        name: harness.name().to_string(),
-        ..CheckReport::default()
-    };
+/// Runs a batch of jobs across the worker pool (inline when a single
+/// worker suffices) and returns their outcomes in job order.
+fn run_wave<S: SpecTS, H: Harness<S>>(
+    harness: &H,
+    config: &CheckConfig,
+    cancel: &Cancel,
+    workers: usize,
+    jobs: &[Job],
+) -> Vec<JobOutcome> {
+    let workers = workers.min(jobs.len()).max(1);
+    if workers == 1 {
+        return jobs
+            .iter()
+            .flat_map(|job| execute_job(harness, config, cancel, job))
+            .collect();
+    }
 
-    let record = |r: RunResult,
-                  pass: &'static str,
-                  prefix: Vec<usize>,
-                  crash_points: Vec<u64>,
-                  report: &mut CheckReport| {
-        report.executions += 1;
-        report.total_steps += r.steps;
-        report.crashes_injected += r.crashes;
-        report.helped_ops += r.helped;
-        if r.outcome.is_failure() && report.counterexample.is_none() {
-            report.counterexample = Some(Counterexample {
-                outcome: r.outcome.clone(),
-                pass,
-                schedule_prefix: prefix,
-                crash_points,
-                trace: r.trace.clone(),
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Vec<JobOutcome>>> =
+        (0..jobs.len()).map(|_| Mutex::new(Vec::new())).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let outs = execute_job(harness, config, cancel, &jobs[i]);
+                *slots[i].lock() = outs;
             });
         }
-        r.outcome.is_failure()
-    };
+    });
+    slots
+        .into_iter()
+        .flat_map(|slot| slot.into_inner())
+        .collect()
+}
 
-    // Pass 1: DFS over crash-free schedules.
+/// Lex-ordered wave size for DFS frontier expansion. Fixed (not derived
+/// from the worker count) so the explored set is identical for every
+/// pool size.
+const DFS_WAVE: usize = 64;
+
+/// Runs all configured exploration passes over a scenario, dispatching
+/// executions across [`CheckConfig::workers`] threads. See the module
+/// docs for the determinism contract.
+pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> CheckReport {
+    let start = Instant::now();
+    let workers = config.effective_workers();
+    let cancel = Cancel::new(config.keep_going);
+    let mut outcomes: Vec<JobOutcome> = Vec::new();
+
+    // Pass 0 (rank 0): DFS over crash-free schedules, explored as waves
+    // of the lexicographically smallest pending prefixes. Running a
+    // prefix p reveals its decision path; every sibling choice at depths
+    // >= |p| becomes a new pending prefix (depths < |p| were already
+    // enqueued by p's ancestors), so each schedule is enumerated exactly
+    // once, in an order independent of worker count.
     if config.dfs_max_executions > 0 {
-        let mut prefix: Vec<usize> = Vec::new();
-        for _ in 0..config.dfs_max_executions {
-            let r = run_one(
-                harness,
-                Policy::DfsPrefix(prefix.clone()),
-                &[],
-                config.seed,
-                config.max_steps,
-            );
-            let decisions = r.decisions.clone();
-            if record(r, "dfs", prefix.clone(), vec![], &mut report) {
-                return report;
+        let mut pending: BTreeSet<Vec<usize>> = BTreeSet::new();
+        pending.insert(Vec::new());
+        let mut budget = config.dfs_max_executions;
+        let mut dfs_index: u64 = 0;
+        while budget > 0 && !pending.is_empty() {
+            if !config.keep_going && cancel.any_failure() {
+                break;
             }
-            match next_prefix(&decisions) {
-                Some(p) => prefix = p,
-                None => break,
+            let wave: Vec<Vec<usize>> =
+                pending.iter().take(DFS_WAVE.min(budget)).cloned().collect();
+            for p in &wave {
+                pending.remove(p);
             }
-        }
-    }
-
-    // Pass 2: random crash-free schedules.
-    for i in 0..config.random_samples {
-        let s = config.seed ^ (0x5151_0000 + i as u64);
-        let r = run_one(
-            harness,
-            Policy::Random(s),
-            &[],
-            config.seed,
-            config.max_steps,
-        );
-        if record(r, "random", vec![s as usize], vec![], &mut report) {
-            return report;
-        }
-    }
-
-    // Pass 3: systematic crash sweep on the round-robin schedule.
-    if config.crash_sweep {
-        // Discover the crash-free length first.
-        let base = run_one(
-            harness,
-            Policy::RoundRobin,
-            &[],
-            config.seed,
-            config.max_steps,
-        );
-        let horizon = base.steps;
-        if record(base, "crash-sweep-base", vec![], vec![], &mut report) {
-            return report;
-        }
-        for k in 0..horizon {
-            report.crash_points += 1;
-            let r = run_one(
-                harness,
-                Policy::RoundRobin,
-                &[k],
-                config.seed,
-                config.max_steps,
-            );
-            let steps_after_crash = r.steps.saturating_sub(k + 1);
-            if record(r, "crash-sweep", vec![], vec![k], &mut report) {
-                return report;
-            }
-            // Nested: crash during the recovery that followed the crash
-            // at k, at every recovery step.
-            if config.nested_crash_sweep {
-                for m in 0..steps_after_crash {
-                    report.crash_points += 1;
-                    let second = k + 1 + m;
-                    let r2 = run_one(
-                        harness,
-                        Policy::RoundRobin,
-                        &[k, second],
-                        config.seed,
-                        config.max_steps,
-                    );
-                    if record(
-                        r2,
-                        "nested-crash-sweep",
-                        vec![],
-                        vec![k, second],
-                        &mut report,
-                    ) {
-                        return report;
+            budget -= wave.len();
+            let jobs: Vec<Job> = wave
+                .into_iter()
+                .map(|prefix| {
+                    let job = Job {
+                        key: (pass_rank("dfs"), dfs_index),
+                        pass: "dfs",
+                        policy: PolicySpec::Dfs(prefix),
+                        crash_points: Vec::new(),
+                        swept: 0,
+                        kind: JobKind::Single,
+                    };
+                    dfs_index += 1;
+                    job
+                })
+                .collect();
+            let outs = run_wave(harness, config, &cancel, workers, &jobs);
+            for out in &outs {
+                let prefix = match &jobs[(out.key.1 - jobs[0].key.1) as usize].policy {
+                    PolicySpec::Dfs(p) => p,
+                    _ => unreachable!("DFS wave contains only DFS jobs"),
+                };
+                for d in prefix.len()..out.decisions.len() {
+                    let (choice, n) = out.decisions[d];
+                    for c in choice + 1..n {
+                        let mut q: Vec<usize> =
+                            out.decisions[..d].iter().map(|(i, _)| *i).collect();
+                        q.push(c);
+                        pending.insert(q);
                     }
                 }
             }
+            outcomes.extend(outs);
         }
     }
 
-    // Pass 4: random schedules with a random crash point each.
-    for i in 0..config.random_crash_samples {
-        let s = config.seed ^ (0xc4a5_0000 + i as u64);
-        // Probe the schedule's length crash-free, then pick a point.
-        let probe = run_one(
-            harness,
-            Policy::Random(s),
-            &[],
-            config.seed,
-            config.max_steps,
-        );
-        let horizon = probe.steps.max(1);
-        if record(
-            probe,
-            "random-crash-probe",
-            vec![s as usize],
-            vec![],
-            &mut report,
-        ) {
-            return report;
-        }
-        let k = splitmix(s) % horizon;
-        report.crash_points += 1;
-        let r = run_one(
-            harness,
-            Policy::Random(s),
-            &[k],
-            config.seed,
-            config.max_steps,
-        );
-        if record(r, "random-crash", vec![s as usize], vec![k], &mut report) {
-            return report;
+    // Pass 1 (rank 1): random crash-free schedules.
+    if !cancel.cancelled() {
+        let jobs: Vec<Job> = (0..config.random_samples as u64)
+            .map(|i| Job {
+                key: (pass_rank("random"), i),
+                pass: "random",
+                policy: PolicySpec::Random,
+                crash_points: Vec::new(),
+                swept: 0,
+                kind: JobKind::Single,
+            })
+            .collect();
+        outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+    }
+
+    // Passes 2-4: systematic crash sweep on the round-robin schedule.
+    if config.crash_sweep && !cancel.cancelled() {
+        // Rank 2: discover the crash-free horizon first.
+        let base_jobs = vec![Job {
+            key: (pass_rank("crash-sweep-base"), 0),
+            pass: "crash-sweep-base",
+            policy: PolicySpec::RoundRobin,
+            crash_points: Vec::new(),
+            swept: 0,
+            kind: JobKind::Single,
+        }];
+        let base = run_wave(harness, config, &cancel, workers, &base_jobs);
+        let horizon = base.first().map_or(0, |o| o.steps);
+        outcomes.extend(base);
+
+        // Rank 3: one crash at every grant count up to the horizon.
+        if !cancel.cancelled() {
+            let jobs: Vec<Job> = (0..horizon)
+                .map(|k| Job {
+                    key: (pass_rank("crash-sweep"), k),
+                    pass: "crash-sweep",
+                    policy: PolicySpec::RoundRobin,
+                    crash_points: vec![k],
+                    swept: 1,
+                    kind: JobKind::Single,
+                })
+                .collect();
+            let sweep = run_wave(harness, config, &cancel, workers, &jobs);
+
+            // Rank 4: a second crash inside each recovery, generated in
+            // deterministic (k, m) order from the sweep's step counts.
+            if config.nested_crash_sweep && !cancel.cancelled() {
+                let mut nested: Vec<Job> = Vec::new();
+                let mut index: u64 = 0;
+                for out in &sweep {
+                    let k = out.key.1;
+                    let after = out.steps.saturating_sub(k + 1);
+                    for m in 0..after {
+                        nested.push(Job {
+                            key: (pass_rank("nested-crash-sweep"), index),
+                            pass: "nested-crash-sweep",
+                            policy: PolicySpec::RoundRobin,
+                            crash_points: vec![k, k + 1 + m],
+                            swept: 1,
+                            kind: JobKind::Single,
+                        });
+                        index += 1;
+                    }
+                }
+                outcomes.extend(sweep);
+                outcomes.extend(run_wave(harness, config, &cancel, workers, &nested));
+            } else {
+                outcomes.extend(sweep);
+            }
         }
     }
 
+    // Passes 5-6: random schedules with a random crash point each (probe
+    // + crash run are one job; the crash run reuses the probe's seed).
+    if !cancel.cancelled() {
+        let jobs: Vec<Job> = (0..config.random_crash_samples as u64)
+            .map(|i| Job {
+                key: (pass_rank("random-crash-probe"), i),
+                pass: "random-crash-probe",
+                policy: PolicySpec::Random,
+                crash_points: Vec::new(),
+                swept: 0,
+                kind: JobKind::ProbeThenCrash,
+            })
+            .collect();
+        outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+    }
+
+    // Aggregate. Without keep_going, statistics and counterexamples are
+    // restricted to jobs at or below the winning key — exactly the set a
+    // canonical-order sequential run would have executed — which makes
+    // the whole report worker-count independent.
+    let mut counterexamples: Vec<Counterexample> =
+        outcomes.iter().filter_map(|o| o.cx.clone()).collect();
+    counterexamples.sort_by_key(|cx| cx.key());
+    let cutoff = if config.keep_going {
+        None
+    } else {
+        counterexamples.first().map(|cx| cx.key())
+    };
+    if let Some(cut) = cutoff {
+        counterexamples.retain(|cx| cx.key() <= cut);
+    }
+
+    let mut report = CheckReport {
+        name: harness.name().to_string(),
+        workers,
+        ..CheckReport::default()
+    };
+    for out in &outcomes {
+        if cutoff.is_some_and(|cut| out.key > cut) {
+            continue;
+        }
+        report.executions += 1;
+        report.total_steps += out.steps;
+        report.crashes_injected += out.crashes;
+        report.helped_ops += out.helped;
+        report.crash_points += out.swept;
+    }
+    report.counterexample = counterexamples.first().cloned();
+    report.counterexamples = counterexamples;
+    report.wall_time = start.elapsed();
+    report.execs_per_sec = report.executions as f64 / report.wall_time.as_secs_f64().max(1e-9);
     report
 }
 
@@ -534,33 +984,24 @@ pub fn run_scenario<S: SpecTS, H: Harness<S>>(
 }
 
 /// Replays a counterexample: reruns the execution with the recorded
-/// schedule prefix and crash points, returning the (deterministic)
+/// schedule, seed, and crash points, returning the (deterministic)
 /// outcome and trace — the debugging entry point for a failing
 /// [`Counterexample`].
 ///
 /// DFS counterexamples carry a choice-index prefix; crash-sweep ones
-/// carry an empty prefix (round-robin) plus crash points. Random-pass
-/// counterexamples carry the seed in `schedule_prefix[0]` and are
-/// replayed with the same random policy.
+/// replay round-robin with the recorded crash points; random-pass
+/// counterexamples replay the recorded per-execution seed.
 pub fn replay<S: SpecTS, H: Harness<S>>(
     harness: &H,
     cx: &Counterexample,
     config: &CheckConfig,
 ) -> (ExecOutcome, String) {
     let policy = match cx.pass {
-        "random" | "random-crash" | "random-crash-probe" => {
-            Policy::Random(cx.schedule_prefix.first().copied().unwrap_or(1) as u64)
-        }
+        "random" | "random-crash" | "random-crash-probe" => Policy::Random(cx.seed),
         "crash-sweep" | "crash-sweep-base" | "nested-crash-sweep" => Policy::RoundRobin,
         _ => Policy::DfsPrefix(cx.schedule_prefix.clone()),
     };
-    let r = run_one(
-        harness,
-        policy,
-        &cx.crash_points,
-        config.seed,
-        config.max_steps,
-    );
+    let r = run_one(harness, policy, &cx.crash_points, cx.seed, config.max_steps);
     (r.outcome, r.trace)
 }
 

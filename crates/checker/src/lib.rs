@@ -26,11 +26,25 @@ pub mod harness;
 pub mod linearize;
 pub mod recorder;
 pub mod report;
+pub mod scenario;
 
 pub use explore::{
-    check, replay, run_scenario, CheckConfig, CheckReport, Counterexample, ExecOutcome,
+    check, pass_rank, replay, run_scenario, CheckConfig, CheckConfigBuilder, CheckReport,
+    Counterexample, ExecOutcome,
 };
 pub use harness::{Execution, Harness, ThreadBody, World};
 pub use linearize::{check_linearizable, HistOp, Verdict};
 pub use recorder::Recorder;
 pub use report::{describe_outcome, render_failure, verdict_line};
+pub use scenario::{Scenario, ScenarioSet};
+
+/// One-stop imports for writing and running harnesses:
+/// `use perennial_checker::prelude::*;`.
+pub mod prelude {
+    pub use crate::explore::{
+        check, replay, run_scenario, CheckConfig, CheckConfigBuilder, CheckReport, Counterexample,
+        ExecOutcome,
+    };
+    pub use crate::harness::{Execution, Harness, ThreadBody, World};
+    pub use crate::scenario::{Scenario, ScenarioSet};
+}

@@ -18,13 +18,20 @@ pub fn render_failure(report: &CheckReport) -> Option<String> {
     let _ = writeln!(out, "VERIFICATION FAILED: {}", report.name);
     let _ = writeln!(out, "{}", describe_outcome(&cx.outcome));
     let _ = writeln!(out);
-    let _ = writeln!(out, "Found in pass   : {}", cx.pass);
+    let _ = writeln!(
+        out,
+        "Found in pass   : {} (execution #{})",
+        cx.pass, cx.index
+    );
     if cx.crash_points.is_empty() {
         let _ = writeln!(out, "Crash injection : none (crash-free execution)");
     } else {
+        // The unit is defined on `Counterexample::crash_points`: absolute
+        // grant counts, where an injected crash consumes one count.
         let _ = writeln!(
             out,
-            "Crash injection : at step(s) {:?} of the execution",
+            "Crash injection : at absolute grant count(s) {:?} (crash k fires \
+             before the (k+1)-th grant; a crash consumes one count)",
             cx.crash_points
         );
     }
@@ -33,6 +40,15 @@ pub fn render_failure(report: &CheckReport) -> Option<String> {
             out,
             "Schedule prefix : {:?} (choice indices; replay with checker::replay)",
             cx.schedule_prefix
+        );
+    }
+    if !cx.clamped.is_empty() {
+        let _ = writeln!(
+            out,
+            "Schedule note   : DFS prefix clamped at decision depth(s) {:?} — the \
+             prefix asked for a choice index beyond the runnable count and was \
+             clamped to the last runnable thread",
+            cx.clamped
         );
     }
     let _ = writeln!(out);
@@ -87,9 +103,7 @@ pub fn verdict_line(report: &CheckReport) -> String {
         None => format!("PASS {}", report.summary()),
         Some(cx) => format!(
             "FAIL {} [{} @ crash {:?}]",
-            report.name,
-            cx.pass,
-            cx.crash_points
+            report.name, cx.pass, cx.crash_points
         ),
     }
 }
@@ -111,10 +125,14 @@ mod tests {
             counterexample: Some(Counterexample {
                 outcome: ExecOutcome::Violation(GhostError::HelpTokenMissing { key: 3 }),
                 pass: "crash-sweep",
+                index: 5,
+                seed: 0xdead_beef,
                 schedule_prefix: vec![0, 1, 0],
                 crash_points: vec![5],
+                clamped: vec![],
                 trace: "  [  0] Invoke { jid: j0, op: Write(3, 9) }\n".into(),
             }),
+            ..CheckReport::default()
         }
     }
 
@@ -124,10 +142,26 @@ mod tests {
         let text = render_failure(&r).expect("has counterexample");
         assert!(text.contains("VERIFICATION FAILED: demo scenario"));
         assert!(text.contains("crash-sweep"));
-        assert!(text.contains("at step(s) [5]"));
+        assert!(text.contains("at absolute grant count(s) [5]"));
+        assert!(!text.contains("at step(s)"), "old misleading unit wording");
         assert!(text.contains("helping token"));
         assert!(text.contains("Invoke"));
         assert!(text.contains("42 executions"));
+    }
+
+    #[test]
+    fn clamped_dfs_prefix_is_surfaced() {
+        let mut r = failing_report();
+        let cx = r.counterexample.as_mut().unwrap();
+        cx.pass = "dfs";
+        cx.crash_points = vec![];
+        cx.clamped = vec![2, 4];
+        let text = render_failure(&r).expect("has counterexample");
+        assert!(text.contains("clamped at decision depth(s) [2, 4]"));
+
+        // And absent when nothing was clamped.
+        let clean = render_failure(&failing_report()).unwrap();
+        assert!(!clean.contains("clamped"));
     }
 
     #[test]

@@ -69,14 +69,13 @@ impl Harness<RegSpec> for AbbaHarness {
 fn abba_deadlock_is_found_and_classified() {
     let report = check(
         &AbbaHarness,
-        &CheckConfig {
-            dfs_max_executions: 200,
-            random_samples: 0,
-            random_crash_samples: 0,
-            crash_sweep: false,
-            nested_crash_sweep: false,
-            ..CheckConfig::default()
-        },
+        &CheckConfig::builder()
+            .dfs_max_executions(200)
+            .random_samples(0)
+            .random_crash_samples(0)
+            .crash_sweep(false)
+            .nested_crash_sweep(false)
+            .build(),
     );
     let cx = report
         .counterexample
@@ -152,14 +151,13 @@ impl Harness<RegSpec> for OrderedHarness {
 fn consistent_lock_order_never_deadlocks() {
     let report = check(
         &OrderedHarness,
-        &CheckConfig {
-            dfs_max_executions: 500,
-            random_samples: 20,
-            random_crash_samples: 0,
-            crash_sweep: false,
-            nested_crash_sweep: false,
-            ..CheckConfig::default()
-        },
+        &CheckConfig::builder()
+            .dfs_max_executions(500)
+            .random_samples(20)
+            .random_crash_samples(0)
+            .crash_sweep(false)
+            .nested_crash_sweep(false)
+            .build(),
     );
     assert!(
         report.passed(),

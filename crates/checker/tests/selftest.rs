@@ -252,13 +252,12 @@ impl Harness<RegSpec> for RegHarness {
 }
 
 fn quick() -> CheckConfig {
-    CheckConfig {
-        dfs_max_executions: 300,
-        random_samples: 15,
-        random_crash_samples: 25,
-        nested_crash_sweep: true,
-        ..CheckConfig::default()
-    }
+    CheckConfig::builder()
+        .dfs_max_executions(300)
+        .random_samples(15)
+        .random_crash_samples(25)
+        .nested_crash_sweep(true)
+        .build()
 }
 
 #[test]

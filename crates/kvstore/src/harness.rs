@@ -2,7 +2,7 @@
 
 use crate::spec::{bucket_of, KvSpec};
 use crate::store::{KvMutant, NodeKv};
-use perennial_checker::{Execution, Harness, ThreadBody, World};
+use perennial_checker::{Execution, Harness, ScenarioSet, ThreadBody, World};
 use perennial_disk::single::ModelDisk;
 use std::sync::Arc;
 
@@ -38,6 +38,81 @@ impl Default for KvHarness {
             after_round: true,
         }
     }
+}
+
+/// The crate's expected-pass scenarios (correct system, every workload),
+/// under the registry names `"kv/..."`.
+pub fn scenarios() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    for (name, desc, workload) in [
+        (
+            "kv/single-put",
+            "one putter (smallest crash sweep)",
+            KvWorkload::SinglePut,
+        ),
+        (
+            "kv/cross-bucket",
+            "putters on two buckets plus a reader",
+            KvWorkload::CrossBucket,
+        ),
+        (
+            "kv/same-bucket",
+            "putters racing on one bucket lock",
+            KvWorkload::SameBucket,
+        ),
+        (
+            "kv/put-delete-get",
+            "put/delete/get interleaving on one key",
+            KvWorkload::PutDeleteGet,
+        ),
+    ] {
+        set.add(
+            name,
+            desc,
+            KvHarness {
+                workload,
+                ..KvHarness::default()
+            },
+        );
+    }
+    set
+}
+
+/// The crate's expected-fail scenarios (mutants the checker must catch),
+/// under the registry names `"kv/mutant/..."`.
+pub fn mutant_scenarios() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    for (name, desc, mutant, workload) in [
+        (
+            "kv/mutant/in-place",
+            "in-place bucket update",
+            KvMutant::InPlace,
+            KvWorkload::SinglePut,
+        ),
+        (
+            "kv/mutant/flip-first",
+            "flip pointer before data write",
+            KvMutant::FlipFirst,
+            KvWorkload::SinglePut,
+        ),
+        (
+            "kv/mutant/no-lock",
+            "no bucket lock",
+            KvMutant::NoLock,
+            KvWorkload::SameBucket,
+        ),
+    ] {
+        set.add(
+            name,
+            desc,
+            KvHarness {
+                mutant,
+                workload,
+                ..KvHarness::default()
+            },
+        );
+    }
+    set
 }
 
 struct KvExec {

@@ -24,6 +24,6 @@ pub mod harness;
 pub mod spec;
 pub mod store;
 
-pub use harness::{KvHarness, KvWorkload};
+pub use harness::{mutant_scenarios, scenarios, KvHarness, KvWorkload};
 pub use spec::{bucket_of, KvOp, KvRet, KvSpec, BUCKETS, BUCKET_CAP};
 pub use store::{KvMutant, NodeKv};

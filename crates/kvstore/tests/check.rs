@@ -5,14 +5,13 @@ use perennial_checker::{check, CheckConfig, ExecOutcome};
 use perennial_kv::{KvHarness, KvMutant, KvWorkload};
 
 fn cfg() -> CheckConfig {
-    CheckConfig {
-        dfs_max_executions: 300,
-        random_samples: 10,
-        random_crash_samples: 20,
-        nested_crash_sweep: false,
-        max_steps: 200_000,
-        ..CheckConfig::default()
-    }
+    CheckConfig::builder()
+        .dfs_max_executions(300)
+        .random_samples(10)
+        .random_crash_samples(20)
+        .nested_crash_sweep(false)
+        .max_steps(200_000)
+        .build()
 }
 
 #[test]
@@ -63,14 +62,13 @@ fn crash_during_recovery_is_idempotent() {
     };
     let report = check(
         &h,
-        &CheckConfig {
-            dfs_max_executions: 0,
-            random_samples: 0,
-            random_crash_samples: 0,
-            nested_crash_sweep: true,
-            max_steps: 200_000,
-            ..CheckConfig::default()
-        },
+        &CheckConfig::builder()
+            .dfs_max_executions(0)
+            .random_samples(0)
+            .random_crash_samples(0)
+            .nested_crash_sweep(true)
+            .max_steps(200_000)
+            .build(),
     );
     assert!(
         report.passed(),

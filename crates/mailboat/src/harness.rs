@@ -6,7 +6,7 @@ use crate::server::mail_dirs;
 use crate::spec::MailSpec;
 use goose_rt::fs::ModelFs;
 use goose_rt::heap::Heap;
-use perennial_checker::{Execution, Harness, ThreadBody, World};
+use perennial_checker::{Execution, Harness, ScenarioSet, ThreadBody, World};
 use std::sync::Arc;
 
 /// Scenario shape.
@@ -46,6 +46,95 @@ impl Default for MbHarness {
             after_round: true,
         }
     }
+}
+
+/// The crate's expected-pass scenarios (correct system, every workload
+/// except the §8.3 slice race, which is expected to fail), under the
+/// registry names `"mailboat/..."`.
+pub fn scenarios() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    for (name, desc, workload) in [
+        (
+            "mailboat/single-deliver",
+            "one delivery (smallest crash sweep)",
+            MbWorkload::SingleDeliver,
+        ),
+        (
+            "mailboat/deliver-vs-pickup",
+            "delivery racing a pickup+delete",
+            MbWorkload::DeliverVsPickup,
+        ),
+        (
+            "mailboat/two-delivers",
+            "two deliveries racing on one user",
+            MbWorkload::TwoDelivers,
+        ),
+        (
+            "mailboat/two-users",
+            "deliveries to two users racing a pickup",
+            MbWorkload::TwoUsers,
+        ),
+    ] {
+        set.add(
+            name,
+            desc,
+            MbHarness {
+                workload,
+                ..MbHarness::default()
+            },
+        );
+    }
+    set
+}
+
+/// The crate's expected-fail scenarios: mutants the checker must catch,
+/// plus the §8.3 slice race (a correct-system workload whose data race
+/// must be flagged as UB). Registry names `"mailboat/mutant/..."`.
+pub fn mutant_scenarios() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    for (name, desc, mutant, workload) in [
+        (
+            "mailboat/mutant/no-spool",
+            "deliver without spool",
+            MbMutant::NoSpool,
+            MbWorkload::DeliverVsPickup,
+        ),
+        (
+            "mailboat/mutant/commit-at-spool",
+            "commit at spool write",
+            MbMutant::CommitAtSpool,
+            MbWorkload::SingleDeliver,
+        ),
+        (
+            "mailboat/mutant/skip-recovery-cleanup",
+            "recovery skips spool cleanup",
+            MbMutant::SkipRecoveryCleanup,
+            MbWorkload::SingleDeliver,
+        ),
+        (
+            "mailboat/mutant/delete-without-lock",
+            "delete without pickup lock",
+            MbMutant::DeleteWithoutLock,
+            MbWorkload::DeliverVsPickup,
+        ),
+        (
+            "mailboat/mutant/slice-race",
+            "§8.3 heap slice race (must be flagged as UB)",
+            MbMutant::None,
+            MbWorkload::SliceRace,
+        ),
+    ] {
+        set.add(
+            name,
+            desc,
+            MbHarness {
+                mutant,
+                workload,
+                ..MbHarness::default()
+            },
+        );
+    }
+    set
 }
 
 struct MbExec {

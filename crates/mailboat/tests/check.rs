@@ -6,26 +6,24 @@ use mailboat::proof::MbMutant;
 use perennial_checker::{check, CheckConfig, ExecOutcome};
 
 fn cfg() -> CheckConfig {
-    CheckConfig {
-        dfs_max_executions: 250,
-        random_samples: 10,
-        random_crash_samples: 15,
-        nested_crash_sweep: false,
-        max_steps: 200_000,
-        ..CheckConfig::default()
-    }
+    CheckConfig::builder()
+        .dfs_max_executions(250)
+        .random_samples(10)
+        .random_crash_samples(15)
+        .nested_crash_sweep(false)
+        .max_steps(200_000)
+        .build()
 }
 
 fn cfg_no_crash() -> CheckConfig {
-    CheckConfig {
-        dfs_max_executions: 400,
-        random_samples: 20,
-        random_crash_samples: 0,
-        crash_sweep: false,
-        nested_crash_sweep: false,
-        max_steps: 200_000,
-        ..CheckConfig::default()
-    }
+    CheckConfig::builder()
+        .dfs_max_executions(400)
+        .random_samples(20)
+        .random_crash_samples(0)
+        .crash_sweep(false)
+        .nested_crash_sweep(false)
+        .max_steps(200_000)
+        .build()
 }
 
 #[test]
@@ -78,14 +76,13 @@ fn single_deliver_crash_during_recovery() {
     };
     let report = check(
         &h,
-        &CheckConfig {
-            dfs_max_executions: 0,
-            random_samples: 0,
-            random_crash_samples: 0,
-            nested_crash_sweep: true,
-            max_steps: 200_000,
-            ..CheckConfig::default()
-        },
+        &CheckConfig::builder()
+            .dfs_max_executions(0)
+            .random_samples(0)
+            .random_crash_samples(0)
+            .nested_crash_sweep(true)
+            .max_steps(200_000)
+            .build(),
     );
     assert!(
         report.passed(),

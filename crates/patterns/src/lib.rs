@@ -21,3 +21,146 @@ pub use shadow::{ShadowHarness, ShadowMutant, ShadowPair};
 pub use synced_log::{SlHarness, SlMutant, SyncedLog};
 pub use txn_wal::{TxnHarness, TxnMutant, TxnWal};
 pub use wal::{WalHarness, WalMutant, WalPair};
+
+use perennial_checker::ScenarioSet;
+
+/// The crate's expected-pass scenarios (each pattern's correct
+/// implementation under its default workload), under the registry names
+/// `"patterns/..."`.
+pub fn scenarios() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    set.add(
+        "patterns/shadow",
+        "shadow-copy pair update",
+        ShadowHarness::default(),
+    );
+    set.add(
+        "patterns/wal",
+        "write-ahead-logged pair update",
+        WalHarness::default(),
+    );
+    set.add(
+        "patterns/txn-wal",
+        "transactional WAL over two addresses",
+        TxnHarness::default(),
+    );
+    set.add(
+        "patterns/group-commit",
+        "group commit with deferred durability",
+        GcHarness::default(),
+    );
+    set.add(
+        "patterns/synced-log",
+        "synced log with deferred durability",
+        SlHarness::default(),
+    );
+    set
+}
+
+/// The crate's expected-fail scenarios (mutants the checker must catch),
+/// under the registry names `"patterns/mutant/..."`.
+pub fn mutant_scenarios() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    for (name, desc, mutant) in [
+        (
+            "patterns/mutant/shadow-flip-first",
+            "flip install pointer first",
+            ShadowMutant::FlipFirst,
+        ),
+        (
+            "patterns/mutant/shadow-in-place",
+            "update in place",
+            ShadowMutant::InPlace,
+        ),
+    ] {
+        set.add(
+            name,
+            desc,
+            ShadowHarness {
+                mutant,
+                with_reader: false,
+            },
+        );
+    }
+    for (name, desc, mutant) in [
+        (
+            "patterns/mutant/wal-skip-recovery-apply",
+            "recovery skips committed txn",
+            WalMutant::SkipRecoveryApply,
+        ),
+        (
+            "patterns/mutant/wal-header-first",
+            "header before log entries",
+            WalMutant::HeaderFirst,
+        ),
+        (
+            "patterns/mutant/wal-skip-helping",
+            "no helping token",
+            WalMutant::SkipHelping,
+        ),
+    ] {
+        set.add(
+            name,
+            desc,
+            WalHarness {
+                mutant,
+                with_reader: false,
+            },
+        );
+    }
+    for (name, desc, mutant) in [
+        (
+            "patterns/mutant/gc-count-first",
+            "count block before entries",
+            GcMutant::CountFirst,
+        ),
+        (
+            "patterns/mutant/gc-fake-durability",
+            "fake durability ack",
+            GcMutant::FakeDurability,
+        ),
+    ] {
+        set.add(name, desc, GcHarness { mutant });
+    }
+    for (name, desc, mutant) in [
+        (
+            "patterns/mutant/txn-no-log",
+            "no log at all",
+            TxnMutant::NoLog,
+        ),
+        (
+            "patterns/mutant/txn-header-first",
+            "header before entries",
+            TxnMutant::HeaderFirst,
+        ),
+        (
+            "patterns/mutant/txn-partial-recovery",
+            "partial recovery apply",
+            TxnMutant::PartialRecoveryApply,
+        ),
+    ] {
+        set.add(
+            name,
+            desc,
+            TxnHarness {
+                mutant,
+                with_reader: false,
+            },
+        );
+    }
+    for (name, desc, mutant) in [
+        (
+            "patterns/mutant/sl-skip-fsync",
+            "skip fsync",
+            SlMutant::SkipFsync,
+        ),
+        (
+            "patterns/mutant/sl-skip-dir-sync",
+            "skip dir sync",
+            SlMutant::SkipDirSync,
+        ),
+    ] {
+        set.add(name, desc, SlHarness { mutant });
+    }
+    set
+}

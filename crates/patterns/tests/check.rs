@@ -7,23 +7,21 @@ use crash_patterns::wal::{WalHarness, WalMutant};
 use perennial_checker::{check, CheckConfig, ExecOutcome};
 
 fn cfg() -> CheckConfig {
-    CheckConfig {
-        dfs_max_executions: 300,
-        random_samples: 10,
-        random_crash_samples: 20,
-        nested_crash_sweep: false,
-        ..CheckConfig::default()
-    }
+    CheckConfig::builder()
+        .dfs_max_executions(300)
+        .random_samples(10)
+        .random_crash_samples(20)
+        .nested_crash_sweep(false)
+        .build()
 }
 
 fn cfg_nested() -> CheckConfig {
-    CheckConfig {
-        dfs_max_executions: 0,
-        random_samples: 0,
-        random_crash_samples: 0,
-        nested_crash_sweep: true,
-        ..CheckConfig::default()
-    }
+    CheckConfig::builder()
+        .dfs_max_executions(0)
+        .random_samples(0)
+        .random_crash_samples(0)
+        .nested_crash_sweep(true)
+        .build()
 }
 
 // ---------------------------------------------------------------------

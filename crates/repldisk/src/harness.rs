@@ -3,7 +3,7 @@
 
 use crate::proof::{RdMutant, VerifiedReplDisk};
 use crate::spec::{RdSpec, RdState};
-use perennial_checker::{Execution, Harness, ThreadBody, World};
+use perennial_checker::{Execution, Harness, ScenarioSet, ThreadBody, World};
 use perennial_disk::two::{DiskId, ModelTwoDisks, TwoDisks};
 use std::sync::Arc;
 
@@ -47,6 +47,87 @@ impl Default for RdHarness {
             after_round: true,
         }
     }
+}
+
+/// The crate's expected-pass scenarios (correct system, every workload),
+/// under the registry names `"repldisk/..."`.
+pub fn scenarios() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    for (name, desc, workload) in [
+        (
+            "repldisk/mixed",
+            "writer + reader + writer on another address",
+            RdWorkload::Mixed,
+        ),
+        (
+            "repldisk/single-write",
+            "one write, crash swept through it (Fig. 6)",
+            RdWorkload::SingleWrite,
+        ),
+        (
+            "repldisk/write-race",
+            "two writers racing on one address",
+            RdWorkload::WriteWrite,
+        ),
+        (
+            "repldisk/failover",
+            "write, disk-1 failure, then read",
+            RdWorkload::Failover,
+        ),
+    ] {
+        set.add(
+            name,
+            desc,
+            RdHarness {
+                workload,
+                ..RdHarness::default()
+            },
+        );
+    }
+    set
+}
+
+/// The crate's expected-fail scenarios (mutants the checker must catch),
+/// under the registry names `"repldisk/mutant/..."`.
+pub fn mutant_scenarios() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    for (name, desc, mutant, workload) in [
+        (
+            "repldisk/mutant/skip-second-write",
+            "skip second disk write",
+            RdMutant::SkipSecondWrite,
+            RdWorkload::Failover,
+        ),
+        (
+            "repldisk/mutant/zeroing-recovery",
+            "zeroing recovery (§1)",
+            RdMutant::ZeroingRecovery,
+            RdWorkload::SingleWrite,
+        ),
+        (
+            "repldisk/mutant/skip-helping",
+            "no helping token",
+            RdMutant::SkipHelping,
+            RdWorkload::SingleWrite,
+        ),
+        (
+            "repldisk/mutant/commit-early",
+            "commit at first write",
+            RdMutant::CommitEarly,
+            RdWorkload::SingleWrite,
+        ),
+    ] {
+        set.add(
+            name,
+            desc,
+            RdHarness {
+                mutant,
+                workload,
+                ..RdHarness::default()
+            },
+        );
+    }
+    set
 }
 
 struct RdExec {

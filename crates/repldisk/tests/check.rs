@@ -7,23 +7,21 @@ use repldisk::harness::{RdHarness, RdWorkload};
 use repldisk::proof::RdMutant;
 
 fn cfg() -> CheckConfig {
-    CheckConfig {
-        dfs_max_executions: 400,
-        random_samples: 15,
-        random_crash_samples: 30,
-        nested_crash_sweep: false,
-        ..CheckConfig::default()
-    }
+    CheckConfig::builder()
+        .dfs_max_executions(400)
+        .random_samples(15)
+        .random_crash_samples(30)
+        .nested_crash_sweep(false)
+        .build()
 }
 
 fn cfg_nested() -> CheckConfig {
-    CheckConfig {
-        dfs_max_executions: 0,
-        random_samples: 0,
-        random_crash_samples: 0,
-        nested_crash_sweep: true,
-        ..CheckConfig::default()
-    }
+    CheckConfig::builder()
+        .dfs_max_executions(0)
+        .random_samples(0)
+        .random_crash_samples(0)
+        .nested_crash_sweep(true)
+        .build()
 }
 
 #[test]

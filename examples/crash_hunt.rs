@@ -3,22 +3,15 @@
 //! one is caught — which exploration pass, which crash point, which
 //! capability rule.
 //!
-//! Run with: `cargo run --example crash_hunt`
+//! Scenarios are enumerated from the workspace registry
+//! ([`perennial_suite::all_mutant_scenarios`]); pass a name fragment to
+//! filter, e.g. `cargo run --example crash_hunt -- repldisk`.
 
-use crash_patterns::group_commit::{GcHarness, GcMutant};
-use crash_patterns::shadow::{ShadowHarness, ShadowMutant};
-use crash_patterns::synced_log::{SlHarness, SlMutant};
-use crash_patterns::txn_wal::{TxnHarness, TxnMutant};
-use crash_patterns::wal::{WalHarness, WalMutant};
-use mailboat::harness::{MbHarness, MbWorkload};
-use mailboat::proof::MbMutant;
-use perennial_checker::{check, CheckConfig, CheckReport};
-use perennial_kv::{KvHarness, KvMutant, KvWorkload};
-use repldisk::harness::{RdHarness, RdWorkload};
-use repldisk::proof::RdMutant;
+use perennial_checker::{CheckConfig, CheckReport};
+use perennial_suite::all_mutant_scenarios;
 
-fn show(name: &str, report: CheckReport) {
-    match report.counterexample {
+fn show(name: &str, report: &CheckReport) {
+    match &report.counterexample {
         Some(cx) => println!(
             "  CAUGHT {name}\n         pass={} crash_points={:?}\n         {:?}",
             cx.pass, cx.crash_points, cx.outcome
@@ -28,154 +21,55 @@ fn show(name: &str, report: CheckReport) {
 }
 
 fn main() {
-    let cfg = CheckConfig {
-        dfs_max_executions: 300,
-        random_samples: 10,
-        random_crash_samples: 25,
-        nested_crash_sweep: false,
-        max_steps: 200_000,
-        ..CheckConfig::default()
-    };
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let cfg = CheckConfig::builder()
+        .dfs_max_executions(300)
+        .random_samples(10)
+        .random_crash_samples(25)
+        .nested_crash_sweep(false)
+        .max_steps(200_000)
+        .build();
 
-    println!("Replicated disk mutants:");
-    for (name, mutant, workload) in [
-        (
-            "skip second disk write",
-            RdMutant::SkipSecondWrite,
-            RdWorkload::Failover,
-        ),
-        (
-            "zeroing recovery (§1)",
-            RdMutant::ZeroingRecovery,
-            RdWorkload::SingleWrite,
-        ),
-        (
-            "no helping token",
-            RdMutant::SkipHelping,
-            RdWorkload::SingleWrite,
-        ),
-        (
-            "commit at first write",
-            RdMutant::CommitEarly,
-            RdWorkload::SingleWrite,
-        ),
-    ] {
-        let h = RdHarness {
-            mutant,
-            workload,
-            ..RdHarness::default()
-        };
-        show(name, check(&h, &cfg));
+    let registry = all_mutant_scenarios();
+    let hunted: Vec<_> = registry
+        .iter()
+        .filter(|s| s.name().contains(&filter))
+        .collect();
+    if hunted.is_empty() {
+        eprintln!("no scenario name contains {filter:?}; registered names:");
+        for n in registry.names() {
+            eprintln!("  {n}");
+        }
+        std::process::exit(2);
+    }
+    println!(
+        "Hunting {} of {} registered expected-fail scenarios ({} workers)…",
+        hunted.len(),
+        registry.len(),
+        cfg.effective_workers()
+    );
+    let mut missed = 0usize;
+    let mut last_system = String::new();
+    for scenario in hunted {
+        let system = scenario.name().split('/').next().unwrap_or("").to_string();
+        if system != last_system {
+            println!("\n[{system}]");
+            last_system = system;
+        }
+        let report = scenario.run(&cfg);
+        show(
+            &format!("{} ({})", scenario.name(), scenario.description()),
+            &report,
+        );
+        if report.passed() {
+            missed += 1;
+        }
     }
 
-    println!("\nShadow-copy mutants:");
-    for (name, mutant) in [
-        ("flip install pointer first", ShadowMutant::FlipFirst),
-        ("update in place", ShadowMutant::InPlace),
-    ] {
-        let h = ShadowHarness {
-            mutant,
-            with_reader: false,
-        };
-        show(name, check(&h, &cfg));
-    }
-
-    println!("\nWrite-ahead-log mutants:");
-    for (name, mutant) in [
-        ("recovery skips committed txn", WalMutant::SkipRecoveryApply),
-        ("header before log entries", WalMutant::HeaderFirst),
-        ("no helping token", WalMutant::SkipHelping),
-    ] {
-        let h = WalHarness {
-            mutant,
-            with_reader: false,
-        };
-        show(name, check(&h, &cfg));
-    }
-
-    println!("\nGroup-commit mutants:");
-    for (name, mutant) in [
-        ("count block before entries", GcMutant::CountFirst),
-        ("fake durability ack", GcMutant::FakeDurability),
-    ] {
-        let h = GcHarness { mutant };
-        show(name, check(&h, &cfg));
-    }
-
-    println!("\nTransactional-WAL mutants:");
-    for (name, mutant) in [
-        ("no log at all", TxnMutant::NoLog),
-        ("header before entries", TxnMutant::HeaderFirst),
-        ("partial recovery apply", TxnMutant::PartialRecoveryApply),
-    ] {
-        let h = TxnHarness {
-            mutant,
-            with_reader: false,
-        };
-        show(name, check(&h, &cfg));
-    }
-
-    println!("\nSynced-log (deferred durability) mutants:");
-    for (name, mutant) in [
-        ("skip fsync", SlMutant::SkipFsync),
-        ("skip dir sync", SlMutant::SkipDirSync),
-    ] {
-        show(name, check(&SlHarness { mutant }, &cfg));
-    }
-
-    println!("\nNode-KV mutants:");
-    for (name, mutant, workload) in [
-        (
-            "in-place bucket update",
-            KvMutant::InPlace,
-            KvWorkload::SinglePut,
-        ),
-        (
-            "flip pointer first",
-            KvMutant::FlipFirst,
-            KvWorkload::SinglePut,
-        ),
-        ("no bucket lock", KvMutant::NoLock, KvWorkload::SameBucket),
-    ] {
-        let h = KvHarness {
-            mutant,
-            workload,
-            ..KvHarness::default()
-        };
-        show(name, check(&h, &cfg));
-    }
-
-    println!("\nMailboat mutants:");
-    for (name, mutant, workload) in [
-        (
-            "deliver without spool",
-            MbMutant::NoSpool,
-            MbWorkload::DeliverVsPickup,
-        ),
-        (
-            "commit at spool write",
-            MbMutant::CommitAtSpool,
-            MbWorkload::SingleDeliver,
-        ),
-        (
-            "recovery skips spool cleanup",
-            MbMutant::SkipRecoveryCleanup,
-            MbWorkload::SingleDeliver,
-        ),
-        (
-            "delete without pickup lock",
-            MbMutant::DeleteWithoutLock,
-            MbWorkload::DeliverVsPickup,
-        ),
-    ] {
-        let h = MbHarness {
-            mutant,
-            workload,
-            ..MbHarness::default()
-        };
-        show(name, check(&h, &cfg));
-    }
-
-    println!("\nEvery mutant above must read CAUGHT; the matching assertions run");
+    println!("\nEvery scenario above must read CAUGHT; the matching assertions run");
     println!("in CI as the mutation tests (DESIGN.md §8).");
+    if missed > 0 {
+        eprintln!("{missed} mutant(s) escaped the checker");
+        std::process::exit(1);
+    }
 }

@@ -8,13 +8,12 @@ use perennial_checker::{check, CheckConfig};
 use perennial_kv::{KvHarness, KvMutant, KvWorkload};
 
 fn main() {
-    let config = CheckConfig {
-        dfs_max_executions: 400,
-        random_samples: 15,
-        random_crash_samples: 30,
-        nested_crash_sweep: false,
-        ..CheckConfig::default()
-    };
+    let config = CheckConfig::builder()
+        .dfs_max_executions(400)
+        .random_samples(15)
+        .random_crash_samples(30)
+        .nested_crash_sweep(false)
+        .build();
 
     println!("Checking the crash-safe node KV store:\n");
 
@@ -42,7 +41,7 @@ fn main() {
     let report = check(&h, &config);
     let cx = report.counterexample.expect("in-place must fail");
     println!(
-        "\nin-place mutant  : rejected in pass '{}' with crash at {:?}",
+        "\nin-place mutant  : rejected in pass '{}' with crash at grant count(s) {:?}",
         cx.pass, cx.crash_points
     );
     println!("\nkv_store OK: per-bucket shadow copies + per-bucket locks verify;");

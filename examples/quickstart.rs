@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use perennial_checker::{check, CheckConfig};
+use perennial_checker::prelude::*;
 use repldisk::harness::{RdHarness, RdWorkload};
 use repldisk::proof::RdMutant;
 
@@ -20,13 +20,12 @@ fn main() {
         workload: RdWorkload::Mixed,
         ..RdHarness::default()
     };
-    let config = CheckConfig {
-        dfs_max_executions: 500,
-        random_samples: 20,
-        random_crash_samples: 40,
-        nested_crash_sweep: false,
-        ..CheckConfig::default()
-    };
+    let config = CheckConfig::builder()
+        .dfs_max_executions(500)
+        .random_samples(20)
+        .random_crash_samples(40)
+        .nested_crash_sweep(false)
+        .build();
     let report = check(&harness, &config);
     println!("correct system : {}", report.summary());
     assert!(report.passed(), "the verified system must pass");
@@ -44,7 +43,7 @@ fn main() {
         .counterexample
         .expect("the zeroing recovery must be caught");
     println!(
-        "  rejected in pass '{}' with crash at step(s) {:?}:\n  {:?}",
+        "  rejected in pass '{}' with crash at absolute grant count(s) {:?}:\n  {:?}",
         cx.pass, cx.crash_points, cx.outcome
     );
     println!("\nquickstart OK: the checker accepts the correct system and");

@@ -42,13 +42,12 @@ fn main() {
     };
     let report = check(
         &harness,
-        &CheckConfig {
-            dfs_max_executions: 100,
-            random_samples: 5,
-            random_crash_samples: 10,
-            nested_crash_sweep: true,
-            ..CheckConfig::default()
-        },
+        &CheckConfig::builder()
+            .dfs_max_executions(100)
+            .random_samples(5)
+            .random_crash_samples(10)
+            .nested_crash_sweep(true)
+            .build(),
     );
     println!("  {}", report.summary());
     assert!(report.passed());

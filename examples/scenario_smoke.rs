@@ -1,0 +1,49 @@
+//! Scenario smoke run: enumerate every registered expected-pass scenario
+//! and check it under the quick configuration. This is the CI smoke
+//! gate — fast, deterministic, and covering every system in the
+//! workspace through the unified [`perennial_checker::ScenarioSet`] API.
+//!
+//! Run with: `cargo run --release --example scenario_smoke`
+//! (optionally pass a name fragment to filter, e.g. `-- kv/`).
+
+use perennial_checker::{verdict_line, CheckConfig};
+use perennial_suite::all_scenarios;
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let cfg = CheckConfig::builder()
+        .seed(0)
+        .dfs_max_executions(200)
+        .random_samples(10)
+        .random_crash_samples(20)
+        .nested_crash_sweep(false)
+        .build();
+
+    let registry = all_scenarios();
+    println!(
+        "Smoke-checking {} scenarios ({} workers)…",
+        registry.len(),
+        cfg.effective_workers()
+    );
+
+    let mut failed = 0usize;
+    for scenario in &registry {
+        if !scenario.name().contains(&filter) {
+            continue;
+        }
+        let report = scenario.run(&cfg);
+        println!("  {}", verdict_line(&report));
+        if !report.passed() {
+            failed += 1;
+            if let Some(text) = perennial_checker::render_failure(&report) {
+                eprintln!("{text}");
+            }
+        }
+    }
+
+    if failed > 0 {
+        eprintln!("{failed} scenario(s) failed");
+        std::process::exit(1);
+    }
+    println!("All scenarios passed.");
+}

@@ -12,13 +12,12 @@ use crash_patterns::wal::WalHarness;
 use perennial_checker::{check, CheckConfig};
 
 fn main() {
-    let config = CheckConfig {
-        dfs_max_executions: 300,
-        random_samples: 10,
-        random_crash_samples: 20,
-        nested_crash_sweep: false,
-        ..CheckConfig::default()
-    };
+    let config = CheckConfig::builder()
+        .dfs_max_executions(300)
+        .random_samples(10)
+        .random_crash_samples(20)
+        .nested_crash_sweep(false)
+        .build();
 
     println!("Checking the three §9.1 crash-safety patterns:\n");
 

@@ -1,0 +1,319 @@
+//! Offline shim for the `serde_json` crate: a JSON value tree, the
+//! `json!` macro over flat/nested objects, and pretty printing. No
+//! parsing, no serde integration — the workspace only *emits* JSON
+//! (the experiment harness's `--json` record).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers carry an f64; integers print without a fraction.
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+/// Object map (sorted keys — deterministic output).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+}
+
+/// Conversion into a [`Value`] by reference (what `json!` leaves call).
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+macro_rules! tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+tojson_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+/// Converts any [`ToJson`] into a [`Value`] (shim analog of
+/// `serde_json::to_value`, but infallible).
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+/// Build a [`Value`] with JSON-ish syntax. Supports `null`, object
+/// literals with string-literal keys, array literals, nesting, and
+/// arbitrary Rust expressions (converted via [`ToJson`]) in value
+/// position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $crate::json!(@object m $($body)*);
+        $crate::Value::Object(m)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+
+    // -- object muncher: `"key": value, ...` with nested {}/[]/null ----
+    (@object $m:ident) => {};
+    (@object $m:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::Value::Null);
+        $crate::json!(@object $m $($($rest)*)?);
+    };
+    (@object $m:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json!(@object $m $($($rest)*)?);
+    };
+    (@object $m:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json!(@object $m $($($rest)*)?);
+    };
+    (@object $m:ident $key:literal : $val:expr , $($rest:tt)*) => {
+        $m.insert($key.to_string(), $crate::to_value(&$val));
+        $crate::json!(@object $m $($rest)*);
+    };
+    (@object $m:ident $key:literal : $val:expr) => {
+        $m.insert($key.to_string(), $crate::to_value(&$val));
+    };
+}
+
+/// Serialization error (never actually produced; kept for signature
+/// compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Value::String(s) => escape(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            let n = map.len();
+            for (i, (k, val)) in map.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape(k, out);
+                out.push_str(": ");
+                write_value(val, indent + 1, out);
+                if i + 1 < n {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints a value as indented JSON.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json(), 0, &mut out);
+    Ok(out)
+}
+
+/// Compact printing.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let pretty = to_string_pretty(value)?;
+    // Compact enough for a shim: strip the indentation newlines.
+    Ok(pretty
+        .lines()
+        .map(str::trim_start)
+        .collect::<Vec<_>>()
+        .join(""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_objects_and_arrays() {
+        let name = String::from("demo");
+        let v = json!({
+            "name": name,
+            "count": 3usize,
+            "ok": true,
+            "missing": (None::<u64>),
+            "nested": { "xs": [1, 2, 3] },
+        });
+        match &v {
+            Value::Object(m) => {
+                assert_eq!(m.get("count"), Some(&Value::Number(3.0)));
+                assert_eq!(m.get("missing"), Some(&Value::Null));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\"name\": \"demo\""));
+        assert!(text.contains("\"xs\""));
+    }
+
+    #[test]
+    fn json_macro_takes_fields_by_reference() {
+        struct Row {
+            name: String,
+        }
+        let r = &Row { name: "x".into() };
+        // Must not move out of `r.name`.
+        let v = json!({ "n": r.name });
+        assert_eq!(
+            v,
+            Value::Object({
+                let mut m = Map::new();
+                m.insert("n".into(), Value::String("x".into()));
+                m
+            })
+        );
+        assert_eq!(r.name, "x");
+    }
+
+    #[test]
+    fn escaping() {
+        let v = json!({ "s": "a\"b\nc" });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("a\\\"b\\nc"));
+    }
+}

@@ -13,15 +13,14 @@ use perennial_kv::{KvHarness, KvWorkload};
 use repldisk::harness::{RdHarness, RdWorkload};
 
 fn deep() -> CheckConfig {
-    CheckConfig {
-        dfs_max_executions: 5_000,
-        random_samples: 200,
-        random_crash_samples: 300,
-        crash_sweep: true,
-        nested_crash_sweep: true,
-        max_steps: 500_000,
-        ..CheckConfig::default()
-    }
+    CheckConfig::builder()
+        .dfs_max_executions(5_000)
+        .random_samples(200)
+        .random_crash_samples(300)
+        .crash_sweep(true)
+        .nested_crash_sweep(true)
+        .max_steps(500_000)
+        .build()
 }
 
 #[test]

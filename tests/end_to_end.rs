@@ -11,14 +11,13 @@ use perennial_kv::KvHarness;
 use repldisk::harness::{RdHarness, RdWorkload};
 
 fn cfg() -> CheckConfig {
-    CheckConfig {
-        dfs_max_executions: 400,
-        random_samples: 20,
-        random_crash_samples: 30,
-        nested_crash_sweep: false,
-        max_steps: 200_000,
-        ..CheckConfig::default()
-    }
+    CheckConfig::builder()
+        .dfs_max_executions(400)
+        .random_samples(20)
+        .random_crash_samples(30)
+        .nested_crash_sweep(false)
+        .max_steps(200_000)
+        .build()
 }
 
 #[test]
@@ -86,15 +85,14 @@ fn helping_systems_actually_help_under_crash_sweep() {
 fn deeper_nested_crash_sweep_on_two_systems() {
     // Crash-during-recovery (the idempotence obligation), at integration
     // depth for the two helping-based systems.
-    let nested = CheckConfig {
-        dfs_max_executions: 0,
-        random_samples: 0,
-        random_crash_samples: 0,
-        crash_sweep: true,
-        nested_crash_sweep: true,
-        max_steps: 200_000,
-        ..CheckConfig::default()
-    };
+    let nested = CheckConfig::builder()
+        .dfs_max_executions(0)
+        .random_samples(0)
+        .random_crash_samples(0)
+        .crash_sweep(true)
+        .nested_crash_sweep(true)
+        .max_steps(200_000)
+        .build();
     let r = check(
         &RdHarness {
             workload: RdWorkload::SingleWrite,

@@ -1,0 +1,115 @@
+//! The parallel explorer's determinism contract (DESIGN.md §10): for a
+//! fixed config, a pool of 8 workers must report byte-for-byte the same
+//! counterexample — and the same statistics — as a single worker,
+//! because counterexamples are selected by canonical (pass, index) order
+//! rather than wall-clock discovery order.
+
+use perennial_checker::{CheckConfig, CheckConfigBuilder, Counterexample};
+use perennial_suite::{all_mutant_scenarios, all_scenarios};
+
+fn base_cfg() -> CheckConfigBuilder {
+    CheckConfig::builder()
+        .seed(7)
+        .dfs_max_executions(300)
+        .random_samples(10)
+        .random_crash_samples(25)
+        .nested_crash_sweep(false)
+        .max_steps(200_000)
+}
+
+fn fingerprint(cx: &Counterexample) -> (String, u64, Vec<usize>, Vec<u64>, u64) {
+    (
+        cx.pass.to_string(),
+        cx.index,
+        cx.schedule_prefix.clone(),
+        cx.crash_points.clone(),
+        cx.seed,
+    )
+}
+
+#[test]
+fn workers_do_not_change_the_counterexample() {
+    for scenario in &all_mutant_scenarios() {
+        let seq = scenario.run(&base_cfg().workers(1).build());
+        let par = scenario.run(&base_cfg().workers(8).build());
+
+        let seq_cx = seq
+            .counterexample
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: mutant not caught (workers=1)", scenario.name()));
+        let par_cx = par
+            .counterexample
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: mutant not caught (workers=8)", scenario.name()));
+        assert_eq!(
+            fingerprint(seq_cx),
+            fingerprint(par_cx),
+            "{}: counterexample differs between 1 and 8 workers",
+            scenario.name()
+        );
+
+        // Statistics are part of the contract too: they are counted up
+        // to the winning key, not up to whatever the pool got around to.
+        assert_eq!(seq.executions, par.executions, "{}", scenario.name());
+        assert_eq!(seq.total_steps, par.total_steps, "{}", scenario.name());
+        assert_eq!(
+            seq.crashes_injected,
+            par.crashes_injected,
+            "{}",
+            scenario.name()
+        );
+        assert_eq!(seq.helped_ops, par.helped_ops, "{}", scenario.name());
+        assert_eq!(seq.workers, 1);
+        assert_eq!(par.workers, 8);
+    }
+}
+
+#[test]
+fn passing_scenarios_report_identical_statistics_across_pool_sizes() {
+    // A passing run explores everything, so every statistic must match
+    // exactly. One scenario suffices here; the mutant loop above covers
+    // the failing side broadly.
+    let registry = all_scenarios();
+    let scenario = registry
+        .get("repldisk/single-write")
+        .expect("registered scenario");
+    let seq = scenario.run(&base_cfg().workers(1).build());
+    let par = scenario.run(&base_cfg().workers(8).build());
+    assert!(seq.passed() && par.passed());
+    assert_eq!(seq.executions, par.executions);
+    assert_eq!(seq.total_steps, par.total_steps);
+    assert_eq!(seq.crashes_injected, par.crashes_injected);
+    assert_eq!(seq.crash_points, par.crash_points);
+    assert_eq!(seq.helped_ops, par.helped_ops);
+    assert!(seq.executions > 20, "expected a real exploration");
+}
+
+#[test]
+fn keep_going_collects_multiple_distinct_counterexamples() {
+    // The zeroing-recovery mutant fails at many crash points, so a
+    // keep-going run must collect several distinct counterexamples.
+    let registry = all_mutant_scenarios();
+    let scenario = registry
+        .get("repldisk/mutant/zeroing-recovery")
+        .expect("registered scenario");
+    let report = scenario.run(&base_cfg().workers(8).keep_going(true).build());
+
+    assert!(!report.passed());
+    let mut prints: Vec<_> = report.counterexamples.iter().map(fingerprint).collect();
+    let total = prints.len();
+    prints.dedup();
+    assert_eq!(prints.len(), total, "counterexample keys must be unique");
+    assert!(
+        total >= 2,
+        "keep_going found only {total} counterexample(s)"
+    );
+    // The canonical one is still the minimum-key failure.
+    let first = report.counterexample.as_ref().unwrap();
+    assert_eq!(fingerprint(first), prints[0].clone());
+    // And keep_going must agree with cancelling mode on the winner.
+    let cancelled = scenario.run(&base_cfg().workers(8).build());
+    assert_eq!(
+        fingerprint(cancelled.counterexample.as_ref().unwrap()),
+        fingerprint(first)
+    );
+}
