@@ -1,12 +1,16 @@
 //! Parallel-explorer scaling driver.
 //!
 //! Usage: `cargo run --release -p perennial-bench --bin scale -- \
-//!           [scenario-name] [worker counts…]`
+//!           [scenario-name] [worker counts…] [--json FILE]`
 //!
-//! Defaults to `patterns/wal` over pool sizes 1 2 4 8. The acceptance
-//! target on an 8-core machine is ≥3x execs/sec at 8 workers vs 1.
+//! Defaults to `patterns/wal` over pool sizes 1 2 4 8, measuring two
+//! passes per pool size: pure schedule exploration (crash sweeps) and
+//! fault-sweep exploration (torn writes, transient I/O, disk/net fault
+//! plans). `--json` writes a `BENCH_*.json`-style record with both
+//! series. The acceptance target on an 8-core machine is ≥3x execs/sec
+//! at 8 workers vs 1.
 
-use perennial_bench::scale::{render_scale, run_scale};
+use perennial_bench::scale::{render_scale, run_scale, ScaleRow};
 use perennial_checker::{CheckConfig, ScenarioSet};
 
 fn registry() -> ScenarioSet {
@@ -18,10 +22,37 @@ fn registry() -> ScenarioSet {
     set
 }
 
+fn rows_json(rows: &[ScaleRow]) -> serde_json::Value {
+    serde_json::Value::Array(
+        rows.iter()
+            .map(|r| {
+                serde_json::json!({
+                    "workers": r.workers,
+                    "executions": r.executions,
+                    "fault_plans": r.fault_plans,
+                    "wall_time_s": r.wall_time.as_secs_f64(),
+                    "execs_per_sec": r.execs_per_sec,
+                    "speedup": r.speedup,
+                })
+            })
+            .collect(),
+    )
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let name = args.next().unwrap_or_else(|| "patterns/wal".to_string());
-    let mut counts: Vec<usize> = args.filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut positional = args.iter().filter(|a| *a != "--json");
+    let name = positional
+        .next()
+        .filter(|a| Some(*a) != json_path.as_ref())
+        .cloned()
+        .unwrap_or_else(|| "patterns/wal".to_string());
+    let mut counts: Vec<usize> = positional.filter_map(|a| a.parse().ok()).collect();
     if counts.is_empty() {
         counts = vec![1, 2, 4, 8];
     }
@@ -45,6 +76,17 @@ fn main() {
         .nested_crash_sweep(true)
         .max_steps(200_000)
         .build();
+    // The fault pass swaps the nested sweep for the fault sweeps, so the
+    // execs/sec figure tracks fault-plan exploration throughput.
+    let fault_cfg = CheckConfig::builder()
+        .dfs_max_executions(500)
+        .random_samples(100)
+        .random_crash_samples(200)
+        .crash_sweep(true)
+        .nested_crash_sweep(false)
+        .fault_sweeps(true)
+        .max_steps(200_000)
+        .build();
 
     println!(
         "(host reports {} available cores)\n",
@@ -52,4 +94,21 @@ fn main() {
     );
     let rows = run_scale(scenario, &cfg, &counts);
     print!("{}", render_scale(scenario.name(), &rows));
+    let fault_rows = run_scale(scenario, &fault_cfg, &counts);
+    println!();
+    print!(
+        "{}",
+        render_scale(&format!("{} (fault sweeps)", scenario.name()), &fault_rows)
+    );
+
+    if let Some(path) = json_path {
+        let record = serde_json::json!({
+            "scenario": scenario.name(),
+            "schedule_exploration": rows_json(&rows),
+            "fault_exploration": rows_json(&fault_rows),
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&record).unwrap())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\n(machine-readable record written to {path})");
+    }
 }

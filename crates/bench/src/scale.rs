@@ -14,6 +14,9 @@ use std::time::Duration;
 pub struct ScaleRow {
     pub workers: usize,
     pub executions: usize,
+    /// How many of those executions carried a non-empty fault plan
+    /// (non-zero only when the config enables the fault sweeps).
+    pub fault_plans: usize,
     pub wall_time: Duration,
     pub execs_per_sec: f64,
     /// Throughput relative to the 1-worker row.
@@ -38,6 +41,7 @@ pub fn run_scale(
         rows.push(ScaleRow {
             workers: cfg.workers,
             executions: report.executions,
+            fault_plans: report.fault_plans,
             wall_time: report.wall_time,
             execs_per_sec: per_sec,
             speedup: per_sec / base_rate.max(1e-9),
@@ -52,15 +56,16 @@ pub fn render_scale(name: &str, rows: &[ScaleRow]) -> String {
     let _ = writeln!(out, "Explorer scaling: {name}");
     let _ = writeln!(
         out,
-        "{:>8} {:>12} {:>12} {:>14} {:>9}",
-        "workers", "executions", "wall time", "execs/sec", "speedup"
+        "{:>8} {:>12} {:>12} {:>12} {:>14} {:>9}",
+        "workers", "executions", "fault plans", "wall time", "execs/sec", "speedup"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:>8} {:>12} {:>11.2}s {:>14.0} {:>8.2}x",
+            "{:>8} {:>12} {:>12} {:>11.2}s {:>14.0} {:>8.2}x",
             r.workers,
             r.executions,
+            r.fault_plans,
             r.wall_time.as_secs_f64(),
             r.execs_per_sec,
             r.speedup

@@ -17,7 +17,8 @@
 //! - Every execution has a canonical **job key** `(pass_rank, index)`
 //!   assigned before it runs, independent of worker count or timing.
 //!   Pass ranks: dfs=0, random=1, crash-sweep-base=2, crash-sweep=3,
-//!   nested-crash-sweep=4, random-crash-probe=5, random-crash=6.
+//!   nested-crash-sweep=4, random-crash-probe=5, random-crash=6,
+//!   disk-fault-sweep=7, torn-write-sweep=8, net-fault-sweep=9.
 //! - Each execution's model seed is `hash(base_seed, pass_rank, index)`
 //!   (see [`exec_seed`]), never a shared mutable RNG.
 //! - The reported counterexample is the failure with the **minimum job
@@ -34,6 +35,7 @@
 //! canonical key.
 
 use crate::harness::{Harness, World};
+use goose_rt::fault::{FaultPlan, NetFault, TornMode};
 use goose_rt::sched::{ModelRt, PanicKind, StepResult, Tid};
 use parking_lot::Mutex;
 use perennial::{Ghost, GhostError};
@@ -64,6 +66,19 @@ pub struct CheckConfig {
     pub nested_crash_sweep: bool,
     /// Random schedules to sample *with* a random crash point each.
     pub random_crash_samples: usize,
+    /// Sweep one transient I/O error over every disk operation, and (on
+    /// two-disk substrates) a permanent single-disk failure over every
+    /// grant count — including during recovery. Only runs on scenarios
+    /// whose [`Harness::fault_surface`] models those faults.
+    pub disk_fault_sweep: bool,
+    /// Sweep torn crashes: at every crash point, additionally explore
+    /// crashes that persist only a subset of unflushed buffered writes.
+    /// Only runs on scenarios whose fault surface has a write buffer.
+    pub torn_write_sweep: bool,
+    /// Sweep one network fault (drop / duplicate / delay) over every
+    /// message of the baseline schedule. Only runs on scenarios whose
+    /// fault surface models a network.
+    pub net_fault_sweep: bool,
     /// Worker threads for the exploration pool; `0` means use
     /// `std::thread::available_parallelism()`.
     pub workers: usize,
@@ -82,6 +97,9 @@ impl Default for CheckConfig {
             crash_sweep: true,
             nested_crash_sweep: true,
             random_crash_samples: 100,
+            disk_fault_sweep: false,
+            torn_write_sweep: false,
+            net_fault_sweep: false,
             workers: 0,
             keep_going: false,
         }
@@ -168,6 +186,28 @@ impl CheckConfigBuilder {
         self
     }
 
+    pub fn disk_fault_sweep(mut self, on: bool) -> Self {
+        self.config.disk_fault_sweep = on;
+        self
+    }
+
+    pub fn torn_write_sweep(mut self, on: bool) -> Self {
+        self.config.torn_write_sweep = on;
+        self
+    }
+
+    pub fn net_fault_sweep(mut self, on: bool) -> Self {
+        self.config.net_fault_sweep = on;
+        self
+    }
+
+    /// Enables all three fault sweeps at once.
+    pub fn fault_sweeps(self, on: bool) -> Self {
+        self.disk_fault_sweep(on)
+            .torn_write_sweep(on)
+            .net_fault_sweep(on)
+    }
+
     pub fn workers(mut self, workers: usize) -> Self {
         self.config.workers = workers;
         self
@@ -234,6 +274,9 @@ pub struct Counterexample {
     /// out of range and was clamped to the last runnable thread —
     /// non-empty means the prefix came from a differently-shaped run.
     pub clamped: Vec<usize>,
+    /// The fault plan active during the failing execution (empty for the
+    /// schedule/crash passes). [`replay`] re-injects it.
+    pub faults: FaultPlan,
     /// Rendered ghost trace at failure.
     pub trace: String,
 }
@@ -256,6 +299,9 @@ pub fn pass_rank(pass: &str) -> u8 {
         "nested-crash-sweep" => 4,
         "random-crash-probe" => 5,
         "random-crash" => 6,
+        "disk-fault-sweep" => 7,
+        "torn-write-sweep" => 8,
+        "net-fault-sweep" => 9,
         _ => u8::MAX,
     }
 }
@@ -274,6 +320,9 @@ pub struct CheckReport {
     pub crashes_injected: usize,
     /// Distinct crash points swept.
     pub crash_points: usize,
+    /// Distinct fault plans swept (executions run with a non-empty
+    /// [`FaultPlan`]).
+    pub fault_plans: usize,
     /// Operations helped by recovery across executions.
     pub helped_ops: u64,
     /// Wall-clock time the check took.
@@ -297,14 +346,20 @@ impl CheckReport {
 
     /// One-line summary.
     pub fn summary(&self) -> String {
+        let faults = if self.fault_plans > 0 {
+            format!(", {} fault plans", self.fault_plans)
+        } else {
+            String::new()
+        };
         format!(
-            "{}: {} executions, {} steps, {} crashes over {} crash points, {} helped ops, \
+            "{}: {} executions, {} steps, {} crashes over {} crash points{}, {} helped ops, \
              {:.0} execs/s on {} workers — {}",
             self.name,
             self.executions,
             self.total_steps,
             self.crashes_injected,
             self.crash_points,
+            faults,
             self.helped_ops,
             self.execs_per_sec,
             self.workers,
@@ -399,19 +454,25 @@ struct RunResult {
     steps: u64,
     crashes: usize,
     helped: u64,
+    /// Disk operations attempted (fault-sweep probes use this as the
+    /// transient-error enumeration horizon).
+    disk_ops: u64,
+    /// Network messages sent (net-fault-sweep enumeration horizon).
+    net_msgs: u64,
     trace: String,
 }
 
 /// Runs one execution under `policy`, injecting crashes at the given
-/// absolute grant counts.
+/// absolute grant counts and faults per `faults`.
 fn run_one<S: SpecTS, H: Harness<S>>(
     harness: &H,
     policy: Policy,
     crash_points: &[u64],
+    faults: &FaultPlan,
     seed: u64,
     max_steps: u64,
 ) -> RunResult {
-    let rt = ModelRt::new(seed, max_steps);
+    let rt = ModelRt::with_faults(seed, max_steps, faults.clone());
     let ghost = Ghost::new(harness.spec());
     let w = World {
         rt: Arc::clone(&rt),
@@ -427,6 +488,7 @@ fn run_one<S: SpecTS, H: Harness<S>>(
     let mut steps: u64 = 0;
     let mut crashes = 0usize;
     let mut crash_iter = crash_points.iter().copied().peekable();
+    let mut disk_fail = faults.disk_fail;
     let mut phase = Phase::Main;
     let mut recovery_tid: Option<Tid> = None;
     let mut after_spawned = false;
@@ -435,6 +497,7 @@ fn run_one<S: SpecTS, H: Harness<S>>(
                   sched: &ScheduleState,
                   steps: u64,
                   crashes: usize,
+                  rt: &Arc<ModelRt>,
                   ghost: &Arc<Ghost<S>>| RunResult {
         outcome,
         decisions: sched.decisions.clone(),
@@ -442,10 +505,22 @@ fn run_one<S: SpecTS, H: Harness<S>>(
         steps,
         crashes,
         helped: 0,
+        disk_ops: rt.disk_ops(),
+        net_msgs: rt.net_msgs(),
         trace: ghost.trace().render(),
     };
 
     loop {
+        // Plan-scheduled permanent disk failure at this grant boundary?
+        // (Fires before a same-count crash and does not consume a step —
+        // it models the device dying, not the process.)
+        if let Some((d, g)) = disk_fail {
+            if g == steps {
+                disk_fail = None;
+                exec.inject_disk_failure(&w, d);
+            }
+        }
+
         // Crash injection at this step boundary?
         if crash_iter.peek() == Some(&steps) {
             crash_iter.next();
@@ -469,7 +544,7 @@ fn run_one<S: SpecTS, H: Harness<S>>(
                 // Pending crash points beyond the end are simply unused.
                 break;
             }
-            return finish(ExecOutcome::Deadlock, &sched, steps, crashes, &ghost);
+            return finish(ExecOutcome::Deadlock, &sched, steps, crashes, &rt, &ghost);
         }
         let tid = sched.choose(&runnable);
         let res = rt.grant(tid);
@@ -488,13 +563,20 @@ fn run_one<S: SpecTS, H: Harness<S>>(
                 }
             }
             StepResult::Panicked(PanicKind::Ghost(e)) => {
-                return finish(ExecOutcome::Violation(e), &sched, steps, crashes, &ghost);
+                return finish(
+                    ExecOutcome::Violation(e),
+                    &sched,
+                    steps,
+                    crashes,
+                    &rt,
+                    &ghost,
+                );
             }
             StepResult::Panicked(PanicKind::Ub(msg)) => {
-                return finish(ExecOutcome::Ub(msg), &sched, steps, crashes, &ghost);
+                return finish(ExecOutcome::Ub(msg), &sched, steps, crashes, &rt, &ghost);
             }
             StepResult::Panicked(PanicKind::Other(msg)) => {
-                return finish(ExecOutcome::Bug(msg), &sched, steps, crashes, &ghost);
+                return finish(ExecOutcome::Bug(msg), &sched, steps, crashes, &rt, &ghost);
             }
             StepResult::Panicked(PanicKind::CrashUnwind) => {
                 // Only reachable via crash_all, which we drive ourselves.
@@ -518,7 +600,7 @@ fn run_one<S: SpecTS, H: Harness<S>>(
         }
         Err(e) => (ExecOutcome::Violation(e), 0),
     };
-    let mut r = finish(outcome, &sched, steps, crashes, &ghost);
+    let mut r = finish(outcome, &sched, steps, crashes, &rt, &ghost);
     r.helped = helped;
     r
 }
@@ -559,7 +641,24 @@ struct Job {
     crash_points: Vec<u64>,
     /// Distinct crash points this job sweeps (for the report counter).
     swept: usize,
+    /// The fault plan injected into this job's execution.
+    faults: FaultPlan,
     kind: JobKind,
+}
+
+impl Job {
+    /// A fault-free single execution (the common case).
+    fn plain(key: JobKey, pass: &'static str, policy: PolicySpec) -> Job {
+        Job {
+            key,
+            pass,
+            policy,
+            crash_points: Vec::new(),
+            swept: 0,
+            faults: FaultPlan::default(),
+            kind: JobKind::Single,
+        }
+    }
 }
 
 struct JobOutcome {
@@ -568,6 +667,11 @@ struct JobOutcome {
     crashes: usize,
     helped: u64,
     swept: usize,
+    /// Fault plans this job swept (1 for fault-injection jobs).
+    plans: usize,
+    /// Disk ops / net messages of the execution (probe horizons).
+    disk_ops: u64,
+    net_msgs: u64,
     /// Full decision path — kept for DFS jobs only (tree expansion).
     decisions: Vec<(usize, usize)>,
     cx: Option<Counterexample>,
@@ -630,6 +734,7 @@ fn make_counterexample(
     seed: u64,
     schedule_prefix: Vec<usize>,
     crash_points: Vec<u64>,
+    faults: FaultPlan,
 ) -> Counterexample {
     Counterexample {
         outcome: r.outcome.clone(),
@@ -639,6 +744,7 @@ fn make_counterexample(
         schedule_prefix,
         crash_points,
         clamped: r.clamped.clone(),
+        faults,
         trace: r.trace.clone(),
     }
 }
@@ -661,7 +767,14 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
         PolicySpec::Random => Policy::Random(seed),
     };
     let keep_decisions = matches!(job.policy, PolicySpec::Dfs(_));
-    let r = run_one(harness, policy, &job.crash_points, seed, config.max_steps);
+    let r = run_one(
+        harness,
+        policy,
+        &job.crash_points,
+        &job.faults,
+        seed,
+        config.max_steps,
+    );
 
     let mut out = JobOutcome {
         key: job.key,
@@ -669,6 +782,9 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
         crashes: r.crashes,
         helped: r.helped,
         swept: job.swept,
+        plans: usize::from(!job.faults.is_empty()),
+        disk_ops: r.disk_ops,
+        net_msgs: r.net_msgs,
         decisions: if keep_decisions {
             r.decisions.clone()
         } else {
@@ -688,6 +804,7 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
             seed,
             prefix,
             job.crash_points.clone(),
+            job.faults.clone(),
         ));
         cancel.offer(job.key);
         return vec![out];
@@ -705,13 +822,23 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
             }
             let horizon = r.steps.max(1);
             let k = splitmix(seed) % horizon;
-            let r2 = run_one(harness, Policy::Random(seed), &[k], seed, config.max_steps);
+            let r2 = run_one(
+                harness,
+                Policy::Random(seed),
+                &[k],
+                &job.faults,
+                seed,
+                config.max_steps,
+            );
             let mut out2 = JobOutcome {
                 key: crash_key,
                 steps: r2.steps,
                 crashes: r2.crashes,
                 helped: r2.helped,
                 swept: 1,
+                plans: 0,
+                disk_ops: r2.disk_ops,
+                net_msgs: r2.net_msgs,
                 decisions: Vec::new(),
                 cx: None,
             };
@@ -723,6 +850,7 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
                     seed,
                     Vec::new(),
                     vec![k],
+                    job.faults.clone(),
                 ));
                 cancel.offer(crash_key);
             }
@@ -807,14 +935,11 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
             let jobs: Vec<Job> = wave
                 .into_iter()
                 .map(|prefix| {
-                    let job = Job {
-                        key: (pass_rank("dfs"), dfs_index),
-                        pass: "dfs",
-                        policy: PolicySpec::Dfs(prefix),
-                        crash_points: Vec::new(),
-                        swept: 0,
-                        kind: JobKind::Single,
-                    };
+                    let job = Job::plain(
+                        (pass_rank("dfs"), dfs_index),
+                        "dfs",
+                        PolicySpec::Dfs(prefix),
+                    );
                     dfs_index += 1;
                     job
                 })
@@ -842,14 +967,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     // Pass 1 (rank 1): random crash-free schedules.
     if !cancel.cancelled() {
         let jobs: Vec<Job> = (0..config.random_samples as u64)
-            .map(|i| Job {
-                key: (pass_rank("random"), i),
-                pass: "random",
-                policy: PolicySpec::Random,
-                crash_points: Vec::new(),
-                swept: 0,
-                kind: JobKind::Single,
-            })
+            .map(|i| Job::plain((pass_rank("random"), i), "random", PolicySpec::Random))
             .collect();
         outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
     }
@@ -857,14 +975,11 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     // Passes 2-4: systematic crash sweep on the round-robin schedule.
     if config.crash_sweep && !cancel.cancelled() {
         // Rank 2: discover the crash-free horizon first.
-        let base_jobs = vec![Job {
-            key: (pass_rank("crash-sweep-base"), 0),
-            pass: "crash-sweep-base",
-            policy: PolicySpec::RoundRobin,
-            crash_points: Vec::new(),
-            swept: 0,
-            kind: JobKind::Single,
-        }];
+        let base_jobs = vec![Job::plain(
+            (pass_rank("crash-sweep-base"), 0),
+            "crash-sweep-base",
+            PolicySpec::RoundRobin,
+        )];
         let base = run_wave(harness, config, &cancel, workers, &base_jobs);
         let horizon = base.first().map_or(0, |o| o.steps);
         outcomes.extend(base);
@@ -873,12 +988,13 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
         if !cancel.cancelled() {
             let jobs: Vec<Job> = (0..horizon)
                 .map(|k| Job {
-                    key: (pass_rank("crash-sweep"), k),
-                    pass: "crash-sweep",
-                    policy: PolicySpec::RoundRobin,
                     crash_points: vec![k],
                     swept: 1,
-                    kind: JobKind::Single,
+                    ..Job::plain(
+                        (pass_rank("crash-sweep"), k),
+                        "crash-sweep",
+                        PolicySpec::RoundRobin,
+                    )
                 })
                 .collect();
             let sweep = run_wave(harness, config, &cancel, workers, &jobs);
@@ -893,12 +1009,13 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                     let after = out.steps.saturating_sub(k + 1);
                     for m in 0..after {
                         nested.push(Job {
-                            key: (pass_rank("nested-crash-sweep"), index),
-                            pass: "nested-crash-sweep",
-                            policy: PolicySpec::RoundRobin,
                             crash_points: vec![k, k + 1 + m],
                             swept: 1,
-                            kind: JobKind::Single,
+                            ..Job::plain(
+                                (pass_rank("nested-crash-sweep"), index),
+                                "nested-crash-sweep",
+                                PolicySpec::RoundRobin,
+                            )
                         });
                         index += 1;
                     }
@@ -916,15 +1033,205 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     if !cancel.cancelled() {
         let jobs: Vec<Job> = (0..config.random_crash_samples as u64)
             .map(|i| Job {
-                key: (pass_rank("random-crash-probe"), i),
-                pass: "random-crash-probe",
-                policy: PolicySpec::Random,
-                crash_points: Vec::new(),
-                swept: 0,
                 kind: JobKind::ProbeThenCrash,
+                ..Job::plain(
+                    (pass_rank("random-crash-probe"), i),
+                    "random-crash-probe",
+                    PolicySpec::Random,
+                )
             })
             .collect();
         outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+    }
+
+    // Passes 7-9: deterministic fault-injection sweeps. Each pass probes
+    // the fault-free round-robin schedule at index 0 to learn the
+    // enumeration horizon (grant count, disk-op count, or message
+    // count), then enumerates one fault plan per job at indices >= 1.
+    // The probe is deterministic, so the derived job list — and hence
+    // every job key — is independent of worker count.
+    let surface = harness.fault_surface();
+
+    // Pass 7: transient I/O errors on every disk op, plus (on two-disk
+    // substrates) a permanent single-disk failure at every grant count,
+    // including during recovery.
+    if config.disk_fault_sweep
+        && (surface.transient_disk_io || surface.two_disk)
+        && !cancel.cancelled()
+    {
+        let rank = pass_rank("disk-fault-sweep");
+        let probe = run_wave(
+            harness,
+            config,
+            &cancel,
+            workers,
+            &[Job::plain(
+                (rank, 0),
+                "disk-fault-sweep",
+                PolicySpec::RoundRobin,
+            )],
+        );
+        let horizon = probe.first().map_or(0, |o| o.steps);
+        let disk_ops = probe.first().map_or(0, |o| o.disk_ops);
+        outcomes.extend(probe);
+
+        if !cancel.cancelled() {
+            let mut jobs: Vec<Job> = Vec::new();
+            let mut index: u64 = 1;
+            if surface.transient_disk_io {
+                for j in 0..disk_ops {
+                    let mut faults = FaultPlan::default();
+                    faults.transient_io.insert(j);
+                    jobs.push(Job {
+                        faults,
+                        ..Job::plain((rank, index), "disk-fault-sweep", PolicySpec::RoundRobin)
+                    });
+                    index += 1;
+                }
+            }
+            if surface.two_disk {
+                for g in 0..horizon {
+                    for d in [1u8, 2u8] {
+                        let faults = FaultPlan {
+                            disk_fail: Some((d, g)),
+                            ..FaultPlan::default()
+                        };
+                        jobs.push(Job {
+                            faults,
+                            ..Job::plain((rank, index), "disk-fault-sweep", PolicySpec::RoundRobin)
+                        });
+                        index += 1;
+                    }
+                }
+            }
+            outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+
+            // Disk failure *during recovery*: probe one mid-schedule
+            // crash to learn the recovery horizon, then fail each disk
+            // at every post-crash grant count.
+            if surface.two_disk && horizon > 0 && !cancel.cancelled() {
+                let k = horizon / 2;
+                let probe2_jobs = vec![Job {
+                    crash_points: vec![k],
+                    swept: 1,
+                    ..Job::plain((rank, index), "disk-fault-sweep", PolicySpec::RoundRobin)
+                }];
+                index += 1;
+                let probe2 = run_wave(harness, config, &cancel, workers, &probe2_jobs);
+                let h2 = probe2.first().map_or(0, |o| o.steps);
+                outcomes.extend(probe2);
+                if !cancel.cancelled() {
+                    let mut jobs: Vec<Job> = Vec::new();
+                    for g in k + 1..h2 {
+                        for d in [1u8, 2u8] {
+                            let faults = FaultPlan {
+                                disk_fail: Some((d, g)),
+                                ..FaultPlan::default()
+                            };
+                            jobs.push(Job {
+                                crash_points: vec![k],
+                                swept: 1,
+                                faults,
+                                ..Job::plain(
+                                    (rank, index),
+                                    "disk-fault-sweep",
+                                    PolicySpec::RoundRobin,
+                                )
+                            });
+                            index += 1;
+                        }
+                    }
+                    outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+                }
+            }
+        }
+    }
+
+    // Pass 8: torn-write sweep — at every crash point of the baseline
+    // schedule, crashes that persist none or a pseudo-random subset of
+    // the unflushed write buffer (persisting *all* of it is exactly the
+    // plain crash sweep).
+    if config.torn_write_sweep && surface.torn_writes && !cancel.cancelled() {
+        let rank = pass_rank("torn-write-sweep");
+        let probe = run_wave(
+            harness,
+            config,
+            &cancel,
+            workers,
+            &[Job::plain(
+                (rank, 0),
+                "torn-write-sweep",
+                PolicySpec::RoundRobin,
+            )],
+        );
+        let horizon = probe.first().map_or(0, |o| o.steps);
+        outcomes.extend(probe);
+
+        if !cancel.cancelled() {
+            const MODES: [TornMode; 3] =
+                [TornMode::KeepNone, TornMode::Subset(0), TornMode::Subset(1)];
+            let jobs: Vec<Job> = (0..horizon)
+                .flat_map(|k| {
+                    MODES.iter().enumerate().map(move |(m, mode)| {
+                        let faults = FaultPlan {
+                            torn: Some(*mode),
+                            ..FaultPlan::default()
+                        };
+                        Job {
+                            crash_points: vec![k],
+                            swept: 1,
+                            faults,
+                            ..Job::plain(
+                                (rank, 1 + k * MODES.len() as u64 + m as u64),
+                                "torn-write-sweep",
+                                PolicySpec::RoundRobin,
+                            )
+                        }
+                    })
+                })
+                .collect();
+            outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+        }
+    }
+
+    // Pass 9: network-fault sweep — drop, duplicate, or delay each
+    // message of the baseline schedule, one fault per execution.
+    if config.net_fault_sweep && surface.net && !cancel.cancelled() {
+        let rank = pass_rank("net-fault-sweep");
+        let probe = run_wave(
+            harness,
+            config,
+            &cancel,
+            workers,
+            &[Job::plain(
+                (rank, 0),
+                "net-fault-sweep",
+                PolicySpec::RoundRobin,
+            )],
+        );
+        let net_msgs = probe.first().map_or(0, |o| o.net_msgs);
+        outcomes.extend(probe);
+
+        if !cancel.cancelled() {
+            const FAULTS: [NetFault; 3] = [NetFault::Drop, NetFault::Duplicate, NetFault::Delay];
+            let jobs: Vec<Job> = (0..net_msgs)
+                .flat_map(|m| {
+                    FAULTS.iter().enumerate().map(move |(f, fault)| {
+                        let mut faults = FaultPlan::default();
+                        faults.net.insert(m, *fault);
+                        Job {
+                            faults,
+                            ..Job::plain(
+                                (rank, 1 + m * FAULTS.len() as u64 + f as u64),
+                                "net-fault-sweep",
+                                PolicySpec::RoundRobin,
+                            )
+                        }
+                    })
+                })
+                .collect();
+            outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+        }
     }
 
     // Aggregate. Without keep_going, statistics and counterexamples are
@@ -957,6 +1264,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
         report.crashes_injected += out.crashes;
         report.helped_ops += out.helped;
         report.crash_points += out.swept;
+        report.fault_plans += out.plans;
     }
     report.counterexample = counterexamples.first().cloned();
     report.counterexamples = counterexamples;
@@ -977,6 +1285,7 @@ pub fn run_scenario<S: SpecTS, H: Harness<S>>(
         harness,
         Policy::RoundRobin,
         crash_points,
+        &FaultPlan::default(),
         config.seed,
         config.max_steps,
     );
@@ -998,10 +1307,18 @@ pub fn replay<S: SpecTS, H: Harness<S>>(
 ) -> (ExecOutcome, String) {
     let policy = match cx.pass {
         "random" | "random-crash" | "random-crash-probe" => Policy::Random(cx.seed),
-        "crash-sweep" | "crash-sweep-base" | "nested-crash-sweep" => Policy::RoundRobin,
+        "crash-sweep" | "crash-sweep-base" | "nested-crash-sweep" | "disk-fault-sweep"
+        | "torn-write-sweep" | "net-fault-sweep" => Policy::RoundRobin,
         _ => Policy::DfsPrefix(cx.schedule_prefix.clone()),
     };
-    let r = run_one(harness, policy, &cx.crash_points, cx.seed, config.max_steps);
+    let r = run_one(
+        harness,
+        policy,
+        &cx.crash_points,
+        &cx.faults,
+        cx.seed,
+        config.max_steps,
+    );
     (r.outcome, r.trace)
 }
 

@@ -20,6 +20,7 @@
 //!          after_recovery() threads (optional) ──► final_check()
 //! ```
 
+use goose_rt::fault::FaultSurface;
 use goose_rt::sched::ModelRt;
 use perennial::Ghost;
 use perennial_spec::SpecTS;
@@ -76,6 +77,12 @@ pub trait Execution<S: SpecTS>: Send {
     fn final_check(&self, _w: &World<S>) -> Result<(), String> {
         Ok(())
     }
+
+    /// Controller-side hook for plan-scheduled permanent disk failures
+    /// (`disk` is 1 or 2). Called between grants at the plan's grant
+    /// count; harnesses over a two-disk substrate forward it to
+    /// `ModelTwoDisks::fail`. Default: no failable disks, ignore.
+    fn inject_disk_failure(&mut self, _w: &World<S>, _disk: u8) {}
 }
 
 /// A checkable scenario.
@@ -89,5 +96,13 @@ pub trait Harness<S: SpecTS>: Sync {
     /// Human-readable scenario name (reports and statistics).
     fn name(&self) -> &str {
         "unnamed scenario"
+    }
+
+    /// Which fault classes this scenario's substrate actually models.
+    /// The fault sweeps only enumerate plans a scenario can express:
+    /// e.g. a torn-write sweep over a system with no write buffer would
+    /// re-explore identical executions. Default: no fault surface.
+    fn fault_surface(&self) -> FaultSurface {
+        FaultSurface::none()
     }
 }

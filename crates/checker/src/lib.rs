@@ -32,6 +32,7 @@ pub use explore::{
     check, pass_rank, replay, run_scenario, CheckConfig, CheckConfigBuilder, CheckReport,
     Counterexample, ExecOutcome,
 };
+pub use goose_rt::fault::{FaultPlan, FaultSurface, IoError, IoResult, NetFault, TornMode};
 pub use harness::{Execution, Harness, ThreadBody, World};
 pub use linearize::{check_linearizable, HistOp, Verdict};
 pub use recorder::Recorder;
@@ -47,4 +48,5 @@ pub mod prelude {
     };
     pub use crate::harness::{Execution, Harness, ThreadBody, World};
     pub use crate::scenario::{Scenario, ScenarioSet};
+    pub use goose_rt::fault::{FaultPlan, FaultSurface, IoError, IoResult, NetFault, TornMode};
 }

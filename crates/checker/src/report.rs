@@ -35,6 +35,9 @@ pub fn render_failure(report: &CheckReport) -> Option<String> {
             cx.crash_points
         );
     }
+    if !cx.faults.is_empty() {
+        let _ = writeln!(out, "Fault injection : {}", cx.faults.describe());
+    }
     if !cx.schedule_prefix.is_empty() {
         let _ = writeln!(
             out,
@@ -130,6 +133,7 @@ mod tests {
                 schedule_prefix: vec![0, 1, 0],
                 crash_points: vec![5],
                 clamped: vec![],
+                faults: goose_rt::fault::FaultPlan::default(),
                 trace: "  [  0] Invoke { jid: j0, op: Write(3, 9) }\n".into(),
             }),
             ..CheckReport::default()

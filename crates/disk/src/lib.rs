@@ -12,9 +12,12 @@
 //! silently dropped — this is what makes the replicated disk's failover
 //! path reachable.
 
+pub mod buffered;
 pub mod single;
 pub mod two;
 
+pub use buffered::BufferedDisk;
+pub use goose_rt::fault::{IoError, IoResult};
 pub use single::{ModelDisk, NativeDisk, SingleDisk};
 pub use two::{DiskId, ModelTwoDisks, NativeTwoDisks, TwoDisks};
 

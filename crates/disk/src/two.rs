@@ -7,7 +7,9 @@
 //! tests can also check that the *system* only relies on the modelled
 //! failover direction.
 
+use crate::single::oob_ub;
 use crate::Block;
+use goose_rt::fault::{retry_with_backoff, IoError, IoResult, DEFAULT_IO_ATTEMPTS};
 use goose_rt::sched::ModelRt;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -23,11 +25,27 @@ pub enum DiskId {
 
 /// The two-disk interface.
 pub trait TwoDisks: Send + Sync {
-    /// Reads block `a` from `d`; `None` if the disk has failed.
+    /// Reads block `a` from `d`; `None` if the disk has failed. Absorbs
+    /// transient faults internally.
     fn disk_read(&self, d: DiskId, a: u64) -> Option<Block>;
 
-    /// Writes block `a` on `d`; dropped if the disk has failed.
+    /// Writes block `a` on `d`; dropped if the disk has failed. Absorbs
+    /// transient faults internally.
     fn disk_write(&self, d: DiskId, a: u64, v: &[u8]);
+
+    /// Fallible read: surfaces a plan-injected [`IoError::Transient`]
+    /// instead of retrying, so systems can own (or botch) the retry
+    /// policy. A transient error says nothing about disk failure —
+    /// `Ok(None)` is the failed-disk answer.
+    fn try_disk_read(&self, d: DiskId, a: u64) -> IoResult<Option<Block>> {
+        Ok(self.disk_read(d, a))
+    }
+
+    /// Fallible write (see [`TwoDisks::try_disk_read`]).
+    fn try_disk_write(&self, d: DiskId, a: u64, v: &[u8]) -> IoResult<()> {
+        self.disk_write(d, a, v);
+        Ok(())
+    }
 
     /// Number of blocks per disk.
     fn size(&self) -> u64;
@@ -117,28 +135,57 @@ impl ModelTwoDisks {
 
 impl TwoDisks for ModelTwoDisks {
     fn disk_read(&self, d: DiskId, a: u64) -> Option<Block> {
+        retry_with_backoff(&self.rt, DEFAULT_IO_ATTEMPTS, || self.try_disk_read(d, a))
+            .unwrap_or_else(|e| {
+                panic!("disk read of block {a}: {e} persisted after {DEFAULT_IO_ATTEMPTS} attempts")
+            })
+    }
+
+    fn disk_write(&self, d: DiskId, a: u64, v: &[u8]) {
+        retry_with_backoff(&self.rt, DEFAULT_IO_ATTEMPTS, || {
+            self.try_disk_write(d, a, v)
+        })
+        .unwrap_or_else(|e| {
+            panic!("disk write of block {a}: {e} persisted after {DEFAULT_IO_ATTEMPTS} attempts")
+        })
+    }
+
+    fn try_disk_read(&self, d: DiskId, a: u64) -> IoResult<Option<Block>> {
         self.rt.yield_point();
         let mut s = self.state.lock();
         s.ops += 1;
-        match d {
+        if a as usize >= s.d1.len() {
+            oob_ub("read", a, s.d1.len() as u64);
+        }
+        if self.rt.next_disk_op_faulty() {
+            return Err(IoError::Transient);
+        }
+        Ok(match d {
             DiskId::D1 if s.failed1 => None,
             DiskId::D2 if s.failed2 => None,
             DiskId::D1 => Some(s.d1[a as usize].clone()),
             DiskId::D2 => Some(s.d2[a as usize].clone()),
-        }
+        })
     }
 
-    fn disk_write(&self, d: DiskId, a: u64, v: &[u8]) {
+    fn try_disk_write(&self, d: DiskId, a: u64, v: &[u8]) -> IoResult<()> {
         assert_eq!(v.len(), self.block_size, "partial block write");
         self.rt.yield_point();
         let mut s = self.state.lock();
         s.ops += 1;
+        if a as usize >= s.d1.len() {
+            oob_ub("write", a, s.d1.len() as u64);
+        }
+        if self.rt.next_disk_op_faulty() {
+            return Err(IoError::Transient);
+        }
         match d {
             DiskId::D1 if s.failed1 => {}
             DiskId::D2 if s.failed2 => {}
             DiskId::D1 => s.d1[a as usize] = v.to_vec(),
             DiskId::D2 => s.d2[a as usize] = v.to_vec(),
         }
+        Ok(())
     }
 
     fn size(&self) -> u64 {
@@ -238,6 +285,34 @@ mod tests {
         assert_eq!(d.peek(DiskId::D1, 1), vec![5; 8]);
         // Disk 2 unaffected.
         assert_eq!(d.disk_read(DiskId::D2, 1), Some(vec![0; 8]));
+    }
+
+    #[test]
+    fn two_disk_oob_is_modelled_ub_naming_address_and_size() {
+        use goose_rt::sched::UbSignal;
+        let d = fixture();
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.disk_read(DiskId::D2, 7)))
+                .expect_err("out-of-bounds read must unwind");
+        let ub = err
+            .downcast::<UbSignal>()
+            .expect("out-of-bounds unwind carries a UbSignal, not a raw index panic");
+        assert!(ub.0.contains("address 7"), "{}", ub.0);
+        assert!(ub.0.contains("4 blocks"), "{}", ub.0);
+    }
+
+    #[test]
+    fn transient_fault_surfaces_on_try_ops_and_is_absorbed_by_infallible_ops() {
+        use goose_rt::fault::FaultPlan;
+        let mut plan = FaultPlan::default();
+        plan.transient_io.insert(0);
+        plan.transient_io.insert(2);
+        let rt = ModelRt::with_faults(0, 10_000, plan);
+        let d = ModelTwoDisks::new(rt, 4, 8);
+        assert_eq!(d.try_disk_read(DiskId::D1, 0), Err(IoError::Transient));
+        // Op 1 succeeds, op 2 faults inside the retry loop and is retried.
+        d.disk_write(DiskId::D1, 0, &[6; 8]);
+        assert_eq!(d.disk_read(DiskId::D1, 0), Some(vec![6; 8]));
     }
 
     #[test]

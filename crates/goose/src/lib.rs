@@ -20,12 +20,19 @@
 //! reproduction's analog of "the same Go source is both translated to Coq
 //! and compiled by the Go toolchain".
 
+pub mod fault;
 pub mod fs;
 pub mod heap;
+pub mod net;
 pub mod runtime;
 pub mod sched;
 
+pub use fault::{
+    retry_with_backoff, FaultPlan, FaultSurface, IoError, IoResult, NetFault, TornMode,
+    DEFAULT_IO_ATTEMPTS,
+};
 pub use fs::{BufferedFs, DirH, Fd, FileSys, FsError, FsResult, ModelFs, NativeFs};
 pub use heap::{HVal, Heap, Ptr, Slice};
+pub use net::ModelNet;
 pub use runtime::{GLock, ModelRtExt, ModelRuntime, NativeRt, Runtime};
 pub use sched::{CrashSignal, LockId, ModelRt, PanicKind, StepResult, Tid, UbSignal};

@@ -14,6 +14,7 @@
 //! are cheap enough (~10µs spawn) for the bounded configurations the
 //! checker explores.
 
+use crate::fault::{FaultPlan, NetFault, TornMode};
 use parking_lot::{Condvar, Mutex};
 use perennial::GhostPanic;
 use std::cell::Cell;
@@ -97,6 +98,10 @@ struct RtState {
     poisoned: bool,
     steps: u64,
     rand_ctr: u64,
+    /// Disk operations consulted against the fault plan so far.
+    disk_ops: u64,
+    /// Network sends consulted against the fault plan so far.
+    net_msgs: u64,
 }
 
 thread_local! {
@@ -111,6 +116,10 @@ pub struct ModelRt {
     handles: Mutex<Vec<Option<JoinHandle<()>>>>,
     seed: u64,
     max_steps: u64,
+    /// This execution's fault schedule (empty = inject nothing). Fixed
+    /// at construction, like the seed, so fault injection is a pure
+    /// function of the canonical job key.
+    faults: FaultPlan,
 }
 
 /// Installs a process-wide panic hook (once) that silences the expected
@@ -132,9 +141,16 @@ fn install_quiet_hook() {
 }
 
 impl ModelRt {
-    /// Creates a runtime. `seed` drives deterministic randomness;
-    /// `max_steps` bounds runaway executions (a livelock backstop).
+    /// Creates a runtime with no fault plan. `seed` drives deterministic
+    /// randomness; `max_steps` bounds runaway executions (a livelock
+    /// backstop).
     pub fn new(seed: u64, max_steps: u64) -> Arc<Self> {
+        Self::with_faults(seed, max_steps, FaultPlan::default())
+    }
+
+    /// Creates a runtime carrying a fault schedule the storage and
+    /// network models consult during the execution.
+    pub fn with_faults(seed: u64, max_steps: u64, faults: FaultPlan) -> Arc<Self> {
         install_quiet_hook();
         Arc::new(ModelRt {
             state: Mutex::new(RtState {
@@ -143,12 +159,70 @@ impl ModelRt {
                 poisoned: false,
                 steps: 0,
                 rand_ctr: 0,
+                disk_ops: 0,
+                net_msgs: 0,
             }),
             cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
             seed,
             max_steps,
+            faults,
         })
+    }
+
+    /// The fault schedule this runtime was built with.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Consumes the next disk-operation index and reports whether the
+    /// plan injects a transient fault there. Every fault-aware model-disk
+    /// operation calls this exactly once per attempt, so the index stream
+    /// is deterministic per schedule.
+    pub fn next_disk_op_faulty(&self) -> bool {
+        let mut s = self.state.lock();
+        let i = s.disk_ops;
+        s.disk_ops += 1;
+        self.faults.transient_io.contains(&i)
+    }
+
+    /// Disk operations consulted so far (fault-sweep probes use this to
+    /// size the transient-error enumeration).
+    pub fn disk_ops(&self) -> u64 {
+        self.state.lock().disk_ops
+    }
+
+    /// Consumes the next network-send index and returns the fault the
+    /// plan injects there, if any.
+    pub fn next_net_fault(&self) -> Option<NetFault> {
+        let mut s = self.state.lock();
+        let i = s.net_msgs;
+        s.net_msgs += 1;
+        self.faults.net.get(&i).copied()
+    }
+
+    /// Network sends consulted so far (net-fault-sweep probes use this
+    /// to size the enumeration).
+    pub fn net_msgs(&self) -> u64 {
+        self.state.lock().net_msgs
+    }
+
+    /// Which of `n` buffered writes survive a crash, per the plan's
+    /// [`TornMode`]. Pure function of the runtime seed and the mode, so
+    /// replays tear identically.
+    pub fn torn_keep(&self, n: usize) -> Vec<bool> {
+        match self.faults.torn {
+            None | Some(TornMode::KeepAll) => vec![true; n],
+            Some(TornMode::KeepNone) => vec![false; n],
+            Some(TornMode::Subset(tag)) => (0..n)
+                .map(|i| {
+                    let bits = splitmix64(
+                        self.seed ^ tag ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                    bits & 1 == 1
+                })
+                .collect(),
+        }
     }
 
     /// Spawns a virtual thread. It does not run until granted.

@@ -2,8 +2,9 @@
 
 use crate::spec::{bucket_of, KvSpec};
 use crate::store::{KvMutant, NodeKv};
+use goose_rt::fault::FaultSurface;
 use perennial_checker::{Execution, Harness, ScenarioSet, ThreadBody, World};
-use perennial_disk::single::ModelDisk;
+use perennial_disk::buffered::BufferedDisk;
 use std::sync::Arc;
 
 /// Workload shapes.
@@ -209,7 +210,9 @@ impl Execution<KvSpec> for KvExec {
         out
     }
 
-    fn crash_reset(&mut self, _w: &World<KvSpec>) {}
+    fn crash_reset(&mut self, _w: &World<KvSpec>) {
+        self.sys.crash();
+    }
 
     fn recovery(&mut self, w: &World<KvSpec>) -> ThreadBody {
         let sys = Arc::clone(&self.sys);
@@ -249,7 +252,7 @@ impl Harness<KvSpec> for KvHarness {
     }
 
     fn make(&self, w: &World<KvSpec>) -> Box<dyn Execution<KvSpec>> {
-        let disk = ModelDisk::new(Arc::clone(&w.rt), NodeKv::NBLOCKS, NodeKv::BLOCK_SIZE);
+        let disk = BufferedDisk::new(Arc::clone(&w.rt), NodeKv::NBLOCKS, NodeKv::BLOCK_SIZE);
         let sys = NodeKv::new(w, disk, self.mutant);
         Box::new(KvExec {
             sys: Arc::new(sys),
@@ -260,5 +263,13 @@ impl Harness<KvSpec> for KvHarness {
 
     fn name(&self) -> &str {
         "node KV store"
+    }
+
+    fn fault_surface(&self) -> FaultSurface {
+        FaultSurface {
+            transient_disk_io: true,
+            torn_writes: true,
+            ..FaultSurface::none()
+        }
     }
 }

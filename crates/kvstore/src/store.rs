@@ -22,7 +22,8 @@ use goose_rt::runtime::{GLock, ModelRtExt};
 use parking_lot::RwLock;
 use perennial::{DurId, GhostUnwrap, Lease, LockInv};
 use perennial_checker::World;
-use perennial_disk::single::{ModelDisk, SingleDisk};
+use perennial_disk::buffered::BufferedDisk;
+use perennial_disk::single::SingleDisk;
 use std::sync::Arc;
 
 /// Deliberate bugs for mutation tests.
@@ -52,7 +53,7 @@ type Pairs = Vec<(u64, u64)>;
 /// The instrumented KV store.
 pub struct NodeKv {
     mutant: KvMutant,
-    disk: Arc<ModelDisk>,
+    disk: Arc<BufferedDisk>,
     cells: Vec<DurId<Vec<u8>>>,
     lockinvs: Vec<Arc<LockInv<BucketBundle>>>,
     locks: RwLock<Vec<Arc<dyn GLock>>>,
@@ -65,7 +66,7 @@ impl NodeKv {
     pub const NBLOCKS: u64 = 3 * BUCKETS;
 
     /// Sets up ghost resources over a fresh disk.
-    pub fn new(w: &World<KvSpec>, disk: Arc<ModelDisk>, mutant: KvMutant) -> Self {
+    pub fn new(w: &World<KvSpec>, disk: Arc<BufferedDisk>, mutant: KvMutant) -> Self {
         let mut cells = Vec::new();
         let mut all_leases = Vec::new();
         for _ in 0..Self::NBLOCKS {
@@ -124,6 +125,9 @@ impl NodeKv {
         out
     }
 
+    /// Buffered block write: volatile until the next flush barrier. The
+    /// ghost master is advanced here (nothing compares master against the
+    /// platter, and recovery never depends on an unflushed shadow slot).
     fn wblk(
         &self,
         w: &World<KvSpec>,
@@ -134,6 +138,23 @@ impl NodeKv {
     ) {
         let block = 3 * b + which as u64;
         self.disk.write(block, &data);
+        w.ghost
+            .write_durable(self.cells[block as usize], &mut bundle.leases[which], data)
+            .ghost_unwrap();
+    }
+
+    /// Write-through block write: a single atomic durable write (FUA),
+    /// used for the install-pointer flip.
+    fn wblk_through(
+        &self,
+        w: &World<KvSpec>,
+        bundle: &mut BucketBundle,
+        b: u64,
+        which: usize,
+        data: Vec<u8>,
+    ) {
+        let block = 3 * b + which as u64;
+        self.disk.write_through(block, &data);
         w.ghost
             .write_durable(self.cells[block as usize], &mut bundle.leases[which], data)
             .ghost_unwrap();
@@ -173,18 +194,23 @@ impl NodeKv {
                 let flip = 1 - live;
                 let mut ptr = vec![0u8; Self::BLOCK_SIZE];
                 ptr[..8].copy_from_slice(&flip.to_le_bytes());
-                self.wblk(w, bundle, b, 0, ptr);
+                self.wblk_through(w, bundle, b, 0, ptr);
                 let ret = w.ghost.commit_op(tok).ghost_unwrap();
                 self.wblk(w, bundle, b, (1 + flip) as usize, encoded);
+                self.disk.flush();
                 ret
             }
             _ => {
-                // Correct: shadow write, then flip + commit (adjacent).
+                // Correct: buffered shadow write, flush barrier, then the
+                // pointer flip as a single write-through + commit
+                // (adjacent). A torn crash before the flush leaves the
+                // half-written shadow both volatile *and* invisible.
                 let flip = 1 - live;
                 self.wblk(w, bundle, b, (1 + flip) as usize, encoded);
+                self.disk.flush();
                 let mut ptr = vec![0u8; Self::BLOCK_SIZE];
                 ptr[..8].copy_from_slice(&flip.to_le_bytes());
-                self.wblk(w, bundle, b, 0, ptr);
+                self.wblk_through(w, bundle, b, 0, ptr);
                 w.ghost.commit_op(tok).ghost_unwrap()
             }
         }
@@ -266,6 +292,12 @@ impl NodeKv {
             }
             KvRet::Done => unreachable!("delete committed a put transition"),
         }
+    }
+
+    /// Crash transition for the disk: drop (or tear) the volatile write
+    /// buffer per the execution's fault plan.
+    pub fn crash(&self) {
+        self.disk.crash_torn();
     }
 
     /// Recovery: an uninstalled shadow slot is invisible — re-establish

@@ -116,3 +116,29 @@ fn mutant_no_lock_caught() {
         cx.outcome
     );
 }
+
+#[test]
+fn kv_passes_fault_sweeps() {
+    // Buffered shadow slots + flush barrier + write-through pointer
+    // flip: torn crashes and transient I/O errors change nothing
+    // observable.
+    let cfg = CheckConfig::builder()
+        .dfs_max_executions(0)
+        .random_samples(0)
+        .random_crash_samples(0)
+        .nested_crash_sweep(false)
+        .max_steps(200_000)
+        .fault_sweeps(true)
+        .build();
+    let h = KvHarness {
+        workload: KvWorkload::SinglePut,
+        ..KvHarness::default()
+    };
+    let report = check(&h, &cfg);
+    assert!(
+        report.passed(),
+        "counterexample: {:?}",
+        report.counterexample
+    );
+    assert!(report.fault_plans > 0, "fault passes actually ran");
+}

@@ -6,7 +6,7 @@
 use goose_rt::sched::ModelRt;
 use perennial::Ghost;
 use perennial_checker::World;
-use perennial_disk::single::ModelDisk;
+use perennial_disk::buffered::BufferedDisk;
 use perennial_kv::spec::{bucket_of, KvSpec, BUCKET_CAP};
 use perennial_kv::store::{KvMutant, NodeKv};
 use proptest::prelude::*;
@@ -40,7 +40,7 @@ proptest! {
         let rt = ModelRt::new(0, 10_000_000);
         let ghost = Ghost::new(KvSpec);
         let w = World { rt: Arc::clone(&rt), ghost };
-        let disk = ModelDisk::new(Arc::clone(&rt), NodeKv::NBLOCKS, NodeKv::BLOCK_SIZE);
+        let disk = BufferedDisk::new(Arc::clone(&rt), NodeKv::NBLOCKS, NodeKv::BLOCK_SIZE);
         let kv = NodeKv::new(&w, disk, KvMutant::None);
         kv.boot(&w);
 

@@ -4,8 +4,10 @@
 use crate::proof::{MbMutant, VerifiedMailboat};
 use crate::server::mail_dirs;
 use crate::spec::MailSpec;
+use goose_rt::fault::FaultSurface;
 use goose_rt::fs::ModelFs;
 use goose_rt::heap::Heap;
+use goose_rt::net::ModelNet;
 use perennial_checker::{Execution, Harness, ScenarioSet, ThreadBody, World};
 use std::sync::Arc;
 
@@ -23,6 +25,10 @@ pub enum MbWorkload {
     /// §8.3: a delivery reading from a heap slice while another thread
     /// mutates that slice — must be flagged as undefined behaviour.
     SliceRace,
+    /// A client submits deliveries over the unreliable model channel and
+    /// a courier performs them, deduplicating by request id (the
+    /// net-fault sweep drops/duplicates/delays each message).
+    NetDeliver,
 }
 
 /// Mailboat harness.
@@ -74,6 +80,11 @@ pub fn scenarios() -> ScenarioSet {
             "deliveries to two users racing a pickup",
             MbWorkload::TwoUsers,
         ),
+        (
+            "mailboat/net-deliver",
+            "courier delivering requests from an unreliable channel",
+            MbWorkload::NetDeliver,
+        ),
     ] {
         set.add(
             name,
@@ -123,6 +134,12 @@ pub fn mutant_scenarios() -> ScenarioSet {
             MbMutant::None,
             MbWorkload::SliceRace,
         ),
+        (
+            "mailboat/mutant/net-no-dedup",
+            "courier without request dedup (duplicate delivery)",
+            MbMutant::NetNoDedup,
+            MbWorkload::NetDeliver,
+        ),
     ] {
         set.add(
             name,
@@ -140,6 +157,8 @@ pub fn mutant_scenarios() -> ScenarioSet {
 struct MbExec {
     sys: Arc<VerifiedMailboat>,
     heap: Arc<Heap>,
+    net: Arc<ModelNet>,
+    mutant: MbMutant,
     workload: MbWorkload,
     after_round: bool,
 }
@@ -212,6 +231,54 @@ impl Execution<MailSpec> for MbExec {
                     }),
                 ));
             }
+            MbWorkload::NetDeliver => {
+                let net = Arc::clone(&self.net);
+                out.push((
+                    "net-client".into(),
+                    Box::new(move || {
+                        net.send(b"0:net-alpha");
+                        net.send(b"1:net-bravo");
+                        net.close();
+                    }),
+                ));
+                let sys = Arc::clone(&self.sys);
+                let w2 = w.clone();
+                let net = Arc::clone(&self.net);
+                let dedup = self.mutant != MbMutant::NetNoDedup;
+                out.push((
+                    "courier".into(),
+                    Box::new(move || {
+                        let mut seen = std::collections::BTreeSet::new();
+                        // Bounded poll loop: finite under every schedule
+                        // (a starved courier gives up, losing coverage
+                        // but never correctness).
+                        for _ in 0..64 {
+                            match net.recv() {
+                                Some(raw) => {
+                                    let text = String::from_utf8(raw).expect("utf8 request");
+                                    let (id, msg) = text.split_once(':').expect("framed request");
+                                    if !dedup || seen.insert(id.to_string()) {
+                                        sys.deliver(&w2, 0, msg);
+                                    }
+                                }
+                                None => {
+                                    if net.finished() {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        // At-most-once: whatever the channel did, no
+                        // request may have been delivered twice.
+                        let msgs = sys.pickup(&w2, 0);
+                        let mut contents: Vec<_> = msgs.iter().map(|(_, c)| c.clone()).collect();
+                        contents.sort();
+                        contents.dedup();
+                        assert_eq!(contents.len(), msgs.len(), "duplicate delivery: {msgs:?}");
+                        sys.unlock(&w2, 0);
+                    }),
+                ));
+            }
             MbWorkload::SliceRace => {
                 let msg = "abcdefgh";
                 let slice = self.heap.new_byte_slice(msg.as_bytes());
@@ -237,6 +304,7 @@ impl Execution<MailSpec> for MbExec {
     fn crash_reset(&mut self, _w: &World<MailSpec>) {
         self.sys_fs_crash();
         self.heap.crash();
+        self.net.crash();
     }
 
     fn recovery(&mut self, w: &World<MailSpec>) -> ThreadBody {
@@ -301,6 +369,8 @@ impl Harness<MailSpec> for MbHarness {
         Box::new(MbExec {
             sys: Arc::new(sys),
             heap,
+            net: ModelNet::new(Arc::clone(&w.rt)),
+            mutant: self.mutant,
             workload: self.workload,
             after_round: self.after_round,
         })
@@ -308,5 +378,12 @@ impl Harness<MailSpec> for MbHarness {
 
     fn name(&self) -> &str {
         "mailboat"
+    }
+
+    fn fault_surface(&self) -> FaultSurface {
+        FaultSurface {
+            net: self.workload == MbWorkload::NetDeliver,
+            ..FaultSurface::none()
+        }
     }
 }

@@ -43,6 +43,11 @@ pub enum MbMutant {
     SkipRecoveryCleanup,
     /// Delete without holding the pickup lock.
     DeleteWithoutLock,
+    /// The network courier delivers every received request without
+    /// deduplicating by request id: a plan-duplicated message lands
+    /// twice. Invisible to crash sweeps — only the net-fault sweep's
+    /// `Duplicate` plans expose it.
+    NetNoDedup,
 }
 
 /// Model-mode chunk sizes (small, to exercise the chunk loops without

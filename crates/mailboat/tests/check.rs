@@ -183,3 +183,69 @@ fn mutant_delete_without_lock_caught() {
         cx.outcome
     );
 }
+
+// ---------------------------------------------------------------------
+// Net-fault sweeps: the courier over the unreliable model channel.
+// ---------------------------------------------------------------------
+
+fn cfg_faults() -> CheckConfig {
+    CheckConfig::builder()
+        .dfs_max_executions(0)
+        .random_samples(0)
+        .random_crash_samples(0)
+        .nested_crash_sweep(false)
+        .max_steps(200_000)
+        .fault_sweeps(true)
+        .build()
+}
+
+#[test]
+fn net_deliver_passes_with_and_without_faults() {
+    // The deduplicating courier is correct under a reliable channel and
+    // under every single-fault plan (drop, duplicate, delay).
+    let h = MbHarness {
+        workload: MbWorkload::NetDeliver,
+        ..MbHarness::default()
+    };
+    let report = check(&h, &cfg());
+    assert!(report.passed(), "reliable: {:?}", report.counterexample);
+    let report = check(&h, &cfg_faults());
+    assert!(report.passed(), "faulty: {:?}", report.counterexample);
+}
+
+#[test]
+fn net_no_dedup_invisible_without_fault_sweep() {
+    // A reliable channel never duplicates, so the missing dedup is
+    // unobservable without the net-fault sweep.
+    let h = MbHarness {
+        mutant: MbMutant::NetNoDedup,
+        workload: MbWorkload::NetDeliver,
+        ..MbHarness::default()
+    };
+    let report = check(&h, &cfg());
+    assert!(
+        report.passed(),
+        "plain sweeps should NOT catch net-no-dedup: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn net_no_dedup_caught_by_net_fault_sweep() {
+    let h = MbHarness {
+        mutant: MbMutant::NetNoDedup,
+        workload: MbWorkload::NetDeliver,
+        ..MbHarness::default()
+    };
+    let report = check(&h, &cfg_faults());
+    let cx = report
+        .counterexample
+        .expect("net-fault sweep must catch net-no-dedup");
+    assert_eq!(cx.pass, "net-fault-sweep");
+    assert!(!cx.faults.is_empty(), "counterexample records the plan");
+    assert!(
+        matches!(cx.outcome, ExecOutcome::Bug(_)),
+        "duplicate delivery trips the courier's at-most-once assert: {:?}",
+        cx.outcome
+    );
+}

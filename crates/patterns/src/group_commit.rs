@@ -17,11 +17,13 @@
 //! transition adjacent to the count-block write. The crash transition
 //! then truncates precisely the entries beyond the watermark.
 
+use goose_rt::fault::FaultSurface;
 use goose_rt::runtime::{GLock, ModelRtExt};
 use parking_lot::{Mutex, RwLock};
 use perennial::{DurId, GhostUnwrap, Lease, LockInv};
 use perennial_checker::{Execution, Harness, ThreadBody, World};
-use perennial_disk::single::{ModelDisk, SingleDisk};
+use perennial_disk::buffered::BufferedDisk;
+use perennial_disk::single::SingleDisk;
 use perennial_spec::{SpecTS, Transition};
 use std::sync::Arc;
 
@@ -134,7 +136,7 @@ pub struct GcBundle {
 /// The instrumented group-commit log.
 pub struct GroupCommitLog {
     mutant: GcMutant,
-    disk: Arc<ModelDisk>,
+    disk: Arc<BufferedDisk>,
     cells: Vec<DurId<Vec<u8>>>,
     lockinv: Arc<LockInv<GcBundle>>,
     lock: RwLock<Option<Arc<dyn GLock>>>,
@@ -155,7 +157,7 @@ impl GroupCommitLog {
     pub const NBLOCKS: u64 = CAP + 1;
 
     /// Sets up ghost resources over a fresh disk.
-    pub fn new(w: &World<GcSpec>, disk: Arc<ModelDisk>, mutant: GcMutant) -> Self {
+    pub fn new(w: &World<GcSpec>, disk: Arc<BufferedDisk>, mutant: GcMutant) -> Self {
         let mut cells = Vec::new();
         let mut leases = Vec::new();
         for _ in 0..Self::NBLOCKS {
@@ -213,7 +215,7 @@ impl GroupCommitLog {
 
         if self.mutant == GcMutant::CountFirst {
             let n = persisted + buffered.len();
-            self.disk.write(0, &enc(n as u64));
+            self.disk.write_through(0, &enc(n as u64));
             w.ghost
                 .write_durable(self.cells[0], &mut bundle.leases[0], enc(n as u64))
                 .ghost_unwrap();
@@ -231,8 +233,9 @@ impl GroupCommitLog {
                     )
                     .ghost_unwrap();
             }
+            self.disk.flush();
         } else {
-            // Entry blocks first…
+            // Entry blocks first, flushed durable…
             for (i, v) in buffered.iter().enumerate() {
                 let blk = (persisted + i + 1) as u64;
                 self.disk.write(blk, &enc(*v));
@@ -244,10 +247,12 @@ impl GroupCommitLog {
                     )
                     .ghost_unwrap();
             }
-            // …then the count block: the durability point. The internal
-            // spec step advancing the watermark is adjacent.
+            self.disk.flush();
+            // …then the count block: the durability point, a single
+            // write-through. The internal spec step advancing the
+            // watermark is adjacent.
             let n = persisted + buffered.len();
-            self.disk.write(0, &enc(n as u64));
+            self.disk.write_through(0, &enc(n as u64));
             w.ghost
                 .write_durable(self.cells[0], &mut bundle.leases[0], enc(n as u64))
                 .ghost_unwrap();
@@ -286,6 +291,12 @@ impl GroupCommitLog {
             }
             GcRet::Done => unreachable!("read committed an append transition"),
         }
+    }
+
+    /// Crash transition for the disk: drop (or tear) the volatile write
+    /// buffer per the execution's fault plan.
+    pub fn crash(&self) {
+        self.disk.crash_torn();
     }
 
     /// Recovery: the durable prefix is already consistent; re-establish
@@ -381,7 +392,9 @@ impl Execution<GcSpec> for GcExec {
         out
     }
 
-    fn crash_reset(&mut self, _w: &World<GcSpec>) {}
+    fn crash_reset(&mut self, _w: &World<GcSpec>) {
+        self.sys.crash();
+    }
 
     fn recovery(&mut self, w: &World<GcSpec>) -> ThreadBody {
         let sys = Arc::clone(&self.sys);
@@ -418,12 +431,20 @@ impl Harness<GcSpec> for GcHarness {
     }
 
     fn make(&self, w: &World<GcSpec>) -> Box<dyn Execution<GcSpec>> {
-        let disk = ModelDisk::new(Arc::clone(&w.rt), GroupCommitLog::NBLOCKS, 8);
+        let disk = BufferedDisk::new(Arc::clone(&w.rt), GroupCommitLog::NBLOCKS, 8);
         let sys = GroupCommitLog::new(w, disk, self.mutant);
         Box::new(GcExec { sys: Arc::new(sys) })
     }
 
     fn name(&self) -> &str {
         "group commit"
+    }
+
+    fn fault_surface(&self) -> FaultSurface {
+        FaultSurface {
+            transient_disk_io: true,
+            torn_writes: true,
+            ..FaultSurface::none()
+        }
     }
 }

@@ -98,6 +98,11 @@ pub fn mutant_scenarios() -> ScenarioSet {
             "no helping token",
             WalMutant::SkipHelping,
         ),
+        (
+            "patterns/mutant/wal-skip-commit-flush",
+            "no flush barrier before the commit header",
+            WalMutant::SkipCommitFlush,
+        ),
     ] {
         set.add(
             name,

@@ -17,11 +17,13 @@
 //! re-establishing leases.
 
 use crate::pair_spec::{dec, enc, PairOp, PairRet, PairSpec};
+use goose_rt::fault::FaultSurface;
 use goose_rt::runtime::{GLock, ModelRtExt};
 use parking_lot::RwLock;
 use perennial::{DurId, GhostUnwrap, Lease, LockInv};
 use perennial_checker::{Execution, Harness, ThreadBody, World};
-use perennial_disk::single::{ModelDisk, SingleDisk};
+use perennial_disk::buffered::BufferedDisk;
+use perennial_disk::single::SingleDisk;
 use std::sync::Arc;
 
 /// Deliberate bugs for mutation tests.
@@ -45,7 +47,7 @@ pub struct ShadowBundle {
 /// The instrumented shadow-copy pair store.
 pub struct ShadowPair {
     mutant: ShadowMutant,
-    disk: Arc<ModelDisk>,
+    disk: Arc<BufferedDisk>,
     cells: Vec<DurId<Vec<u8>>>,
     lockinv: Arc<LockInv<ShadowBundle>>,
     lock: RwLock<Option<Arc<dyn GLock>>>,
@@ -56,7 +58,7 @@ impl ShadowPair {
     pub const NBLOCKS: u64 = 5;
 
     /// Sets up ghost resources over a fresh 5-block disk.
-    pub fn new(w: &World<PairSpec>, disk: Arc<ModelDisk>, mutant: ShadowMutant) -> Self {
+    pub fn new(w: &World<PairSpec>, disk: Arc<BufferedDisk>, mutant: ShadowMutant) -> Self {
         let mut cells = Vec::new();
         let mut leases = Vec::new();
         for _ in 0..Self::NBLOCKS {
@@ -104,12 +106,14 @@ impl ShadowPair {
             ShadowMutant::None => {
                 let live = dec(&self.disk.read(0));
                 let (dst1, dst2, flip) = if live == 0 { (3, 4, 1) } else { (1, 2, 0) };
-                // Write the shadow copy (invisible until installed).
+                // Write the shadow copy (invisible until installed) and
+                // flush it durable before the install.
                 self.write_block(w, &mut bundle, dst1, a);
                 self.write_block(w, &mut bundle, dst2, b);
+                self.disk.flush();
                 // Flip the install pointer: the linearization point; the
-                // ghost commit is adjacent to the atomic block write.
-                self.disk.write(0, &enc(flip));
+                // ghost commit is adjacent to the atomic write-through.
+                self.disk.write_through(0, &enc(flip));
                 w.ghost
                     .write_durable(self.cells[0], &mut bundle.leases[0], enc(flip))
                     .ghost_unwrap();
@@ -121,7 +125,7 @@ impl ShadowPair {
             ShadowMutant::FlipFirst => {
                 let live = dec(&self.disk.read(0));
                 let (dst1, dst2, flip) = if live == 0 { (3, 4, 1) } else { (1, 2, 0) };
-                self.disk.write(0, &enc(flip));
+                self.disk.write_through(0, &enc(flip));
                 w.ghost
                     .write_durable(self.cells[0], &mut bundle.leases[0], enc(flip))
                     .ghost_unwrap();
@@ -164,6 +168,12 @@ impl ShadowPair {
             PairRet::Val(x, y) => (x, y),
             PairRet::Unit => unreachable!("get committed a put transition"),
         }
+    }
+
+    /// Crash transition for the disk: drop (or tear) the volatile write
+    /// buffer per the execution's fault plan.
+    pub fn crash(&self) {
+        self.disk.crash_torn();
     }
 
     /// Recovery: nothing to repair — an uninstalled shadow is invisible.
@@ -237,7 +247,9 @@ impl Execution<PairSpec> for ShadowExec {
         out
     }
 
-    fn crash_reset(&mut self, _w: &World<PairSpec>) {}
+    fn crash_reset(&mut self, _w: &World<PairSpec>) {
+        self.sys.crash();
+    }
 
     fn recovery(&mut self, w: &World<PairSpec>) -> ThreadBody {
         let sys = Arc::clone(&self.sys);
@@ -272,7 +284,7 @@ impl Harness<PairSpec> for ShadowHarness {
     }
 
     fn make(&self, w: &World<PairSpec>) -> Box<dyn Execution<PairSpec>> {
-        let disk = ModelDisk::new(Arc::clone(&w.rt), ShadowPair::NBLOCKS, 8);
+        let disk = BufferedDisk::new(Arc::clone(&w.rt), ShadowPair::NBLOCKS, 8);
         let sys = ShadowPair::new(w, disk, self.mutant);
         Box::new(ShadowExec {
             sys: Arc::new(sys),
@@ -282,5 +294,13 @@ impl Harness<PairSpec> for ShadowHarness {
 
     fn name(&self) -> &str {
         "shadow copy"
+    }
+
+    fn fault_surface(&self) -> FaultSurface {
+        FaultSurface {
+            transient_disk_io: true,
+            torn_writes: true,
+            ..FaultSurface::none()
+        }
     }
 }

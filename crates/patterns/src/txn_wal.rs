@@ -21,11 +21,13 @@
 //! header clear, with the helping token redeemed by recovery if a crash
 //! intervenes (same structure as [`crate::wal`], generalized).
 
+use goose_rt::fault::FaultSurface;
 use goose_rt::runtime::{GLock, ModelRtExt};
 use parking_lot::RwLock;
 use perennial::{DurId, GhostUnwrap, Lease, LockInv};
 use perennial_checker::{Execution, Harness, ThreadBody, World};
-use perennial_disk::single::{ModelDisk, SingleDisk};
+use perennial_disk::buffered::BufferedDisk;
+use perennial_disk::single::SingleDisk;
 use perennial_spec::{SpecTS, Transition};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -140,7 +142,7 @@ pub struct TxnBundle {
 /// The instrumented transactional WAL.
 pub struct TxnWal {
     mutant: TxnMutant,
-    disk: Arc<ModelDisk>,
+    disk: Arc<BufferedDisk>,
     cells: Vec<DurId<Vec<u8>>>,
     lockinv: Arc<LockInv<TxnBundle>>,
     lock: RwLock<Option<Arc<dyn GLock>>>,
@@ -151,7 +153,7 @@ impl TxnWal {
     pub const NBLOCKS: u64 = LOG_END + DATA_BLOCKS;
 
     /// Sets up ghost resources over a fresh disk.
-    pub fn new(w: &World<TxnSpec>, disk: Arc<ModelDisk>, mutant: TxnMutant) -> Self {
+    pub fn new(w: &World<TxnSpec>, disk: Arc<BufferedDisk>, mutant: TxnMutant) -> Self {
         let mut cells = Vec::new();
         let mut leases = Vec::new();
         for _ in 0..Self::NBLOCKS {
@@ -188,6 +190,14 @@ impl TxnWal {
             .ghost_unwrap();
     }
 
+    /// Durable header transition (write-through; see [`crate::wal`]).
+    fn set_header(&self, w: &World<TxnSpec>, bundle: &mut TxnBundle, v: u64) {
+        self.disk.write_through(0, &enc(v));
+        w.ghost
+            .write_durable(self.cells[0], &mut bundle.leases[0], enc(v))
+            .ghost_unwrap();
+    }
+
     /// Atomically applies `writes` to the data region.
     pub fn commit_txn(&self, w: &World<TxnSpec>, writes: &[(u64, u64)]) {
         assert!(writes.len() as u64 <= MAX_TXN, "transaction too large");
@@ -204,9 +214,10 @@ impl TxnWal {
             for (a, v) in writes {
                 self.wblk(w, &mut bundle, LOG_END + a, *v);
             }
+            self.disk.flush();
         } else {
             if self.mutant == TxnMutant::HeaderFirst {
-                self.wblk(w, &mut bundle, 0, writes.len() as u64);
+                self.set_header(w, &mut bundle, writes.len() as u64);
             }
             // Log the entries (address, value alternating).
             for (i, (a, v)) in writes.iter().enumerate() {
@@ -214,20 +225,21 @@ impl TxnWal {
                 self.wblk(w, &mut bundle, 2 + 2 * i as u64, *v);
             }
             if self.mutant != TxnMutant::HeaderFirst {
-                // Durable commit point: the header names the entry count.
-                self.wblk(w, &mut bundle, 0, writes.len() as u64);
+                // Flush the log durable, then the durable commit point:
+                // the write-through header names the entry count.
+                self.disk.flush();
+                self.set_header(w, &mut bundle, writes.len() as u64);
             }
-            // Apply to the data region.
+            // Apply to the data region and flush it durable before the
+            // header is cleared.
             for (a, v) in writes {
                 self.wblk(w, &mut bundle, LOG_END + a, *v);
             }
+            self.disk.flush();
         }
 
         // Clear the header; the logical update takes effect here.
-        self.disk.write(0, &enc(0));
-        w.ghost
-            .write_durable(self.cells[0], &mut bundle.leases[0], enc(0))
-            .ghost_unwrap();
+        self.set_header(w, &mut bundle, 0);
         w.ghost.unstash_op(&tok, TXN_KEY).ghost_unwrap();
         let ret = w.ghost.commit_op(&tok).ghost_unwrap();
 
@@ -275,11 +287,9 @@ impl TxnWal {
                 let v = dec(&self.disk.read(2 + 2 * i));
                 self.wblk(w, &mut bundle, LOG_END + a, v);
             }
+            self.disk.flush();
             // Clear the header and redeem the crashed thread's token.
-            self.disk.write(0, &enc(0));
-            w.ghost
-                .write_durable(self.cells[0], &mut bundle.leases[0], enc(0))
-                .ghost_unwrap();
+            self.set_header(w, &mut bundle, 0);
             let (_jid, ret) = w.ghost.help_commit(TXN_KEY).ghost_unwrap();
             debug_assert_eq!(ret, TxnRet::Done);
         } else if w.ghost.has_help(TXN_KEY) {
@@ -289,6 +299,12 @@ impl TxnWal {
 
         self.lockinv.reset(bundle);
         w.ghost.recovery_done().ghost_unwrap();
+    }
+
+    /// Crash transition for the disk: drop (or tear) the volatile write
+    /// buffer per the execution's fault plan.
+    pub fn crash(&self) {
+        self.disk.crash_torn();
     }
 
     /// AbsR at quiescence: data region equals σ and the log is clear.
@@ -368,7 +384,9 @@ impl Execution<TxnSpec> for TxnExec {
         out
     }
 
-    fn crash_reset(&mut self, _w: &World<TxnSpec>) {}
+    fn crash_reset(&mut self, _w: &World<TxnSpec>) {
+        self.sys.crash();
+    }
 
     fn recovery(&mut self, w: &World<TxnSpec>) -> ThreadBody {
         let sys = Arc::clone(&self.sys);
@@ -404,7 +422,7 @@ impl Harness<TxnSpec> for TxnHarness {
     }
 
     fn make(&self, w: &World<TxnSpec>) -> Box<dyn Execution<TxnSpec>> {
-        let disk = ModelDisk::new(Arc::clone(&w.rt), TxnWal::NBLOCKS, 8);
+        let disk = BufferedDisk::new(Arc::clone(&w.rt), TxnWal::NBLOCKS, 8);
         let sys = TxnWal::new(w, disk, self.mutant);
         Box::new(TxnExec {
             sys: Arc::new(sys),
@@ -414,6 +432,14 @@ impl Harness<TxnSpec> for TxnHarness {
 
     fn name(&self) -> &str {
         "transactional WAL"
+    }
+
+    fn fault_surface(&self) -> FaultSurface {
+        FaultSurface {
+            transient_disk_io: true,
+            torn_writes: true,
+            ..FaultSurface::none()
+        }
     }
 }
 

@@ -19,13 +19,24 @@
 //! recovery finds the committed transaction, finishes applying it, and
 //! redeems the helping token stashed in the crash invariant to justify
 //! the spec step on the crashed thread's behalf.
+//!
+//! The disk is a [`BufferedDisk`]: data writes land in a volatile buffer
+//! and must be made durable by an explicit [`BufferedDisk::flush`]
+//! *before* the header transition that depends on them; the header
+//! itself goes through [`BufferedDisk::write_through`] so each commit
+//! record stays a single atomic durable write. The checker's torn-write
+//! sweep crashes with the buffer only partially persisted, so a missing
+//! flush (see [`WalMutant::SkipCommitFlush`]) is a findable bug, not a
+//! silent assumption.
 
 use crate::pair_spec::{dec, enc, PairOp, PairRet, PairSpec};
+use goose_rt::fault::FaultSurface;
 use goose_rt::runtime::{GLock, ModelRtExt};
 use parking_lot::RwLock;
 use perennial::{DurId, GhostUnwrap, Lease, LockInv};
 use perennial_checker::{Execution, Harness, ThreadBody, World};
-use perennial_disk::single::{ModelDisk, SingleDisk};
+use perennial_disk::buffered::BufferedDisk;
+use perennial_disk::single::SingleDisk;
 use std::sync::Arc;
 
 /// Helping key for the single in-flight transaction (the global lock
@@ -44,6 +55,12 @@ pub enum WalMutant {
     HeaderFirst,
     /// Never stash the helping token.
     SkipHelping,
+    /// Skip the flush that makes the log entries durable before the
+    /// commit header is set. Invisible to the plain crash sweep (an
+    /// un-torn crash persists the buffer anyway) — only the torn-write
+    /// sweep catches it, by crashing with the header durable but the log
+    /// torn away.
+    SkipCommitFlush,
 }
 
 /// Ghost bundle protected by the global lock.
@@ -54,7 +71,7 @@ pub struct WalBundle {
 /// The instrumented write-ahead-log pair store.
 pub struct WalPair {
     mutant: WalMutant,
-    disk: Arc<ModelDisk>,
+    disk: Arc<BufferedDisk>,
     cells: Vec<DurId<Vec<u8>>>,
     lockinv: Arc<LockInv<WalBundle>>,
     lock: RwLock<Option<Arc<dyn GLock>>>,
@@ -65,7 +82,7 @@ impl WalPair {
     pub const NBLOCKS: u64 = 5;
 
     /// Sets up ghost resources over a fresh 5-block disk.
-    pub fn new(w: &World<PairSpec>, disk: Arc<ModelDisk>, mutant: WalMutant) -> Self {
+    pub fn new(w: &World<PairSpec>, disk: Arc<BufferedDisk>, mutant: WalMutant) -> Self {
         let mut cells = Vec::new();
         let mut leases = Vec::new();
         for _ in 0..Self::NBLOCKS {
@@ -91,6 +108,11 @@ impl WalPair {
         Arc::clone(self.lock.read().as_ref().expect("boot() not called"))
     }
 
+    /// Buffered data write + ghost update. The ghost master is updated at
+    /// write time even though the physical write is still volatile; this
+    /// is sound here because nothing compares the ghost master against
+    /// the platter, and recovery rewrites every cell it touches (see
+    /// DESIGN.md §10 on this deliberate modelling shortcut).
     fn wblk(&self, w: &World<PairSpec>, bundle: &mut WalBundle, block: u64, v: u64) {
         self.disk.write(block, &enc(v));
         w.ghost
@@ -99,6 +121,15 @@ impl WalPair {
                 &mut bundle.leases[block as usize],
                 enc(v),
             )
+            .ghost_unwrap();
+    }
+
+    /// Durable header transition: a single write-through block write (the
+    /// commit record must not have a torn window).
+    fn set_header(&self, w: &World<PairSpec>, bundle: &mut WalBundle, v: u64) {
+        self.disk.write_through(0, &enc(v));
+        w.ghost
+            .write_durable(self.cells[0], &mut bundle.leases[0], enc(v))
             .ghost_unwrap();
     }
 
@@ -116,28 +147,32 @@ impl WalPair {
         }
 
         if self.mutant == WalMutant::HeaderFirst {
-            self.wblk(w, &mut bundle, 0, 1);
+            self.set_header(w, &mut bundle, 1);
             self.wblk(w, &mut bundle, 1, a);
             self.wblk(w, &mut bundle, 2, b);
+            self.disk.flush();
         } else {
-            // Log both values, then commit the transaction durably by
-            // setting the header (a single atomic block write).
+            // Log both values, flush so the log is durable, then commit
+            // the transaction with the write-through header set.
             self.wblk(w, &mut bundle, 1, a);
             self.wblk(w, &mut bundle, 2, b);
-            self.wblk(w, &mut bundle, 0, 1);
+            if self.mutant != WalMutant::SkipCommitFlush {
+                self.disk.flush();
+            }
+            self.set_header(w, &mut bundle, 1);
         }
 
-        // Apply the log to the main region.
+        // Apply the log to the main region and make it durable before
+        // the header is cleared (recovery must never see an empty header
+        // over a torn main region).
         self.wblk(w, &mut bundle, 3, a);
         self.wblk(w, &mut bundle, 4, b);
+        self.disk.flush();
 
         // Clear the header: the apply is complete and the logical update
         // takes effect — retrieve the helping token and commit adjacently
         // with this atomic block write.
-        self.disk.write(0, &enc(0));
-        w.ghost
-            .write_durable(self.cells[0], &mut bundle.leases[0], enc(0))
-            .ghost_unwrap();
+        self.set_header(w, &mut bundle, 0);
         if self.mutant != WalMutant::SkipHelping {
             w.ghost.unstash_op(&tok, TXN_KEY).ghost_unwrap();
         }
@@ -178,17 +213,16 @@ impl WalPair {
 
         let header = dec(&self.disk.read(0));
         if header == 1 && self.mutant != WalMutant::SkipRecoveryApply {
-            // Committed but unapplied: finish the apply.
+            // Committed but unapplied: finish the apply, flush it durable,
+            // then clear the header write-through.
             let a = dec(&self.disk.read(1));
             let b = dec(&self.disk.read(2));
             self.wblk(w, &mut bundle, 3, a);
             self.wblk(w, &mut bundle, 4, b);
+            self.disk.flush();
             // Clear the header; the crashed thread's operation takes
             // logical effect here — redeem its token (§5.4).
-            self.disk.write(0, &enc(0));
-            w.ghost
-                .write_durable(self.cells[0], &mut bundle.leases[0], enc(0))
-                .ghost_unwrap();
+            self.set_header(w, &mut bundle, 0);
             let (_jid, ret) = w.ghost.help_commit(TXN_KEY).ghost_unwrap();
             debug_assert_eq!(ret, PairRet::Unit);
         } else if w.ghost.has_help(TXN_KEY) {
@@ -199,6 +233,12 @@ impl WalPair {
 
         self.lockinv.reset(bundle);
         w.ghost.recovery_done().ghost_unwrap();
+    }
+
+    /// Crash transition for the disk: drop (or tear) the volatile write
+    /// buffer per the execution's fault plan.
+    pub fn crash(&self) {
+        self.disk.crash_torn();
     }
 
     /// AbsR at quiescence: the main region equals σ and no transaction is
@@ -264,7 +304,9 @@ impl Execution<PairSpec> for WalExec {
         out
     }
 
-    fn crash_reset(&mut self, _w: &World<PairSpec>) {}
+    fn crash_reset(&mut self, _w: &World<PairSpec>) {
+        self.sys.crash();
+    }
 
     fn recovery(&mut self, w: &World<PairSpec>) -> ThreadBody {
         let sys = Arc::clone(&self.sys);
@@ -298,7 +340,7 @@ impl Harness<PairSpec> for WalHarness {
     }
 
     fn make(&self, w: &World<PairSpec>) -> Box<dyn Execution<PairSpec>> {
-        let disk = ModelDisk::new(Arc::clone(&w.rt), WalPair::NBLOCKS, 8);
+        let disk = BufferedDisk::new(Arc::clone(&w.rt), WalPair::NBLOCKS, 8);
         let sys = WalPair::new(w, disk, self.mutant);
         Box::new(WalExec {
             sys: Arc::new(sys),
@@ -308,5 +350,13 @@ impl Harness<PairSpec> for WalHarness {
 
     fn name(&self) -> &str {
         "write-ahead log"
+    }
+
+    fn fault_surface(&self) -> FaultSurface {
+        FaultSurface {
+            transient_disk_io: true,
+            torn_writes: true,
+            ..FaultSurface::none()
+        }
     }
 }

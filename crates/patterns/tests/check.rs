@@ -321,3 +321,80 @@ fn synced_log_mutant_skip_dir_sync_caught() {
         cx.outcome
     );
 }
+
+// ---------------------------------------------------------------------
+// Fault-injection sweeps (torn writes at the buffered-disk layer).
+// ---------------------------------------------------------------------
+
+fn cfg_faults() -> CheckConfig {
+    CheckConfig::builder()
+        .dfs_max_executions(0)
+        .random_samples(0)
+        .random_crash_samples(0)
+        .nested_crash_sweep(false)
+        .fault_sweeps(true)
+        .build()
+}
+
+#[test]
+fn wal_mutant_skip_commit_flush_invisible_to_plain_crash_sweep() {
+    // Without torn writes every crash keeps the whole write buffer
+    // (KeepAll), so skipping the flush barrier before the commit header
+    // is unobservable — exactly why the torn-write sweep exists.
+    let h = WalHarness {
+        mutant: WalMutant::SkipCommitFlush,
+        with_reader: false,
+    };
+    let report = check(&h, &cfg());
+    assert!(
+        report.passed(),
+        "plain crash sweep should NOT catch skip-commit-flush: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn wal_mutant_skip_commit_flush_caught_by_torn_write_sweep() {
+    let h = WalHarness {
+        mutant: WalMutant::SkipCommitFlush,
+        with_reader: false,
+    };
+    let report = check(&h, &cfg_faults());
+    let cx = report
+        .counterexample
+        .expect("torn-write sweep must catch skip-commit-flush");
+    assert_eq!(cx.pass, "torn-write-sweep");
+    assert!(!cx.faults.is_empty(), "counterexample records the plan");
+    assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
+}
+
+#[test]
+fn patterns_pass_under_fault_sweeps() {
+    let cfg = cfg_faults();
+    let wal = check(
+        &WalHarness {
+            with_reader: false,
+            ..WalHarness::default()
+        },
+        &cfg,
+    );
+    assert!(wal.passed(), "wal: {:?}", wal.counterexample);
+    let shadow = check(
+        &ShadowHarness {
+            with_reader: false,
+            ..ShadowHarness::default()
+        },
+        &cfg,
+    );
+    assert!(shadow.passed(), "shadow: {:?}", shadow.counterexample);
+    let gc = check(&GcHarness::default(), &cfg);
+    assert!(gc.passed(), "group commit: {:?}", gc.counterexample);
+    let txn = check(
+        &crash_patterns::txn_wal::TxnHarness {
+            with_reader: false,
+            ..crash_patterns::txn_wal::TxnHarness::default()
+        },
+        &cfg,
+    );
+    assert!(txn.passed(), "txn wal: {:?}", txn.counterexample);
+}

@@ -3,6 +3,7 @@
 
 use crate::proof::{RdMutant, VerifiedReplDisk};
 use crate::spec::{RdSpec, RdState};
+use goose_rt::fault::FaultSurface;
 use perennial_checker::{Execution, Harness, ScenarioSet, ThreadBody, World};
 use perennial_disk::two::{DiskId, ModelTwoDisks, TwoDisks};
 use std::sync::Arc;
@@ -114,6 +115,12 @@ pub fn mutant_scenarios() -> ScenarioSet {
             "repldisk/mutant/commit-early",
             "commit at first write",
             RdMutant::CommitEarly,
+            RdWorkload::SingleWrite,
+        ),
+        (
+            "repldisk/mutant/transient-give-up",
+            "transient I/O error treated as dead disk",
+            RdMutant::GiveUpOnTransient,
             RdWorkload::SingleWrite,
         ),
     ] {
@@ -233,6 +240,11 @@ impl Execution<RdSpec> for RdExec {
         Box::new(move || sys.rd_recover(&w2))
     }
 
+    fn inject_disk_failure(&mut self, _w: &World<RdSpec>, disk: u8) {
+        self.disks
+            .fail(if disk == 1 { DiskId::D1 } else { DiskId::D2 });
+    }
+
     fn after_recovery(&mut self, w: &World<RdSpec>) -> Vec<(String, ThreadBody)> {
         if !self.after_round {
             return Vec::new();
@@ -251,18 +263,22 @@ impl Execution<RdSpec> for RdExec {
     }
 
     fn final_check(&self, w: &World<RdSpec>) -> Result<(), String> {
-        // AbsR at quiescence: the logical disk equals σ. If disk 1 works
-        // the platters must also agree (the lock invariant's "values
-        // agree when the lock is free" holds at quiescence).
+        // AbsR at quiescence: every *working* disk equals σ (the lock
+        // invariant's "values agree when the lock is free" holds at
+        // quiescence). A failed disk's platter is frozen and excused —
+        // the plan-scheduled failure sweeps fail either disk.
         let sigma: RdState = w.ghost.spec_state();
         let d1_failed = self.disks.is_failed(DiskId::D1);
+        let d2_failed = self.disks.is_failed(DiskId::D2);
         for a in 0..self.disks.size() {
             let expect = sigma.get(&a).cloned().unwrap();
-            let d2 = self.disks.peek(DiskId::D2, a);
-            if d2 != expect {
-                return Err(format!(
-                    "AbsR violated: disk2[{a}] = {d2:?}, spec has {expect:?}"
-                ));
+            if !d2_failed {
+                let d2 = self.disks.peek(DiskId::D2, a);
+                if d2 != expect {
+                    return Err(format!(
+                        "AbsR violated: disk2[{a}] = {d2:?}, spec has {expect:?}"
+                    ));
+                }
             }
             if !d1_failed {
                 let d1 = self.disks.peek(DiskId::D1, a);
@@ -298,5 +314,16 @@ impl Harness<RdSpec> for RdHarness {
 
     fn name(&self) -> &str {
         "replicated disk"
+    }
+
+    fn fault_surface(&self) -> FaultSurface {
+        // The failover workload injects its own disk-1 failure; a
+        // plan-scheduled failure on top would exceed the one-failure
+        // fault model the replicated disk is specified against.
+        FaultSurface {
+            transient_disk_io: true,
+            two_disk: self.workload != RdWorkload::Failover,
+            ..FaultSurface::none()
+        }
     }
 }

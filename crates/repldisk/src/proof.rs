@@ -45,6 +45,11 @@ pub enum RdMutant {
     /// Commit at the first disk write instead of the second (premature
     /// linearization: a crash in between loses a committed write).
     CommitEarly,
+    /// Treat a single transient I/O error as a permanent disk failure:
+    /// skip the write (or fail the read over to the other disk) instead
+    /// of retrying. Invisible to crash sweeps — only the disk-fault
+    /// sweep's transient plans expose the silently dropped write.
+    GiveUpOnTransient,
 }
 
 /// Per-address lock-invariant bundle: the two recovery leases.
@@ -125,12 +130,25 @@ impl VerifiedReplDisk {
         // Try disk 1; on failure fall back to disk 2. The successful read
         // is the linearization point: commit adjacently (same atomic
         // step, no schedule point in between).
-        let v = match self.disks.disk_read(DiskId::D1, a) {
-            Some(v) => v,
-            None => self
-                .disks
-                .disk_read(DiskId::D2, a)
-                .expect("both disks failed"),
+        let v = if self.mutant == RdMutant::GiveUpOnTransient {
+            // Mutant: one transient error and the disk is written off.
+            match self.disks.try_disk_read(DiskId::D1, a) {
+                Ok(Some(v)) => v,
+                _ => self
+                    .disks
+                    .try_disk_read(DiskId::D2, a)
+                    .ok()
+                    .flatten()
+                    .expect("both disks failed"),
+            }
+        } else {
+            match self.disks.disk_read(DiskId::D1, a) {
+                Some(v) => v,
+                None => self
+                    .disks
+                    .disk_read(DiskId::D2, a)
+                    .expect("both disks failed"),
+            }
         };
         let ret = w.ghost.commit_op(&tok).ghost_unwrap();
         self.lockinvs[a as usize].put(bundle).ghost_unwrap();
@@ -163,7 +181,14 @@ impl VerifiedReplDisk {
         }
 
         // First physical write + its ghost mirror (one atomic step).
-        self.disks.disk_write(DiskId::D1, a, v);
+        if self.mutant == RdMutant::GiveUpOnTransient {
+            // Mutant: no retry — a transient error silently drops the
+            // write while the ghost mirror (and later the commit) still
+            // advance.
+            let _ = self.disks.try_disk_write(DiskId::D1, a, v);
+        } else {
+            self.disks.disk_write(DiskId::D1, a, v);
+        }
         w.ghost
             .write_durable(self.d1[a as usize], &mut bundle.lease1, v.to_vec())
             .ghost_unwrap();
@@ -186,7 +211,11 @@ impl VerifiedReplDisk {
             }
             w.ghost.commit_op(&tok).ghost_unwrap()
         } else {
-            self.disks.disk_write(DiskId::D2, a, v);
+            if self.mutant == RdMutant::GiveUpOnTransient {
+                let _ = self.disks.try_disk_write(DiskId::D2, a, v);
+            } else {
+                self.disks.disk_write(DiskId::D2, a, v);
+            }
             w.ghost
                 .write_durable(self.d2[a as usize], &mut bundle.lease2, v.to_vec())
                 .ghost_unwrap();

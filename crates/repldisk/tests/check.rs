@@ -180,3 +180,71 @@ fn mutant_commit_early_caught() {
     let cx = report.counterexample.expect("commit-early must be caught");
     assert!(!cx.crash_points.is_empty(), "only reachable via a crash");
 }
+
+// ---------------------------------------------------------------------
+// Fault-injection sweeps (transient I/O errors and plan-scheduled disk
+// failures).
+// ---------------------------------------------------------------------
+
+fn cfg_faults() -> CheckConfig {
+    CheckConfig::builder()
+        .dfs_max_executions(0)
+        .random_samples(0)
+        .random_crash_samples(0)
+        .nested_crash_sweep(false)
+        .fault_sweeps(true)
+        .build()
+}
+
+#[test]
+fn transient_give_up_invisible_without_fault_sweep() {
+    // Without a transient plan no I/O op ever errors, so the mutant's
+    // missing retry never fires — exactly why the disk-fault sweep
+    // exists.
+    let h = RdHarness {
+        mutant: RdMutant::GiveUpOnTransient,
+        workload: RdWorkload::SingleWrite,
+        ..RdHarness::default()
+    };
+    let report = check(&h, &cfg());
+    assert!(
+        report.passed(),
+        "plain sweeps should NOT catch give-up-on-transient: {:?}",
+        report.counterexample
+    );
+}
+
+#[test]
+fn transient_give_up_caught_by_disk_fault_sweep() {
+    let h = RdHarness {
+        mutant: RdMutant::GiveUpOnTransient,
+        workload: RdWorkload::SingleWrite,
+        ..RdHarness::default()
+    };
+    let report = check(&h, &cfg_faults());
+    let cx = report
+        .counterexample
+        .expect("disk-fault sweep must catch give-up-on-transient");
+    assert_eq!(cx.pass, "disk-fault-sweep");
+    assert!(!cx.faults.is_empty(), "counterexample records the plan");
+}
+
+#[test]
+fn repldisk_passes_disk_fault_sweep() {
+    // Transient errors are absorbed by retries, and a plan-scheduled
+    // permanent failure of either disk (including during recovery) is
+    // within the replicated disk's one-failure fault model.
+    let cfg = cfg_faults();
+    for workload in [
+        RdWorkload::SingleWrite,
+        RdWorkload::Mixed,
+        RdWorkload::Failover,
+    ] {
+        let h = RdHarness {
+            workload,
+            ..RdHarness::default()
+        };
+        let report = check(&h, &cfg);
+        assert!(report.passed(), "{workload:?}: {:?}", report.counterexample);
+    }
+}

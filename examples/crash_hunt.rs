@@ -12,22 +12,30 @@ use perennial_suite::all_mutant_scenarios;
 
 fn show(name: &str, report: &CheckReport) {
     match &report.counterexample {
-        Some(cx) => println!(
-            "  CAUGHT {name}\n         pass={} crash_points={:?}\n         {:?}",
-            cx.pass, cx.crash_points, cx.outcome
-        ),
+        Some(cx) => {
+            println!(
+                "  CAUGHT {name}\n         pass={} crash_points={:?}\n         {:?}",
+                cx.pass, cx.crash_points, cx.outcome
+            );
+            if !cx.faults.is_empty() {
+                println!("         faults: {}", cx.faults.describe());
+            }
+        }
         None => println!("  MISSED {name} — this should not happen"),
     }
 }
 
 fn main() {
     let filter = std::env::args().nth(1).unwrap_or_default();
+    // Fault sweeps on: several registered mutants (skip-commit-flush,
+    // transient-give-up, net-no-dedup) are reachable only through them.
     let cfg = CheckConfig::builder()
         .dfs_max_executions(300)
         .random_samples(10)
         .random_crash_samples(25)
         .nested_crash_sweep(false)
         .max_steps(200_000)
+        .fault_sweeps(true)
         .build();
 
     let registry = all_mutant_scenarios();

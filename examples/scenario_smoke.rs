@@ -4,26 +4,38 @@
 //! workspace through the unified [`perennial_checker::ScenarioSet`] API.
 //!
 //! Run with: `cargo run --release --example scenario_smoke`
-//! (optionally pass a name fragment to filter, e.g. `-- kv/`).
+//! (optionally pass a name fragment to filter, e.g. `-- kv/`, and/or
+//! `--faults` to also run the fault-injection sweeps: torn writes,
+//! transient I/O errors, disk failures, and net faults).
 
 use perennial_checker::{verdict_line, CheckConfig};
 use perennial_suite::all_scenarios;
 
 fn main() {
-    let filter = std::env::args().nth(1).unwrap_or_default();
+    let mut filter = String::new();
+    let mut faults = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--faults" {
+            faults = true;
+        } else {
+            filter = arg;
+        }
+    }
     let cfg = CheckConfig::builder()
         .seed(0)
         .dfs_max_executions(200)
         .random_samples(10)
         .random_crash_samples(20)
         .nested_crash_sweep(false)
+        .fault_sweeps(faults)
         .build();
 
     let registry = all_scenarios();
     println!(
-        "Smoke-checking {} scenarios ({} workers)…",
+        "Smoke-checking {} scenarios ({} workers{})…",
         registry.len(),
-        cfg.effective_workers()
+        cfg.effective_workers(),
+        if faults { ", fault sweeps on" } else { "" }
     );
 
     let mut failed = 0usize;

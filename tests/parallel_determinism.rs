@@ -4,7 +4,7 @@
 //! because counterexamples are selected by canonical (pass, index) order
 //! rather than wall-clock discovery order.
 
-use perennial_checker::{CheckConfig, CheckConfigBuilder, Counterexample};
+use perennial_checker::{CheckConfig, CheckConfigBuilder, Counterexample, FaultPlan};
 use perennial_suite::{all_mutant_scenarios, all_scenarios};
 
 fn base_cfg() -> CheckConfigBuilder {
@@ -17,21 +17,25 @@ fn base_cfg() -> CheckConfigBuilder {
         .max_steps(200_000)
 }
 
-fn fingerprint(cx: &Counterexample) -> (String, u64, Vec<usize>, Vec<u64>, u64) {
+fn fingerprint(cx: &Counterexample) -> (String, u64, Vec<usize>, Vec<u64>, u64, FaultPlan) {
     (
         cx.pass.to_string(),
         cx.index,
         cx.schedule_prefix.clone(),
         cx.crash_points.clone(),
         cx.seed,
+        cx.faults.clone(),
     )
 }
 
 #[test]
 fn workers_do_not_change_the_counterexample() {
+    // Fault sweeps on: three of the registered mutants are only
+    // reachable through the fault passes, and those passes are part of
+    // the determinism contract like any other.
     for scenario in &all_mutant_scenarios() {
-        let seq = scenario.run(&base_cfg().workers(1).build());
-        let par = scenario.run(&base_cfg().workers(8).build());
+        let seq = scenario.run(&base_cfg().fault_sweeps(true).workers(1).build());
+        let par = scenario.run(&base_cfg().fault_sweeps(true).workers(8).build());
 
         let seq_cx = seq
             .counterexample
@@ -59,6 +63,7 @@ fn workers_do_not_change_the_counterexample() {
             scenario.name()
         );
         assert_eq!(seq.helped_ops, par.helped_ops, "{}", scenario.name());
+        assert_eq!(seq.fault_plans, par.fault_plans, "{}", scenario.name());
         assert_eq!(seq.workers, 1);
         assert_eq!(par.workers, 8);
     }
@@ -112,4 +117,47 @@ fn keep_going_collects_multiple_distinct_counterexamples() {
         fingerprint(cancelled.counterexample.as_ref().unwrap()),
         fingerprint(first)
     );
+}
+
+#[test]
+fn keep_going_fault_passes_are_deterministic() {
+    // For each fault pass, run its dedicated mutant in keep-going mode
+    // with 1 and 8 workers: the *complete* list of counterexamples (not
+    // just the canonical winner) must match, which pins down the
+    // probe-derived job lists of the fault sweeps as worker-independent.
+    let registry = all_mutant_scenarios();
+    for (name, pass) in [
+        ("repldisk/mutant/transient-give-up", "disk-fault-sweep"),
+        ("patterns/mutant/wal-skip-commit-flush", "torn-write-sweep"),
+        ("mailboat/mutant/net-no-dedup", "net-fault-sweep"),
+    ] {
+        let scenario = registry.get(name).expect("registered scenario");
+        let seq = scenario.run(
+            &base_cfg()
+                .fault_sweeps(true)
+                .keep_going(true)
+                .workers(1)
+                .build(),
+        );
+        let par = scenario.run(
+            &base_cfg()
+                .fault_sweeps(true)
+                .keep_going(true)
+                .workers(8)
+                .build(),
+        );
+        assert!(!seq.passed(), "{name}: not caught");
+        let seq_prints: Vec<_> = seq.counterexamples.iter().map(fingerprint).collect();
+        let par_prints: Vec<_> = par.counterexamples.iter().map(fingerprint).collect();
+        assert_eq!(
+            seq_prints, par_prints,
+            "{name}: keep-going counterexample lists differ between 1 and 8 workers"
+        );
+        let winner = seq.counterexample.as_ref().unwrap();
+        assert_eq!(winner.pass, pass, "{name}: caught in the wrong pass");
+        assert!(
+            !winner.faults.is_empty(),
+            "{name}: winning counterexample carries no fault plan"
+        );
+    }
 }
