@@ -33,6 +33,13 @@ fn rows_json(rows: &[ScaleRow]) -> serde_json::Value {
                     "wall_time_s": r.wall_time.as_secs_f64(),
                     "execs_per_sec": r.execs_per_sec,
                     "speedup": r.speedup,
+                    "ok": r.outcomes.ok,
+                    "failures": r.outcomes.failures(),
+                    "crash_points_exercised": r.coverage.crash_points_exercised,
+                    "crash_points_enumerable": r.coverage.crash_points_enumerable,
+                    "fault_plans_exercised": r.coverage.fault_plans_exercised(),
+                    "fault_plans_enumerable": r.coverage.fault_plans_enumerable(),
+                    "distinct_traces": r.coverage.distinct_traces,
                 })
             })
             .collect(),

@@ -5,7 +5,7 @@
 //! executions, so the comparison is pure wall-clock — see
 //! `cargo run --release -p perennial-bench --bin scale`.
 
-use perennial_checker::{CheckConfig, Scenario};
+use perennial_checker::{CheckConfig, Coverage, OutcomeCounts, Scenario};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -21,6 +21,10 @@ pub struct ScaleRow {
     pub execs_per_sec: f64,
     /// Throughput relative to the 1-worker row.
     pub speedup: f64,
+    /// Outcome histogram (deterministic: identical across rows).
+    pub outcomes: OutcomeCounts,
+    /// Coverage accounting (deterministic: identical across rows).
+    pub coverage: Coverage,
 }
 
 /// Runs `scenario` once per pool size in `worker_counts` (the base
@@ -45,6 +49,8 @@ pub fn run_scale(
             wall_time: report.wall_time,
             execs_per_sec: per_sec,
             speedup: per_sec / base_rate.max(1e-9),
+            outcomes: report.outcomes,
+            coverage: report.coverage,
         });
     }
     rows
@@ -91,8 +97,13 @@ mod tests {
             .build();
         let rows = run_scale(scenario, &cfg, &[1, 2]);
         assert_eq!(rows.len(), 2);
-        // Determinism contract: both pool sizes explore the same set.
+        // Determinism contract: both pool sizes explore the same set,
+        // with identical outcome histograms and coverage.
         assert_eq!(rows[0].executions, rows[1].executions);
+        assert_eq!(rows[0].outcomes, rows[1].outcomes);
+        assert_eq!(rows[0].coverage, rows[1].coverage);
+        assert_eq!(rows[0].outcomes.total(), rows[0].executions as u64);
+        assert!(rows[0].coverage.distinct_traces > 0);
         assert!((rows[0].speedup - 1.0).abs() < 1e-9);
         let table = render_scale("patterns/wal", &rows);
         assert!(table.contains("workers"));

@@ -35,12 +35,17 @@
 //! canonical key.
 
 use crate::harness::{Harness, World};
+use crate::metrics::{
+    trace_fingerprint, Coverage, Histogram, OutcomeCounts, OutcomeKind, PassMetrics,
+};
+use crate::telemetry::{self, RunTelemetry, TelemetrySink};
 use goose_rt::fault::{FaultPlan, NetFault, TornMode};
 use goose_rt::sched::{ModelRt, PanicKind, StepResult, Tid};
 use parking_lot::Mutex;
 use perennial::{Ghost, GhostError};
 use perennial_spec::SpecTS;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -85,6 +90,17 @@ pub struct CheckConfig {
     /// Keep exploring after a failure and collect every counterexample
     /// (instead of cancelling outstanding work).
     pub keep_going: bool,
+    /// Optional JSONL event stream (see [`crate::telemetry`] and
+    /// DESIGN.md §11). Side-channel only: enabling it changes neither
+    /// the explored set nor the reported counterexample.
+    pub telemetry: Option<TelemetrySink>,
+    /// Convenience alternative to [`CheckConfig::telemetry`]: create
+    /// (truncate) this file as the event stream when the check starts.
+    /// Ignored when `telemetry` is set.
+    pub telemetry_path: Option<PathBuf>,
+    /// Print a progress line to stderr every N completed executions
+    /// (`0` = off, the default) so long sweeps are observable live.
+    pub progress_every: u64,
 }
 
 impl Default for CheckConfig {
@@ -102,6 +118,9 @@ impl Default for CheckConfig {
             net_fault_sweep: false,
             workers: 0,
             keep_going: false,
+            telemetry: None,
+            telemetry_path: None,
+            progress_every: 0,
         }
     }
 }
@@ -215,6 +234,30 @@ impl CheckConfigBuilder {
 
     pub fn keep_going(mut self, on: bool) -> Self {
         self.config.keep_going = on;
+        self
+    }
+
+    /// Streams JSONL telemetry into an existing sink (shareable across
+    /// scenario runs — every run appends to the same stream).
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.config.telemetry = Some(sink);
+        self
+    }
+
+    /// Streams JSONL telemetry into any writer.
+    pub fn telemetry_writer(self, w: impl std::io::Write + Send + 'static) -> Self {
+        self.telemetry(TelemetrySink::to_writer(w))
+    }
+
+    /// Streams JSONL telemetry into a file created at check start.
+    pub fn telemetry_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.telemetry_path = Some(path.into());
+        self
+    }
+
+    /// Prints a progress line to stderr every `n` executions (0 = off).
+    pub fn progress_every(mut self, n: u64) -> Self {
+        self.config.progress_every = n;
         self
     }
 
@@ -336,6 +379,19 @@ pub struct CheckReport {
     /// All counterexamples found, sorted by canonical key. Without
     /// [`CheckConfig::keep_going`] this holds at most the canonical one.
     pub counterexamples: Vec<Counterexample>,
+    /// Executions by outcome (same cutoff as `executions`, so
+    /// worker-count independent).
+    pub outcomes: OutcomeCounts,
+    /// Per-pass accounting, in canonical rank order. Only passes that
+    /// scheduled at least one execution appear.
+    pub per_pass: Vec<PassMetrics>,
+    /// Steps-per-execution distribution (log2 buckets).
+    pub steps_hist: Histogram,
+    /// Schedule-depth (decisions-per-execution) distribution.
+    pub depth_hist: Histogram,
+    /// Coverage accounting: sweep spaces exercised vs. enumerable, and
+    /// distinct ghost-trace fingerprints seen.
+    pub coverage: Coverage,
 }
 
 impl CheckReport {
@@ -459,6 +515,13 @@ struct RunResult {
     disk_ops: u64,
     /// Network messages sent (net-fault-sweep enumeration horizon).
     net_msgs: u64,
+    /// Times a thread parked on a held lock (sched contention counter).
+    lock_blocks: u64,
+    /// FNV-1a fingerprint of the rendered ghost trace (behavioural
+    /// coverage proxy).
+    trace_fp: u64,
+    /// Wall time of this single execution (telemetry only).
+    duration: Duration,
     trace: String,
 }
 
@@ -493,21 +556,29 @@ fn run_one<S: SpecTS, H: Harness<S>>(
     let mut recovery_tid: Option<Tid> = None;
     let mut after_spawned = false;
 
+    let run_started = Instant::now();
     let finish = |outcome: ExecOutcome,
                   sched: &ScheduleState,
                   steps: u64,
                   crashes: usize,
                   rt: &Arc<ModelRt>,
-                  ghost: &Arc<Ghost<S>>| RunResult {
-        outcome,
-        decisions: sched.decisions.clone(),
-        clamped: sched.clamped.clone(),
-        steps,
-        crashes,
-        helped: 0,
-        disk_ops: rt.disk_ops(),
-        net_msgs: rt.net_msgs(),
-        trace: ghost.trace().render(),
+                  ghost: &Arc<Ghost<S>>| {
+        let stats = rt.sched_stats();
+        let trace = ghost.trace().render();
+        RunResult {
+            outcome,
+            decisions: sched.decisions.clone(),
+            clamped: sched.clamped.clone(),
+            steps,
+            crashes,
+            helped: 0,
+            disk_ops: stats.disk_ops,
+            net_msgs: stats.net_msgs,
+            lock_blocks: stats.lock_blocks,
+            trace_fp: trace_fingerprint(&trace),
+            duration: run_started.elapsed(),
+            trace,
+        }
     };
 
     loop {
@@ -661,17 +732,54 @@ impl Job {
     }
 }
 
+/// Which fault surface a plan exercises (coverage accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultFamily {
+    None,
+    Disk,
+    Torn,
+    Net,
+}
+
+impl FaultFamily {
+    fn of(plan: &FaultPlan) -> Self {
+        if !plan.transient_io.is_empty() || plan.disk_fail.is_some() {
+            FaultFamily::Disk
+        } else if plan.torn.is_some() {
+            FaultFamily::Torn
+        } else if !plan.net.is_empty() {
+            FaultFamily::Net
+        } else {
+            FaultFamily::None
+        }
+    }
+}
+
 struct JobOutcome {
     key: JobKey,
+    pass: &'static str,
     steps: u64,
     crashes: usize,
     helped: u64,
     swept: usize,
     /// Fault plans this job swept (1 for fault-injection jobs).
     plans: usize,
+    /// Which surface the job's plan exercised (coverage accounting).
+    family: FaultFamily,
     /// Disk ops / net messages of the execution (probe horizons).
     disk_ops: u64,
     net_msgs: u64,
+    /// How the execution ended (outcome histogram feed).
+    kind: OutcomeKind,
+    /// Schedule decisions taken (depth histogram feed).
+    depth: u64,
+    /// Crash points this execution injected (coverage accounting).
+    crash_points: Vec<u64>,
+    /// Ghost-trace fingerprint (behavioural coverage feed).
+    trace_fp: u64,
+    /// Wall time of the execution (telemetry only; the lone
+    /// non-deterministic field here).
+    duration: Duration,
     /// Full decision path — kept for DFS jobs only (tree expansion).
     decisions: Vec<(usize, usize)>,
     cx: Option<Counterexample>,
@@ -749,11 +857,66 @@ fn make_counterexample(
     }
 }
 
+/// Builds a [`JobOutcome`] from one finished execution and emits its
+/// telemetry (`exec_done`, live counters, optional `counterexample`).
+#[allow(clippy::too_many_arguments)]
+fn finish_execution(
+    r: &RunResult,
+    key: JobKey,
+    pass: &'static str,
+    seed: u64,
+    crash_points: Vec<u64>,
+    swept: usize,
+    faults: &FaultPlan,
+    keep_decisions: bool,
+    telem: &RunTelemetry,
+) -> JobOutcome {
+    let kind = OutcomeKind::of(&r.outcome);
+    telem.emit(&telemetry::ev_exec_done(
+        pass,
+        key.1,
+        seed,
+        kind,
+        r.steps,
+        r.decisions.len() as u64,
+        r.crashes as u64,
+        r.lock_blocks,
+        r.trace_fp,
+        &faults.compact(),
+        r.duration,
+    ));
+    telem.exec_finished(r.steps, r.outcome.is_failure());
+    JobOutcome {
+        key,
+        pass,
+        steps: r.steps,
+        crashes: r.crashes,
+        helped: r.helped,
+        swept,
+        plans: usize::from(!faults.is_empty()),
+        family: FaultFamily::of(faults),
+        disk_ops: r.disk_ops,
+        net_msgs: r.net_msgs,
+        kind,
+        depth: r.decisions.len() as u64,
+        crash_points,
+        trace_fp: r.trace_fp,
+        duration: r.duration,
+        decisions: if keep_decisions {
+            r.decisions.clone()
+        } else {
+            Vec::new()
+        },
+        cx: None,
+    }
+}
+
 /// Runs one job (one or two executions) and produces its outcomes.
 fn execute_job<S: SpecTS, H: Harness<S>>(
     harness: &H,
     config: &CheckConfig,
     cancel: &Cancel,
+    telem: &RunTelemetry,
     job: &Job,
 ) -> Vec<JobOutcome> {
     if !cancel.should_run(job.key) {
@@ -776,28 +939,23 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
         config.max_steps,
     );
 
-    let mut out = JobOutcome {
-        key: job.key,
-        steps: r.steps,
-        crashes: r.crashes,
-        helped: r.helped,
-        swept: job.swept,
-        plans: usize::from(!job.faults.is_empty()),
-        disk_ops: r.disk_ops,
-        net_msgs: r.net_msgs,
-        decisions: if keep_decisions {
-            r.decisions.clone()
-        } else {
-            Vec::new()
-        },
-        cx: None,
-    };
+    let mut out = finish_execution(
+        &r,
+        job.key,
+        job.pass,
+        seed,
+        job.crash_points.clone(),
+        job.swept,
+        &job.faults,
+        keep_decisions,
+        telem,
+    );
     if r.outcome.is_failure() {
         let prefix = match &job.policy {
             PolicySpec::Dfs(p) => p.clone(),
             _ => Vec::new(),
         };
-        out.cx = Some(make_counterexample(
+        let cx = make_counterexample(
             &r,
             job.pass,
             index,
@@ -805,7 +963,9 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
             prefix,
             job.crash_points.clone(),
             job.faults.clone(),
-        ));
+        );
+        telem.emit(&telemetry::ev_counterexample(&cx));
+        out.cx = Some(cx);
         cancel.offer(job.key);
         return vec![out];
     }
@@ -830,20 +990,19 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
                 seed,
                 config.max_steps,
             );
-            let mut out2 = JobOutcome {
-                key: crash_key,
-                steps: r2.steps,
-                crashes: r2.crashes,
-                helped: r2.helped,
-                swept: 1,
-                plans: 0,
-                disk_ops: r2.disk_ops,
-                net_msgs: r2.net_msgs,
-                decisions: Vec::new(),
-                cx: None,
-            };
+            let mut out2 = finish_execution(
+                &r2,
+                crash_key,
+                "random-crash",
+                seed,
+                vec![k],
+                1,
+                &job.faults,
+                false,
+                telem,
+            );
             if r2.outcome.is_failure() {
-                out2.cx = Some(make_counterexample(
+                let cx = make_counterexample(
                     &r2,
                     "random-crash",
                     index,
@@ -851,7 +1010,9 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
                     Vec::new(),
                     vec![k],
                     job.faults.clone(),
-                ));
+                );
+                telem.emit(&telemetry::ev_counterexample(&cx));
+                out2.cx = Some(cx);
                 cancel.offer(crash_key);
             }
             vec![out, out2]
@@ -865,6 +1026,7 @@ fn run_wave<S: SpecTS, H: Harness<S>>(
     harness: &H,
     config: &CheckConfig,
     cancel: &Cancel,
+    telem: &RunTelemetry,
     workers: usize,
     jobs: &[Job],
 ) -> Vec<JobOutcome> {
@@ -872,7 +1034,7 @@ fn run_wave<S: SpecTS, H: Harness<S>>(
     if workers == 1 {
         return jobs
             .iter()
-            .flat_map(|job| execute_job(harness, config, cancel, job))
+            .flat_map(|job| execute_job(harness, config, cancel, telem, job))
             .collect();
     }
 
@@ -886,7 +1048,7 @@ fn run_wave<S: SpecTS, H: Harness<S>>(
                 if i >= jobs.len() {
                     break;
                 }
-                let outs = execute_job(harness, config, cancel, &jobs[i]);
+                let outs = execute_job(harness, config, cancel, telem, &jobs[i]);
                 *slots[i].lock() = outs;
             });
         }
@@ -908,8 +1070,16 @@ const DFS_WAVE: usize = 64;
 pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> CheckReport {
     let start = Instant::now();
     let workers = config.effective_workers();
+    let telem = RunTelemetry::new(harness.name(), config);
+    telem.emit(&telemetry::ev_run_start(harness.name(), config, workers));
     let cancel = Cancel::new(config.keep_going);
     let mut outcomes: Vec<JobOutcome> = Vec::new();
+    // Enumerable sweep spaces, recorded as each pass derives its job
+    // list (deterministic: job derivation is probe-driven, not timed).
+    let mut coverage = Coverage::default();
+    let pass_start = |pass: &'static str| {
+        telem.emit(&telemetry::ev_pass_start(pass, pass_rank(pass)));
+    };
 
     // Pass 0 (rank 0): DFS over crash-free schedules, explored as waves
     // of the lexicographically smallest pending prefixes. Running a
@@ -918,6 +1088,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     // enqueued by p's ancestors), so each schedule is enumerated exactly
     // once, in an order independent of worker count.
     if config.dfs_max_executions > 0 {
+        pass_start("dfs");
         let mut pending: BTreeSet<Vec<usize>> = BTreeSet::new();
         pending.insert(Vec::new());
         let mut budget = config.dfs_max_executions;
@@ -944,7 +1115,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                     job
                 })
                 .collect();
-            let outs = run_wave(harness, config, &cancel, workers, &jobs);
+            let outs = run_wave(harness, config, &cancel, &telem, workers, &jobs);
             for out in &outs {
                 let prefix = match &jobs[(out.key.1 - jobs[0].key.1) as usize].policy {
                     PolicySpec::Dfs(p) => p,
@@ -966,26 +1137,30 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
 
     // Pass 1 (rank 1): random crash-free schedules.
     if !cancel.cancelled() {
+        pass_start("random");
         let jobs: Vec<Job> = (0..config.random_samples as u64)
             .map(|i| Job::plain((pass_rank("random"), i), "random", PolicySpec::Random))
             .collect();
-        outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+        outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
     }
 
     // Passes 2-4: systematic crash sweep on the round-robin schedule.
     if config.crash_sweep && !cancel.cancelled() {
+        pass_start("crash-sweep-base");
         // Rank 2: discover the crash-free horizon first.
         let base_jobs = vec![Job::plain(
             (pass_rank("crash-sweep-base"), 0),
             "crash-sweep-base",
             PolicySpec::RoundRobin,
         )];
-        let base = run_wave(harness, config, &cancel, workers, &base_jobs);
+        let base = run_wave(harness, config, &cancel, &telem, workers, &base_jobs);
         let horizon = base.first().map_or(0, |o| o.steps);
         outcomes.extend(base);
 
         // Rank 3: one crash at every grant count up to the horizon.
         if !cancel.cancelled() {
+            pass_start("crash-sweep");
+            coverage.crash_points_enumerable = horizon;
             let jobs: Vec<Job> = (0..horizon)
                 .map(|k| Job {
                     crash_points: vec![k],
@@ -997,11 +1172,12 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                     )
                 })
                 .collect();
-            let sweep = run_wave(harness, config, &cancel, workers, &jobs);
+            let sweep = run_wave(harness, config, &cancel, &telem, workers, &jobs);
 
             // Rank 4: a second crash inside each recovery, generated in
             // deterministic (k, m) order from the sweep's step counts.
             if config.nested_crash_sweep && !cancel.cancelled() {
+                pass_start("nested-crash-sweep");
                 let mut nested: Vec<Job> = Vec::new();
                 let mut index: u64 = 0;
                 for out in &sweep {
@@ -1021,7 +1197,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                     }
                 }
                 outcomes.extend(sweep);
-                outcomes.extend(run_wave(harness, config, &cancel, workers, &nested));
+                outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &nested));
             } else {
                 outcomes.extend(sweep);
             }
@@ -1031,6 +1207,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     // Passes 5-6: random schedules with a random crash point each (probe
     // + crash run are one job; the crash run reuses the probe's seed).
     if !cancel.cancelled() {
+        pass_start("random-crash-probe");
         let jobs: Vec<Job> = (0..config.random_crash_samples as u64)
             .map(|i| Job {
                 kind: JobKind::ProbeThenCrash,
@@ -1041,7 +1218,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                 )
             })
             .collect();
-        outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+        outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
     }
 
     // Passes 7-9: deterministic fault-injection sweeps. Each pass probes
@@ -1060,10 +1237,12 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
         && !cancel.cancelled()
     {
         let rank = pass_rank("disk-fault-sweep");
+        pass_start("disk-fault-sweep");
         let probe = run_wave(
             harness,
             config,
             &cancel,
+            &telem,
             workers,
             &[Job::plain(
                 (rank, 0),
@@ -1104,7 +1283,8 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                     }
                 }
             }
-            outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+            coverage.disk_fault_plans_enumerable += jobs.len() as u64;
+            outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
 
             // Disk failure *during recovery*: probe one mid-schedule
             // crash to learn the recovery horizon, then fail each disk
@@ -1117,7 +1297,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                     ..Job::plain((rank, index), "disk-fault-sweep", PolicySpec::RoundRobin)
                 }];
                 index += 1;
-                let probe2 = run_wave(harness, config, &cancel, workers, &probe2_jobs);
+                let probe2 = run_wave(harness, config, &cancel, &telem, workers, &probe2_jobs);
                 let h2 = probe2.first().map_or(0, |o| o.steps);
                 outcomes.extend(probe2);
                 if !cancel.cancelled() {
@@ -1141,7 +1321,8 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                             index += 1;
                         }
                     }
-                    outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+                    coverage.disk_fault_plans_enumerable += jobs.len() as u64;
+                    outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
                 }
             }
         }
@@ -1153,10 +1334,12 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     // plain crash sweep).
     if config.torn_write_sweep && surface.torn_writes && !cancel.cancelled() {
         let rank = pass_rank("torn-write-sweep");
+        pass_start("torn-write-sweep");
         let probe = run_wave(
             harness,
             config,
             &cancel,
+            &telem,
             workers,
             &[Job::plain(
                 (rank, 0),
@@ -1190,7 +1373,8 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                     })
                 })
                 .collect();
-            outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+            coverage.torn_plans_enumerable += jobs.len() as u64;
+            outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
         }
     }
 
@@ -1198,10 +1382,12 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     // message of the baseline schedule, one fault per execution.
     if config.net_fault_sweep && surface.net && !cancel.cancelled() {
         let rank = pass_rank("net-fault-sweep");
+        pass_start("net-fault-sweep");
         let probe = run_wave(
             harness,
             config,
             &cancel,
+            &telem,
             workers,
             &[Job::plain(
                 (rank, 0),
@@ -1230,7 +1416,8 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                     })
                 })
                 .collect();
-            outcomes.extend(run_wave(harness, config, &cancel, workers, &jobs));
+            coverage.net_plans_enumerable += jobs.len() as u64;
+            outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
         }
     }
 
@@ -1255,6 +1442,9 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
         workers,
         ..CheckReport::default()
     };
+    let mut per_pass: BTreeMap<(u8, &'static str), PassMetrics> = BTreeMap::new();
+    let mut crash_point_set: BTreeSet<u64> = BTreeSet::new();
+    let mut trace_set: BTreeSet<u64> = BTreeSet::new();
     for out in &outcomes {
         if cutoff.is_some_and(|cut| out.key > cut) {
             continue;
@@ -1265,11 +1455,43 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
         report.helped_ops += out.helped;
         report.crash_points += out.swept;
         report.fault_plans += out.plans;
+
+        report.outcomes.record(out.kind);
+        report.steps_hist.record(out.steps);
+        report.depth_hist.record(out.depth);
+        trace_set.insert(out.trace_fp);
+        crash_point_set.extend(out.crash_points.iter().copied());
+        if out.plans > 0 {
+            match out.family {
+                FaultFamily::Disk => coverage.disk_fault_plans_exercised += 1,
+                FaultFamily::Torn => coverage.torn_plans_exercised += 1,
+                FaultFamily::Net => coverage.net_plans_exercised += 1,
+                FaultFamily::None => {}
+            }
+        }
+        let pm = per_pass
+            .entry((out.key.0, out.pass))
+            .or_insert(PassMetrics {
+                pass: out.pass,
+                rank: out.key.0,
+                ..PassMetrics::default()
+            });
+        pm.executions += 1;
+        pm.steps += out.steps;
+        pm.crashes += out.crashes as u64;
+        pm.fault_plans += out.plans as u64;
+        pm.failures += u64::from(out.kind != OutcomeKind::Ok);
+        pm.busy_time += out.duration;
     }
+    coverage.crash_points_exercised = crash_point_set.len() as u64;
+    coverage.distinct_traces = trace_set.len() as u64;
+    report.per_pass = per_pass.into_values().collect();
+    report.coverage = coverage;
     report.counterexample = counterexamples.first().cloned();
     report.counterexamples = counterexamples;
     report.wall_time = start.elapsed();
     report.execs_per_sec = report.executions as f64 / report.wall_time.as_secs_f64().max(1e-9);
+    telem.emit(&telemetry::ev_run_end(&report));
     report
 }
 

@@ -24,9 +24,11 @@
 pub mod explore;
 pub mod harness;
 pub mod linearize;
+pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod scenario;
+pub mod telemetry;
 
 pub use explore::{
     check, pass_rank, replay, run_scenario, CheckConfig, CheckConfigBuilder, CheckReport,
@@ -35,9 +37,13 @@ pub use explore::{
 pub use goose_rt::fault::{FaultPlan, FaultSurface, IoError, IoResult, NetFault, TornMode};
 pub use harness::{Execution, Harness, ThreadBody, World};
 pub use linearize::{check_linearizable, HistOp, Verdict};
-pub use recorder::Recorder;
-pub use report::{describe_outcome, render_failure, verdict_line};
+pub use metrics::{
+    trace_fingerprint, Coverage, Histogram, OutcomeCounts, OutcomeKind, PassMetrics,
+};
+pub use recorder::{Recorder, DROPPED};
+pub use report::{describe_outcome, render_failure, render_summary, verdict_line};
 pub use scenario::{Scenario, ScenarioSet};
+pub use telemetry::{validate_json_line, TelemetrySink, TIMING_KEYS};
 
 /// One-stop imports for writing and running harnesses:
 /// `use perennial_checker::prelude::*;`.
@@ -48,5 +54,6 @@ pub mod prelude {
     };
     pub use crate::harness::{Execution, Harness, ThreadBody, World};
     pub use crate::scenario::{Scenario, ScenarioSet};
+    pub use crate::telemetry::TelemetrySink;
     pub use goose_rt::fault::{FaultPlan, FaultSurface, IoError, IoResult, NetFault, TornMode};
 }

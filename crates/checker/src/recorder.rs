@@ -6,14 +6,29 @@ use parking_lot::Mutex;
 use perennial_spec::Jid;
 use std::fmt::Debug;
 
+/// Index returned by [`Recorder::invoke`] for an op the recorder
+/// dropped because its capacity was reached. [`Recorder::finish`]
+/// ignores it, so callers can thread it through unconditionally.
+pub const DROPPED: usize = usize::MAX;
+
 struct Inner<Op, Ret> {
     clock: u64,
     ops: Vec<HistOp<Op, Ret>>,
+    dropped: u64,
 }
 
 /// Records invocations and responses with a global logical clock.
+///
+/// An optional capacity bounds the history: once `capacity` ops have
+/// been invoked, further invocations still advance the clock (so the
+/// recorded ops keep their real-time order) but are not stored —
+/// [`Recorder::invoke`] returns the [`DROPPED`] sentinel and
+/// [`Recorder::dropped`] counts them. The retained prefix is a valid
+/// history on its own: every kept response belongs to a kept
+/// invocation, so the linearizability checker can still run over it.
 pub struct Recorder<Op, Ret> {
     inner: Mutex<Inner<Op, Ret>>,
+    capacity: Option<usize>,
 }
 
 impl<Op: Clone + Debug, Ret: Clone + Debug> Default for Recorder<Op, Ret> {
@@ -22,22 +37,38 @@ impl<Op: Clone + Debug, Ret: Clone + Debug> Default for Recorder<Op, Ret> {
             inner: Mutex::new(Inner {
                 clock: 0,
                 ops: Vec::new(),
+                dropped: 0,
             }),
+            capacity: None,
         }
     }
 }
 
 impl<Op: Clone + Debug, Ret: Clone + Debug> Recorder<Op, Ret> {
-    /// Creates an empty recorder.
+    /// Creates an empty recorder with unbounded capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Records an invocation; returns the op's history index.
+    /// Creates a recorder that keeps at most `capacity` ops; later
+    /// invocations are counted but not stored.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Recorder {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// Records an invocation; returns the op's history index, or
+    /// [`DROPPED`] if the capacity was already reached.
     pub fn invoke(&self, op: Op) -> usize {
         let mut g = self.inner.lock();
         g.clock += 1;
         let at = g.clock;
+        if self.capacity.is_some_and(|cap| g.ops.len() >= cap) {
+            g.dropped += 1;
+            return DROPPED;
+        }
         let idx = g.ops.len();
         g.ops.push(HistOp {
             jid: Jid(idx as u64),
@@ -49,12 +80,16 @@ impl<Op: Clone + Debug, Ret: Clone + Debug> Recorder<Op, Ret> {
         idx
     }
 
-    /// Records the response for a previously invoked op.
+    /// Records the response for a previously invoked op. A [`DROPPED`]
+    /// index is ignored (the invocation was never stored); the clock
+    /// still advances so retained ops order correctly around it.
     pub fn finish(&self, idx: usize, ret: Ret) {
         let mut g = self.inner.lock();
         g.clock += 1;
         let at = g.clock;
-        let op = &mut g.ops[idx];
+        let Some(op) = g.ops.get_mut(idx) else {
+            return;
+        };
         op.ret = Some(ret);
         op.returned_at = at;
     }
@@ -62,5 +97,96 @@ impl<Op: Clone + Debug, Ret: Clone + Debug> Recorder<Op, Ret> {
     /// Snapshot of the recorded history.
     pub fn history(&self) -> Vec<HistOp<Op, Ret>> {
         self.inner.lock().ops.clone()
+    }
+
+    /// Number of ops recorded (excluding dropped ones).
+    pub fn len(&self) -> usize {
+        self.inner.lock().ops.len()
+    }
+
+    /// Whether no ops were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Invocations dropped because the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linearize::{check_linearizable, Verdict};
+    use perennial_spec::fixtures::{RegOp, RegSpec};
+
+    #[test]
+    fn events_are_ordered_by_the_global_clock() {
+        let rec: Recorder<RegOp, Option<u64>> = Recorder::new();
+        let w = rec.invoke(RegOp::Write(0, 5));
+        rec.finish(w, None);
+        let r = rec.invoke(RegOp::Read(0));
+        rec.finish(r, Some(5));
+        let hist = rec.history();
+        assert_eq!(hist.len(), 2);
+        // Strictly increasing clock across all four events, and the
+        // write's response precedes the read's invocation.
+        assert!(hist[0].invoked_at < hist[0].returned_at);
+        assert!(hist[0].returned_at < hist[1].invoked_at);
+        assert!(hist[1].invoked_at < hist[1].returned_at);
+        assert_eq!(hist[0].jid, Jid(0));
+        assert_eq!(hist[1].jid, Jid(1));
+    }
+
+    #[test]
+    fn unfinished_op_has_open_interval() {
+        let rec: Recorder<RegOp, Option<u64>> = Recorder::new();
+        rec.invoke(RegOp::Write(0, 1));
+        let hist = rec.history();
+        assert_eq!(hist[0].ret, None);
+        assert_eq!(hist[0].returned_at, u64::MAX);
+    }
+
+    #[test]
+    fn capacity_truncates_and_counts_drops() {
+        let rec: Recorder<RegOp, Option<u64>> = Recorder::with_capacity(2);
+        let a = rec.invoke(RegOp::Write(0, 1));
+        let b = rec.invoke(RegOp::Write(0, 2));
+        let c = rec.invoke(RegOp::Write(0, 3));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(c, DROPPED);
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 1);
+        // Finishing a dropped op is a no-op, not a panic.
+        rec.finish(c, None);
+        rec.finish(a, None);
+        rec.finish(b, None);
+        let hist = rec.history();
+        assert_eq!(hist.len(), 2);
+        assert!(hist.iter().all(|op| op.ret.is_some()));
+        // The clock kept advancing through the dropped events, so the
+        // kept intervals still reflect real-time order.
+        assert!(hist[0].invoked_at < hist[1].invoked_at);
+        assert!(hist[1].invoked_at < hist[0].returned_at);
+    }
+
+    #[test]
+    fn truncated_history_still_linearizes() {
+        // Sequential write-then-read kept; a trailing op dropped. The
+        // retained prefix must remain a checkable, linearizable history.
+        let rec: Recorder<RegOp, Option<u64>> = Recorder::with_capacity(2);
+        let w = rec.invoke(RegOp::Write(0, 5));
+        rec.finish(w, None);
+        let r = rec.invoke(RegOp::Read(0));
+        rec.finish(r, Some(5));
+        let d = rec.invoke(RegOp::Write(0, 9));
+        rec.finish(d, None);
+        assert_eq!(rec.dropped(), 1);
+        let spec = RegSpec { size: 4 };
+        assert_eq!(
+            check_linearizable(&spec, &rec.history(), 10_000),
+            Verdict::Linearizable
+        );
     }
 }

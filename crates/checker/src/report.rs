@@ -1,13 +1,80 @@
-//! Human-readable counterexample reports.
+//! Human-readable counterexample reports and run summaries.
 //!
 //! When the checker rejects a system, the raw [`crate::Counterexample`]
 //! carries a schedule prefix, crash points, and a ghost trace. This
 //! module turns that into the report a developer actually reads: what
 //! failed, where the crash was injected, the spec-level history up to
-//! the failure, and how to replay it.
+//! the failure, and how to replay it. For *passing* runs,
+//! [`render_summary`] renders the deterministic run metrics — outcome
+//! histogram, per-pass accounting, step/depth distributions, and
+//! coverage ratios — from the [`CheckReport`].
 
 use crate::explore::{CheckReport, ExecOutcome};
 use std::fmt::Write as _;
+
+/// Renders the throughput-and-per-pass footer shared by the failure
+/// report and the summary: overall rate, then one line per pass.
+fn render_pass_breakdown(report: &CheckReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Throughput      : {:.0} execs/s on {} workers ({:.3}s wall)",
+        report.execs_per_sec,
+        report.workers,
+        report.wall_time.as_secs_f64()
+    );
+    if report.per_pass.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "Per pass        :");
+    for pm in &report.per_pass {
+        let mut extras = String::new();
+        if pm.crashes > 0 {
+            let _ = write!(extras, ", {} crashes", pm.crashes);
+        }
+        if pm.fault_plans > 0 {
+            let _ = write!(extras, ", {} fault plans", pm.fault_plans);
+        }
+        if pm.failures > 0 {
+            let _ = write!(extras, ", {} FAILURES", pm.failures);
+        }
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>6} execs, {:>8} steps{} ({:.3}s busy)",
+            pm.pass,
+            pm.executions,
+            pm.steps,
+            extras,
+            pm.busy_time.as_secs_f64()
+        );
+    }
+    out
+}
+
+/// Renders the full run summary — the passing-run counterpart of
+/// [`render_failure`]. Always available (failing runs get the verdict
+/// line plus the same metrics); printed by `scenario_smoke --summary`.
+pub fn render_summary(report: &CheckReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {}",
+        if report.passed() { "PASS" } else { "FAIL" },
+        report.name
+    );
+    let _ = writeln!(
+        out,
+        "Executions      : {} ({} steps total)",
+        report.executions, report.total_steps
+    );
+    let _ = writeln!(out, "Outcomes        : {}", report.outcomes.render());
+    let _ = writeln!(out, "Steps/exec      : {}", report.steps_hist.render());
+    let _ = writeln!(out, "Schedule depth  : {}", report.depth_hist.render());
+    out.push_str(&render_pass_breakdown(report));
+    let _ = writeln!(out, "Coverage        :");
+    out.push_str(&report.coverage.render());
+    out
+}
 
 /// Renders a full failure report for a scenario, or `None` if every
 /// explored execution passed. See `tests/selftest.rs` for an end-to-end
@@ -67,6 +134,7 @@ pub fn render_failure(report: &CheckReport) -> Option<String> {
         "Explored before failing: {} executions, {} steps, {} injected crashes.",
         report.executions, report.total_steps, report.crashes_injected
     );
+    out.push_str(&render_pass_breakdown(report));
     Some(out)
 }
 
@@ -100,14 +168,23 @@ pub fn describe_outcome(outcome: &ExecOutcome) -> String {
     }
 }
 
-/// Compact one-line verdict for dashboards.
+/// Compact one-line verdict for dashboards. A counterexample found by a
+/// fault pass carries its compact fault schedule, e.g.
+/// `[disk-fault-sweep @ crash [5] faults d1@5]`.
 pub fn verdict_line(report: &CheckReport) -> String {
     match &report.counterexample {
         None => format!("PASS {}", report.summary()),
-        Some(cx) => format!(
-            "FAIL {} [{} @ crash {:?}]",
-            report.name, cx.pass, cx.crash_points
-        ),
+        Some(cx) => {
+            let faults = if cx.faults.is_empty() {
+                String::new()
+            } else {
+                format!(" faults {}", cx.faults.compact())
+            };
+            format!(
+                "FAIL {} [{} @ crash {:?}{}]",
+                report.name, cx.pass, cx.crash_points, faults
+            )
+        }
     }
 }
 
@@ -183,6 +260,67 @@ mod tests {
         let line = verdict_line(&failing_report());
         assert!(line.starts_with("FAIL demo scenario"));
         assert!(line.contains("crash-sweep"));
+        assert!(!line.contains("faults"), "no fault tag without a plan");
+    }
+
+    #[test]
+    fn verdict_line_carries_compact_fault_summary() {
+        let mut r = failing_report();
+        let cx = r.counterexample.as_mut().unwrap();
+        cx.pass = "disk-fault-sweep";
+        cx.faults.disk_fail = Some((1, 5));
+        let line = verdict_line(&r);
+        assert!(line.contains("disk-fault-sweep"), "{line}");
+        assert!(line.contains("faults d1@5"), "{line}");
+    }
+
+    #[test]
+    fn summary_renders_metrics_and_coverage() {
+        use crate::metrics::{Coverage, OutcomeKind, PassMetrics};
+        let mut r = CheckReport {
+            name: "clean".into(),
+            executions: 3,
+            total_steps: 30,
+            workers: 2,
+            execs_per_sec: 123.0,
+            ..CheckReport::default()
+        };
+        for _ in 0..3 {
+            r.outcomes.record(OutcomeKind::Ok);
+            r.steps_hist.record(10);
+            r.depth_hist.record(10);
+        }
+        r.per_pass.push(PassMetrics {
+            pass: "crash-sweep",
+            rank: 3,
+            executions: 3,
+            steps: 30,
+            crashes: 2,
+            ..PassMetrics::default()
+        });
+        r.coverage = Coverage {
+            crash_points_exercised: 2,
+            crash_points_enumerable: 10,
+            distinct_traces: 3,
+            ..Coverage::default()
+        };
+        let text = render_summary(&r);
+        assert!(text.starts_with("PASS: clean"), "{text}");
+        assert!(text.contains("ok=3"), "{text}");
+        assert!(text.contains("crash-sweep"), "{text}");
+        assert!(text.contains("2/10 exercised (20%)"), "{text}");
+        assert!(text.contains("3 distinct fingerprints"), "{text}");
+        assert!(text.contains("execs/s"), "{text}");
+    }
+
+    #[test]
+    fn failure_report_includes_throughput_footer() {
+        let mut r = failing_report();
+        r.execs_per_sec = 99.0;
+        r.workers = 4;
+        let text = render_failure(&r).expect("has counterexample");
+        assert!(text.contains("execs/s"), "{text}");
+        assert!(text.contains("4 workers"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Telemetry: the explorer's structured JSONL event stream, live
+//! counters, and the periodic progress line.
+//!
+//! Everything here is a **side channel**: sinks observe the exploration
+//! but feed nothing back into scheduling, seeding, or counterexample
+//! selection, so a run with telemetry enabled reports byte-for-byte the
+//! same [`crate::Counterexample`] as one without (pinned by
+//! `tests/telemetry.rs`). Two kinds of state live here:
+//!
+//! - [`TelemetrySink`] — a shared JSONL writer. One JSON object per
+//!   line, schema documented in DESIGN.md §11: `run_start`,
+//!   `pass_start`, `exec_done`, `counterexample`, `run_end`. Event
+//!   *content* is deterministic (timing fields excepted); event *order*
+//!   is completion order, so it is canonical at `workers = 1` and
+//!   interleaved-but-complete at higher pool sizes.
+//! - [`MetricsSink`] — lock-free live counters the worker pool bumps as
+//!   executions finish, feeding the opt-in progress line
+//!   ([`CheckConfig::progress_every`](crate::CheckConfig)). These are
+//!   wall-clock-ordered and therefore *not* the numbers reported in
+//!   [`crate::CheckReport`]; the deterministic ones are computed in
+//!   `explore.rs` from canonical job outcomes (see [`crate::metrics`]).
+
+use crate::explore::{CheckConfig, CheckReport, Counterexample};
+use crate::metrics::OutcomeKind;
+use parking_lot::Mutex;
+use serde_json::{json, Value};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared handle to a JSONL event stream. Cloning shares the
+/// underlying writer (all clones append to the same stream).
+#[derive(Clone)]
+pub struct TelemetrySink {
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySink").finish_non_exhaustive()
+    }
+}
+
+impl TelemetrySink {
+    /// Streams events into any writer (a file, a pipe, a test buffer).
+    pub fn to_writer(w: impl Write + Send + 'static) -> Self {
+        TelemetrySink {
+            writer: Arc::new(Mutex::new(Box::new(w))),
+        }
+    }
+
+    /// Creates (truncates) a JSONL file at `path`.
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(Self::to_writer(std::io::BufWriter::new(f)))
+    }
+
+    /// A sink backed by an in-memory buffer, plus the buffer — the
+    /// test-side way to capture and inspect a stream.
+    pub fn shared_buffer() -> (Self, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (TelemetrySink::to_writer(SharedBuf(Arc::clone(&buf))), buf)
+    }
+
+    /// Appends one event as a compact JSON line. Write errors are
+    /// swallowed after the first report: telemetry must never abort a
+    /// check that would otherwise complete.
+    pub fn emit(&self, event: &Value) {
+        let line = serde_json::to_string(event).expect("shim serialization is infallible");
+        let mut w = self.writer.lock();
+        if w.write_all(line.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = w.flush();
+    }
+}
+
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Live, lock-free counters the worker pool bumps per finished
+/// execution. Wall-clock ordered — the progress line's feed, not the
+/// report's.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    executions: AtomicU64,
+    steps: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl MetricsSink {
+    /// Records one finished execution; returns the new execution count
+    /// (the progress-line trigger).
+    pub fn record_exec(&self, steps: u64, failed: bool) -> u64 {
+        self.steps.fetch_add(steps, Ordering::Relaxed);
+        if failed {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.executions.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// The progress line printed every N executions (stderr, so it
+    /// never pollutes piped report output).
+    pub fn progress_line(&self, name: &str, since_start: Duration) -> String {
+        let execs = self.executions();
+        let rate = execs as f64 / since_start.as_secs_f64().max(1e-9);
+        format!(
+            "[checker] {name}: {execs} execs, {} steps, {} failures, {rate:.0} execs/s",
+            self.steps(),
+            self.failures()
+        )
+    }
+}
+
+/// Per-run telemetry context threaded through the explorer: the
+/// optional event stream, the live counters, and the progress cadence.
+pub struct RunTelemetry {
+    pub stream: Option<TelemetrySink>,
+    pub live: MetricsSink,
+    pub progress_every: u64,
+    pub start: Instant,
+    pub name: String,
+}
+
+impl RunTelemetry {
+    pub fn new(name: &str, config: &CheckConfig) -> Self {
+        let stream = config.telemetry.clone().or_else(|| {
+            config.telemetry_path.as_ref().map(|p| {
+                TelemetrySink::to_file(p)
+                    .unwrap_or_else(|e| panic!("opening telemetry file {}: {e}", p.display()))
+            })
+        });
+        RunTelemetry {
+            stream,
+            live: MetricsSink::default(),
+            progress_every: config.progress_every,
+            start: Instant::now(),
+            name: name.to_string(),
+        }
+    }
+
+    pub fn emit(&self, event: &Value) {
+        if let Some(stream) = &self.stream {
+            // Stamp every record with its scenario, so streams holding
+            // several runs (scenario_smoke --telemetry appends all
+            // scenarios to one file) stay attributable line-by-line.
+            let mut v = event.clone();
+            if let Value::Object(map) = &mut v {
+                if map.get("scenario").is_none() {
+                    map.insert("scenario".to_string(), Value::String(self.name.clone()));
+                }
+            }
+            stream.emit(&v);
+        }
+    }
+
+    /// Bumps the live counters and prints the progress line when the
+    /// cadence says so.
+    pub fn exec_finished(&self, steps: u64, failed: bool) {
+        let n = self.live.record_exec(steps, failed);
+        if self.progress_every > 0 && n.is_multiple_of(self.progress_every) {
+            eprintln!(
+                "{}",
+                self.live.progress_line(&self.name, self.start.elapsed())
+            );
+        }
+    }
+}
+
+/// 64-bit values (seeds, fingerprints) go into JSON as hex strings: the
+/// shim's numbers are f64 and would silently round above 2^53.
+fn hex64(v: u64) -> String {
+    format!("{v:#x}")
+}
+
+pub fn ev_run_start(name: &str, config: &CheckConfig, workers: usize) -> Value {
+    json!({
+        "type": "run_start",
+        "scenario": name,
+        "seed": hex64(config.seed),
+        "workers": workers,
+        "max_steps": config.max_steps,
+        "dfs_max_executions": config.dfs_max_executions,
+        "random_samples": config.random_samples,
+        "random_crash_samples": config.random_crash_samples,
+        "crash_sweep": config.crash_sweep,
+        "nested_crash_sweep": config.nested_crash_sweep,
+        "disk_fault_sweep": config.disk_fault_sweep,
+        "torn_write_sweep": config.torn_write_sweep,
+        "net_fault_sweep": config.net_fault_sweep,
+        "keep_going": config.keep_going,
+    })
+}
+
+pub fn ev_pass_start(pass: &str, rank: u8) -> Value {
+    json!({
+        "type": "pass_start",
+        "pass": pass,
+        "rank": rank,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+pub fn ev_exec_done(
+    pass: &str,
+    index: u64,
+    seed: u64,
+    outcome: OutcomeKind,
+    steps: u64,
+    depth: u64,
+    crashes: u64,
+    lock_blocks: u64,
+    trace_fp: u64,
+    faults: &str,
+    duration: Duration,
+) -> Value {
+    json!({
+        "type": "exec_done",
+        "pass": pass,
+        "index": index,
+        "seed": hex64(seed),
+        "outcome": outcome.name(),
+        "steps": steps,
+        "depth": depth,
+        "crashes": crashes,
+        "lock_blocks": lock_blocks,
+        "trace_fp": hex64(trace_fp),
+        "faults": faults,
+        "duration_us": (duration.as_micros() as u64),
+    })
+}
+
+pub fn ev_counterexample(cx: &Counterexample) -> Value {
+    json!({
+        "type": "counterexample",
+        "pass": cx.pass,
+        "index": cx.index,
+        "seed": hex64(cx.seed),
+        "outcome": OutcomeKind::of(&cx.outcome).name(),
+        "crash_points": cx.crash_points,
+        "schedule_prefix": cx.schedule_prefix,
+        "faults": cx.faults.compact(),
+    })
+}
+
+pub fn ev_run_end(report: &CheckReport) -> Value {
+    let mut outcomes = serde_json::Map::new();
+    for (name, n) in report.outcomes.entries() {
+        outcomes.insert(name.to_string(), serde_json::to_value(&n));
+    }
+    json!({
+        "type": "run_end",
+        "scenario": report.name,
+        "passed": report.passed(),
+        "executions": report.executions,
+        "total_steps": report.total_steps,
+        "crashes_injected": report.crashes_injected,
+        "crash_points": report.crash_points,
+        "fault_plans": report.fault_plans,
+        "counterexamples": report.counterexamples.len(),
+        "outcomes": Value::Object(outcomes),
+        "crash_points_exercised": report.coverage.crash_points_exercised,
+        "crash_points_enumerable": report.coverage.crash_points_enumerable,
+        "fault_plans_exercised": report.coverage.fault_plans_exercised(),
+        "fault_plans_enumerable": report.coverage.fault_plans_enumerable(),
+        "distinct_traces": report.coverage.distinct_traces,
+        "workers": report.workers,
+        "wall_time_s": report.wall_time.as_secs_f64(),
+        "execs_per_sec": report.execs_per_sec,
+    })
+}
+
+/// Keys whose values are wall-clock dependent. Strip these before
+/// comparing two streams of the same seeded run for byte equality.
+pub const TIMING_KEYS: [&str; 3] = ["duration_us", "wall_time_s", "execs_per_sec"];
+
+/// Validates one JSONL line: parseable, an object, with a string
+/// `type`. Returns the event type.
+pub fn validate_json_line(line: &str) -> Result<String, String> {
+    let v = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let Value::Object(map) = &v else {
+        return Err("telemetry line is not a JSON object".to_string());
+    };
+    match map.get("type") {
+        Some(Value::String(t)) => Ok(t.clone()),
+        _ => Err("telemetry line has no string \"type\" field".to_string()),
+    }
+}
+
+/// Rebuilds a parsed event without its [`TIMING_KEYS`] (recursively) —
+/// the canonical form for byte-stability comparisons.
+pub fn strip_timing(v: &Value) -> Value {
+    match v {
+        Value::Object(map) => {
+            let mut out = serde_json::Map::new();
+            for (k, val) in map.iter() {
+                if !TIMING_KEYS.contains(&k.as_str()) {
+                    out.insert(k.clone(), strip_timing(val));
+                }
+            }
+            Value::Object(out)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(strip_timing).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_emits_one_line_per_event() {
+        let (sink, buf) = TelemetrySink::shared_buffer();
+        sink.emit(&json!({ "type": "run_start", "scenario": "t" }));
+        sink.emit(&json!({ "type": "run_end" }));
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(validate_json_line(lines[0]).unwrap(), "run_start");
+        assert_eq!(validate_json_line(lines[1]).unwrap(), "run_end");
+    }
+
+    #[test]
+    fn clones_share_the_stream() {
+        let (sink, buf) = TelemetrySink::shared_buffer();
+        let clone = sink.clone();
+        sink.emit(&json!({ "type": "a" }));
+        clone.emit(&json!({ "type": "b" }));
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn metrics_sink_counts_and_renders_progress() {
+        let sink = MetricsSink::default();
+        assert_eq!(sink.record_exec(10, false), 1);
+        assert_eq!(sink.record_exec(5, true), 2);
+        assert_eq!(sink.executions(), 2);
+        assert_eq!(sink.steps(), 15);
+        assert_eq!(sink.failures(), 1);
+        let line = sink.progress_line("demo", Duration::from_secs(1));
+        assert!(line.contains("demo: 2 execs"), "{line}");
+        assert!(line.contains("1 failures"), "{line}");
+    }
+
+    #[test]
+    fn strip_timing_removes_only_timing_keys() {
+        let v = json!({
+            "type": "exec_done",
+            "steps": 7,
+            "duration_us": 123,
+            "nested": { "wall_time_s": 0.5, "kept": true },
+        });
+        let stripped = strip_timing(&v);
+        let text = serde_json::to_string(&stripped).unwrap();
+        assert!(!text.contains("duration_us"), "{text}");
+        assert!(!text.contains("wall_time_s"), "{text}");
+        assert!(text.contains("\"steps\": 7"), "{text}");
+        assert!(text.contains("\"kept\": true"), "{text}");
+    }
+
+    #[test]
+    fn validate_rejects_non_events() {
+        assert!(validate_json_line("not json").is_err());
+        assert!(validate_json_line("[1,2]").is_err());
+        assert!(validate_json_line("{\"no_type\": 1}").is_err());
+    }
+
+    #[test]
+    fn big_seeds_survive_as_hex() {
+        let seed = u64::MAX - 12345;
+        let v = ev_exec_done(
+            "dfs",
+            0,
+            seed,
+            OutcomeKind::Ok,
+            1,
+            1,
+            0,
+            0,
+            0xdead_beef,
+            "-",
+            Duration::ZERO,
+        );
+        let text = serde_json::to_string(&v).unwrap();
+        assert!(text.contains(&format!("{seed:#x}")), "{text}");
+        assert!(text.contains("0xdeadbeef"), "{text}");
+    }
+}

@@ -133,6 +133,37 @@ impl FaultPlan {
         }
         parts.join("; ")
     }
+
+    /// Compact fault summary for one-line verdicts and JSONL records,
+    /// e.g. `io@3`, `d1@5`, `torn-none`, `net-drop@2`; multiple faults
+    /// join with `+`. Empty plans render as `-`.
+    pub fn compact(&self) -> String {
+        if self.is_empty() {
+            return "-".to_string();
+        }
+        let mut parts = Vec::new();
+        for i in &self.transient_io {
+            parts.push(format!("io@{i}"));
+        }
+        match self.torn {
+            None => {}
+            Some(TornMode::KeepAll) => parts.push("torn-all".to_string()),
+            Some(TornMode::KeepNone) => parts.push("torn-none".to_string()),
+            Some(TornMode::Subset(s)) => parts.push(format!("torn-sub{s}")),
+        }
+        if let Some((d, g)) = self.disk_fail {
+            parts.push(format!("d{d}@{g}"));
+        }
+        for (i, f) in &self.net {
+            let what = match f {
+                NetFault::Drop => "drop",
+                NetFault::Duplicate => "dup",
+                NetFault::Delay => "delay",
+            };
+            parts.push(format!("net-{what}@{i}"));
+        }
+        parts.join("+")
+    }
 }
 
 /// Which fault families a scenario's substrate can absorb. The explorer
@@ -220,6 +251,20 @@ mod tests {
         assert!(d.contains("drops all unflushed"), "{d}");
         assert!(d.contains("D1 fails at grant count 7"), "{d}");
         assert!(d.contains("net message 2 duplicated"), "{d}");
+    }
+
+    #[test]
+    fn compact_summary_is_terse_and_complete() {
+        assert_eq!(FaultPlan::default().compact(), "-");
+        let mut plan = FaultPlan {
+            disk_fail: Some((1, 5)),
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.compact(), "d1@5");
+        plan.transient_io.insert(3);
+        plan.torn = Some(TornMode::KeepNone);
+        plan.net.insert(2, NetFault::Drop);
+        assert_eq!(plan.compact(), "io@3+torn-none+d1@5+net-drop@2");
     }
 
     #[test]

@@ -102,6 +102,32 @@ struct RtState {
     disk_ops: u64,
     /// Network sends consulted against the fault plan so far.
     net_msgs: u64,
+    /// Model-lock acquisitions that succeeded.
+    lock_acquires: u64,
+    /// Times a thread found its lock held and parked (contention).
+    lock_blocks: u64,
+}
+
+/// Snapshot of the runtime's step counters, the scheduler-level raw
+/// material for the checker's telemetry (`exec_done` events and the
+/// per-execution histograms). Every field is a deterministic function of
+/// the schedule and fault plan, never of wall-clock time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Yield points passed (scheduled atomic steps).
+    pub steps: u64,
+    /// Virtual threads spawned over the execution's lifetime.
+    pub threads: u64,
+    /// Disk operations consulted against the fault plan.
+    pub disk_ops: u64,
+    /// Network sends consulted against the fault plan.
+    pub net_msgs: u64,
+    /// Successful model-lock acquisitions.
+    pub lock_acquires: u64,
+    /// Acquisitions that parked on a held lock first (contention).
+    pub lock_blocks: u64,
+    /// Deterministic random draws consumed.
+    pub rand_draws: u64,
 }
 
 thread_local! {
@@ -161,6 +187,8 @@ impl ModelRt {
                 rand_ctr: 0,
                 disk_ops: 0,
                 net_msgs: 0,
+                lock_acquires: 0,
+                lock_blocks: 0,
             }),
             cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
@@ -359,6 +387,7 @@ impl ModelRt {
                     "controller-context acquire of a held lock (self-deadlock)"
                 );
                 s.locks[lock].held_by = Some(CONTROLLER_TID);
+                s.lock_acquires += 1;
                 return;
             }
         };
@@ -367,6 +396,7 @@ impl ModelRt {
             let mut s = self.state.lock();
             if s.locks[lock].held_by.is_none() {
                 s.locks[lock].held_by = Some(tid);
+                s.lock_acquires += 1;
                 return;
             }
             assert_ne!(
@@ -375,6 +405,7 @@ impl ModelRt {
                 "model lock is not reentrant"
             );
             s.threads[tid].state = TState::Blocked(lock);
+            s.lock_blocks += 1;
             self.cv.notify_all();
             loop {
                 if s.poisoned {
@@ -531,6 +562,20 @@ impl ModelRt {
     /// Total steps scheduled so far.
     pub fn steps(&self) -> u64 {
         self.state.lock().steps
+    }
+
+    /// Snapshot of every scheduler-level counter (telemetry feed).
+    pub fn sched_stats(&self) -> SchedStats {
+        let s = self.state.lock();
+        SchedStats {
+            steps: s.steps,
+            threads: s.threads.len() as u64,
+            disk_ops: s.disk_ops,
+            net_msgs: s.net_msgs,
+            lock_acquires: s.lock_acquires,
+            lock_blocks: s.lock_blocks,
+            rand_draws: s.rand_ctr,
+        }
     }
 
     /// Panic kinds of all panicked threads (excluding crash unwinds).
@@ -772,6 +817,53 @@ mod tests {
         }
         assert_eq!(rt.failures().len(), 1);
         rt.join_all();
+    }
+
+    #[test]
+    fn sched_stats_count_every_primitive() {
+        let rt = ModelRt::new(0, 10_000);
+        let lock = rt.new_lock();
+        for label in ["a", "b"] {
+            let rt2 = Arc::clone(&rt);
+            rt.spawn(label, move || {
+                rt2.lock_acquire(lock);
+                rt2.yield_point(); // hold across a step to force contention
+                rt2.lock_release(lock);
+                let _ = rt2.rand_u64();
+            });
+        }
+        run_round_robin(&rt);
+        let stats = rt.sched_stats();
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.lock_acquires, 2);
+        assert!(
+            stats.lock_blocks >= 1,
+            "round-robin over a held lock must park at least once: {stats:?}"
+        );
+        assert_eq!(stats.rand_draws, 2);
+        assert_eq!(stats.steps, rt.steps());
+        assert!(stats.steps > 0);
+        assert_eq!(stats.disk_ops, 0);
+        assert_eq!(stats.net_msgs, 0);
+    }
+
+    #[test]
+    fn sched_stats_are_deterministic_per_schedule() {
+        let run = || {
+            let rt = ModelRt::new(3, 10_000);
+            let lock = rt.new_lock();
+            for t in 0..3 {
+                let rt2 = Arc::clone(&rt);
+                rt.spawn(format!("t{t}"), move || {
+                    rt2.lock_acquire(lock);
+                    rt2.yield_point();
+                    rt2.lock_release(lock);
+                });
+            }
+            run_round_robin(&rt);
+            rt.sched_stats()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

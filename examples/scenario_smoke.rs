@@ -6,29 +6,45 @@
 //! Run with: `cargo run --release --example scenario_smoke`
 //! (optionally pass a name fragment to filter, e.g. `-- kv/`, and/or
 //! `--faults` to also run the fault-injection sweeps: torn writes,
-//! transient I/O errors, disk failures, and net faults).
+//! transient I/O errors, disk failures, and net faults). Observability
+//! flags: `--telemetry PATH` appends every scenario's JSONL event
+//! stream to one file (the CI artifact), `--summary` prints the full
+//! per-scenario metrics block instead of just the verdict line.
 
-use perennial_checker::{verdict_line, CheckConfig};
+use perennial_checker::{render_summary, verdict_line, CheckConfig, TelemetrySink};
 use perennial_suite::all_scenarios;
 
 fn main() {
     let mut filter = String::new();
     let mut faults = false;
-    for arg in std::env::args().skip(1) {
-        if arg == "--faults" {
-            faults = true;
-        } else {
-            filter = arg;
+    let mut summary = false;
+    let mut telemetry_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--faults" => faults = true,
+            "--summary" => summary = true,
+            "--telemetry" => {
+                telemetry_path = Some(args.next().expect("--telemetry needs a file path"));
+            }
+            _ => filter = arg,
         }
     }
-    let cfg = CheckConfig::builder()
+    let mut builder = CheckConfig::builder()
         .seed(0)
         .dfs_max_executions(200)
         .random_samples(10)
         .random_crash_samples(20)
         .nested_crash_sweep(false)
-        .fault_sweeps(faults)
-        .build();
+        .fault_sweeps(faults);
+    if let Some(path) = &telemetry_path {
+        // One shared sink: every scenario appends to the same JSONL
+        // stream, distinguished by the `scenario` field on each record.
+        let sink = TelemetrySink::to_file(path)
+            .unwrap_or_else(|e| panic!("cannot open telemetry file {path}: {e}"));
+        builder = builder.telemetry(sink);
+    }
+    let cfg = builder.build();
 
     let registry = all_scenarios();
     println!(
@@ -44,7 +60,11 @@ fn main() {
             continue;
         }
         let report = scenario.run(&cfg);
-        println!("  {}", verdict_line(&report));
+        if summary {
+            println!("{}", render_summary(&report));
+        } else {
+            println!("  {}", verdict_line(&report));
+        }
         if !report.passed() {
             failed += 1;
             if let Some(text) = perennial_checker::render_failure(&report) {
