@@ -6,7 +6,7 @@
 use crash_patterns::shadow::ShadowHarness;
 use crash_patterns::wal::WalHarness;
 use criterion::{criterion_group, criterion_main, Criterion};
-use perennial_checker::{check, run_scenario, CheckConfig};
+use perennial_checker::{check, run_scenario, CheckConfig, Pass};
 use repldisk::harness::{RdHarness, RdWorkload};
 
 fn one_execution(c: &mut Criterion) {
@@ -40,7 +40,7 @@ fn sweep_passes(c: &mut Criterion) {
         .dfs_max_executions(50)
         .random_samples(5)
         .random_crash_samples(5)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .build();
     c.bench_function("checker/sweep_shadow", |b| {
         let h = ShadowHarness {

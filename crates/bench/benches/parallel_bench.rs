@@ -4,15 +4,14 @@
 //! work, so the time difference is pure scheduling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use perennial_checker::CheckConfig;
+use perennial_checker::{CheckConfig, Pass};
 
 fn base_cfg() -> CheckConfig {
     CheckConfig::builder()
         .dfs_max_executions(100)
         .random_samples(20)
         .random_crash_samples(40)
-        .crash_sweep(true)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .max_steps(200_000)
         .build()
 }

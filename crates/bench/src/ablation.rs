@@ -66,18 +66,21 @@ impl Pass {
             .dfs_max_executions(0)
             .random_samples(0)
             .random_crash_samples(0)
-            .crash_sweep(false)
-            .nested_crash_sweep(false)
+            .without_passes([
+                perennial_checker::Pass::CrashSweep,
+                perennial_checker::Pass::NestedCrash,
+            ])
             .max_steps(200_000);
         match self {
             Pass::DfsOnly => base.dfs_max_executions(300).build(),
             Pass::RandomOnly => base.random_samples(40).build(),
-            Pass::CrashSweepOnly => base.crash_sweep(true).build(),
+            Pass::CrashSweepOnly => base
+                .with_passes([perennial_checker::Pass::CrashSweep])
+                .build(),
             Pass::Full => CheckConfig::builder()
                 .dfs_max_executions(300)
                 .random_samples(15)
                 .random_crash_samples(25)
-                .crash_sweep(true)
                 .max_steps(200_000)
                 .build(),
         }

@@ -14,14 +14,14 @@ use perennial_bench::tables::{
     render_check_reports, render_costs, render_fig11, render_loc_table, render_table1,
     run_pattern_checks,
 };
-use perennial_checker::CheckConfig;
+use perennial_checker::{CheckConfig, Pass};
 
 fn pattern_check_config() -> CheckConfig {
     CheckConfig::builder()
         .dfs_max_executions(300)
         .random_samples(10)
         .random_crash_samples(20)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .max_steps(200_000)
         .build()
 }

@@ -10,8 +10,10 @@
 //! series. The acceptance target on an 8-core machine is ≥3x execs/sec
 //! at 8 workers vs 1.
 
-use perennial_bench::scale::{render_scale, run_scale, ScaleRow};
-use perennial_checker::{CheckConfig, ScenarioSet};
+use perennial_bench::scale::{
+    median_ratio, render_reduction, render_scale, run_reduction, run_scale, ReductionRow, ScaleRow,
+};
+use perennial_checker::{CheckConfig, Pass, ScenarioSet};
 
 fn registry() -> ScenarioSet {
     let mut set = ScenarioSet::new();
@@ -19,6 +21,15 @@ fn registry() -> ScenarioSet {
     set.extend(repldisk::harness::scenarios());
     set.extend(mailboat::scenarios());
     set.extend(crash_patterns::scenarios());
+    set
+}
+
+fn mutant_registry() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    set.extend(perennial_kv::mutant_scenarios());
+    set.extend(repldisk::harness::mutant_scenarios());
+    set.extend(mailboat::mutant_scenarios());
+    set.extend(crash_patterns::mutant_scenarios());
     set
 }
 
@@ -44,6 +55,31 @@ fn rows_json(rows: &[ScaleRow]) -> serde_json::Value {
             })
             .collect(),
     )
+}
+
+fn reduction_json(rows: &[ReductionRow]) -> serde_json::Value {
+    let cell = |c: &perennial_bench::scale::StrategyCell| {
+        serde_json::json!({
+            "executions": c.executions,
+            "pruned": c.pruned,
+            "coverage_guided": c.guided,
+            "counterexample_pass": c.fingerprint.as_ref().map(|(p, _)| p.clone()),
+            "trace_fingerprint": c.fingerprint.as_ref().map(|(_, fp)| *fp),
+        })
+    };
+    serde_json::json!({
+        "mutants": rows.iter().map(|r| serde_json::json!({
+            "scenario": r.scenario,
+            "exhaustive": cell(&r.exhaustive),
+            "sleep_set_dpor": cell(&r.dpor),
+            "coverage_guided": cell(&r.coverage),
+            "dpor_ratio": r.dpor_ratio(),
+            "coverage_ratio": r.coverage_ratio(),
+            "fingerprints_agree": r.fingerprints_agree(),
+        })).collect::<Vec<_>>(),
+        "median_dpor_ratio": median_ratio(rows, ReductionRow::dpor_ratio),
+        "median_coverage_ratio": median_ratio(rows, ReductionRow::coverage_ratio),
+    })
 }
 
 fn main() {
@@ -79,8 +115,6 @@ fn main() {
         .dfs_max_executions(500)
         .random_samples(100)
         .random_crash_samples(200)
-        .crash_sweep(true)
-        .nested_crash_sweep(true)
         .max_steps(200_000)
         .build();
     // The fault pass swaps the nested sweep for the fault sweeps, so the
@@ -89,9 +123,8 @@ fn main() {
         .dfs_max_executions(500)
         .random_samples(100)
         .random_crash_samples(200)
-        .crash_sweep(true)
-        .nested_crash_sweep(false)
-        .fault_sweeps(true)
+        .without_passes([Pass::NestedCrash])
+        .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
         .max_steps(200_000)
         .build();
 
@@ -108,11 +141,33 @@ fn main() {
         render_scale(&format!("{} (fault sweeps)", scenario.name()), &fault_rows)
     );
 
+    // Strategy reduction: executions-to-counterexample on every
+    // registered mutant, exhaustive vs DPOR vs coverage-guided. All
+    // three strategies get the same generous schedule budget (the
+    // passes run in rank order, so a crash- or fault-swept bug pays
+    // for the whole schedule phase first); the reduced strategies must
+    // reach an equivalent counterexample spending far less of it. The
+    // fault sweeps are on because three registered mutants are only
+    // reachable through them.
+    let reduction_cfg = CheckConfig::builder()
+        .dfs_max_executions(2000)
+        .random_samples(500)
+        .random_crash_samples(100)
+        .without_passes([Pass::NestedCrash])
+        .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
+        .max_steps(200_000)
+        .workers(1)
+        .build();
+    let reduction = run_reduction(&mutant_registry(), &reduction_cfg);
+    println!();
+    print!("{}", render_reduction(&reduction));
+
     if let Some(path) = json_path {
         let record = serde_json::json!({
             "scenario": scenario.name(),
             "schedule_exploration": rows_json(&rows),
             "fault_exploration": rows_json(&fault_rows),
+            "strategy_reduction": reduction_json(&reduction),
         });
         std::fs::write(&path, serde_json::to_string_pretty(&record).unwrap())
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));

@@ -5,8 +5,12 @@
 //! executions, so the comparison is pure wall-clock — see
 //! `cargo run --release -p perennial-bench --bin scale`.
 
-use perennial_checker::{CheckConfig, Coverage, OutcomeCounts, Scenario};
+use perennial_checker::{
+    trace_fingerprint, CheckConfig, Coverage, CoverageGuided, Exhaustive, OutcomeCounts, Scenario,
+    ScenarioSet, SleepSetDpor, Strategy,
+};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One pool size's measurement.
@@ -80,6 +84,149 @@ pub fn render_scale(name: &str, rows: &[ScaleRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Strategy reduction: executions-to-counterexample per mutant
+// ---------------------------------------------------------------------
+
+/// One strategy's result on one mutant scenario.
+#[derive(Debug, Clone)]
+pub struct StrategyCell {
+    /// Executions performed before the run stopped (the canonical
+    /// executions-to-counterexample count under `keep_going = false`).
+    pub executions: usize,
+    /// Sleep-set prunes charged to the DFS budget.
+    pub pruned: u64,
+    /// Coverage-guided (prefix-seeded) samples.
+    pub guided: u64,
+    /// `(pass name, ghost-trace fingerprint)` of the counterexample;
+    /// `None` means the mutant escaped this strategy.
+    pub fingerprint: Option<(String, u64)>,
+}
+
+/// Executions-to-counterexample across strategies for one mutant.
+#[derive(Debug, Clone)]
+pub struct ReductionRow {
+    pub scenario: String,
+    pub exhaustive: StrategyCell,
+    pub dpor: StrategyCell,
+    pub coverage: StrategyCell,
+}
+
+impl ReductionRow {
+    /// Baseline-vs-DPOR executions ratio (>1 means DPOR needed fewer).
+    pub fn dpor_ratio(&self) -> f64 {
+        self.exhaustive.executions as f64 / (self.dpor.executions.max(1)) as f64
+    }
+
+    /// Baseline-vs-coverage-guided executions ratio.
+    pub fn coverage_ratio(&self) -> f64 {
+        self.exhaustive.executions as f64 / (self.coverage.executions.max(1)) as f64
+    }
+
+    /// Whether both reduced strategies found a counterexample equivalent
+    /// to the baseline's. The crash and fault sweeps are strategy-
+    /// independent, so a sweep-phase find must match the baseline's
+    /// `(pass, ghost-trace fingerprint)` exactly; a find in the schedule
+    /// phase (dfs/random) on either side is a different-but-equivalent
+    /// interleaving of the same mutant and counts as agreement.
+    pub fn fingerprints_agree(&self) -> bool {
+        let Some((base_pass, _)) = &self.exhaustive.fingerprint else {
+            return false;
+        };
+        let schedule = |p: &str| p == "dfs" || p == "random";
+        let agrees = |c: &StrategyCell| match &c.fingerprint {
+            None => false,
+            Some((p, _)) if schedule(base_pass) || schedule(p) => true,
+            Some(_) => c.fingerprint == self.exhaustive.fingerprint,
+        };
+        agrees(&self.dpor) && agrees(&self.coverage)
+    }
+}
+
+fn run_cell(scenario: &Scenario, base: &CheckConfig, strategy: Arc<dyn Strategy>) -> StrategyCell {
+    let mut cfg = base.clone();
+    cfg.strategy = strategy;
+    let report = scenario.run(&cfg);
+    StrategyCell {
+        executions: report.executions,
+        pruned: report.pruned,
+        guided: report.coverage_guided,
+        fingerprint: report
+            .counterexample
+            .as_ref()
+            .map(|cx| (cx.pass.to_string(), trace_fingerprint(&cx.trace))),
+    }
+}
+
+/// Runs every mutant in `registry` under the three strategies and
+/// reports executions-to-counterexample for each. `base.strategy` is
+/// ignored; everything else (budgets, passes, workers) carries over.
+pub fn run_reduction(registry: &ScenarioSet, base: &CheckConfig) -> Vec<ReductionRow> {
+    let mut rows = Vec::new();
+    for scenario in registry {
+        rows.push(ReductionRow {
+            scenario: scenario.name().to_string(),
+            exhaustive: run_cell(scenario, base, Arc::new(Exhaustive)),
+            dpor: run_cell(scenario, base, Arc::new(SleepSetDpor)),
+            coverage: run_cell(scenario, base, Arc::new(CoverageGuided)),
+        });
+    }
+    rows
+}
+
+/// Median of a ratio over the rows (0.0 for an empty slice).
+pub fn median_ratio(rows: &[ReductionRow], ratio: impl Fn(&ReductionRow) -> f64) -> f64 {
+    let mut v: Vec<f64> = rows.iter().map(ratio).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Renders the reduction table.
+pub fn render_reduction(rows: &[ReductionRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Executions to counterexample (exhaustive vs sleep-set DPOR vs coverage-guided)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<36} {:>10} {:>10} {:>8} {:>10} {:>8} {:>6}",
+        "mutant", "exhaustive", "dpor", "ratio", "coverage", "ratio", "fp="
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<36} {:>10} {:>10} {:>7.1}x {:>10} {:>7.1}x {:>6}",
+            r.scenario,
+            r.exhaustive.executions,
+            r.dpor.executions,
+            r.dpor_ratio(),
+            r.coverage.executions,
+            r.coverage_ratio(),
+            if r.fingerprints_agree() { "yes" } else { "NO" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<36} {:>10} {:>10} {:>7.1}x {:>10} {:>7.1}x",
+        "(median)",
+        "",
+        "",
+        median_ratio(rows, ReductionRow::dpor_ratio),
+        "",
+        median_ratio(rows, ReductionRow::coverage_ratio),
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,7 +240,7 @@ mod tests {
             .dfs_max_executions(50)
             .random_samples(5)
             .random_crash_samples(5)
-            .nested_crash_sweep(false)
+            .without_passes([perennial_checker::Pass::NestedCrash])
             .build();
         let rows = run_scale(scenario, &cfg, &[1, 2]);
         assert_eq!(rows.len(), 2);

@@ -2,11 +2,12 @@
 //!
 //! This is the reproduction's substitute for the paper's Coq proofs (see
 //! DESIGN.md §1): instead of a theorem over *all* executions, the
-//! explorer enumerates a bounded set — exhaustive DFS over interleavings
-//! for small configurations, randomized sampling beyond that, and a
-//! systematic sweep of crash points including crashes during recovery —
-//! and requires the ghost discipline (Theorem 2's obligations) to hold on
-//! every one.
+//! explorer enumerates a bounded set — a schedule phase over crash-free
+//! interleavings driven by a pluggable [`Strategy`] (exhaustive DFS,
+//! random sampling, sleep-set DPOR, coverage-guided sampling; see
+//! DESIGN.md §12), and a systematic sweep of crash points including
+//! crashes during recovery — and requires the ghost discipline
+//! (Theorem 2's obligations) to hold on every one.
 //!
 //! # Parallel exploration and the determinism contract
 //!
@@ -14,11 +15,9 @@
 //! state per run), so the explorer dispatches them across a worker pool
 //! ([`CheckConfig::workers`]). Determinism is preserved by construction:
 //!
-//! - Every execution has a canonical **job key** `(pass_rank, index)`
-//!   assigned before it runs, independent of worker count or timing.
-//!   Pass ranks: dfs=0, random=1, crash-sweep-base=2, crash-sweep=3,
-//!   nested-crash-sweep=4, random-crash-probe=5, random-crash=6,
-//!   disk-fault-sweep=7, torn-write-sweep=8, net-fault-sweep=9.
+//! - Every execution has a canonical **job key** `(pass.rank(), index)`
+//!   assigned before it runs, independent of worker count or timing
+//!   (ranks in [`Pass`]).
 //! - Each execution's model seed is `hash(base_seed, pass_rank, index)`
 //!   (see [`exec_seed`]), never a shared mutable RNG.
 //! - The reported counterexample is the failure with the **minimum job
@@ -26,6 +25,11 @@
 //!   only when a failure with a *smaller* key is already known, which
 //!   cannot hide the minimum-key failure — so `workers = 8` reports the
 //!   same [`Counterexample`] as `workers = 1` for the same config.
+//! - Strategy feedback (DFS frontier expansion, sleep-set pruning,
+//!   coverage re-seeding) advances only on *complete* waves in canonical
+//!   job order; a wave interrupted by a failure is never observed. So
+//!   the explored set — and the `pruned`/`coverage_guided` counters —
+//!   are identical at every worker count.
 //! - Report statistics count exactly the executions with keys up to the
 //!   winning counterexample's key (all of them, if no failure), so
 //!   `executions`/`total_steps`/... are reproducible too.
@@ -38,9 +42,11 @@ use crate::harness::{Harness, World};
 use crate::metrics::{
     trace_fingerprint, Coverage, Histogram, OutcomeCounts, OutcomeKind, PassMetrics,
 };
+use crate::pass::{Pass, PassSet};
+use crate::strategy::{DepTrace, Exhaustive, ObservedExec, ScheduleSpec, Strategy};
 use crate::telemetry::{self, RunTelemetry, TelemetrySink};
 use goose_rt::fault::{FaultPlan, NetFault, TornMode};
-use goose_rt::sched::{ModelRt, PanicKind, StepResult, Tid};
+use goose_rt::sched::{res, ModelRt, PanicKind, StepAccess, StepResult, Tid};
 use parking_lot::Mutex;
 use perennial::{Ghost, GhostError};
 use perennial_spec::SpecTS;
@@ -61,29 +67,25 @@ pub struct CheckConfig {
     pub seed: u64,
     /// Per-execution step bound (livelock backstop).
     pub max_steps: u64,
-    /// Cap on DFS-enumerated schedules (0 disables DFS).
+    /// Cap on DFS-enumerated schedules (0 disables DFS). Under
+    /// [`SleepSetDpor`](crate::strategy::SleepSetDpor), pruned schedules
+    /// are charged against this budget too.
     pub dfs_max_executions: usize,
     /// Number of random schedules to sample (crash-free).
     pub random_samples: usize,
-    /// Sweep a crash at every step of the baseline schedule.
-    pub crash_sweep: bool,
-    /// Additionally sweep one nested crash during each recovery.
-    pub nested_crash_sweep: bool,
     /// Random schedules to sample *with* a random crash point each.
     pub random_crash_samples: usize,
-    /// Sweep one transient I/O error over every disk operation, and (on
-    /// two-disk substrates) a permanent single-disk failure over every
-    /// grant count — including during recovery. Only runs on scenarios
-    /// whose [`Harness::fault_surface`] models those faults.
-    pub disk_fault_sweep: bool,
-    /// Sweep torn crashes: at every crash point, additionally explore
-    /// crashes that persist only a subset of unflushed buffered writes.
-    /// Only runs on scenarios whose fault surface has a write buffer.
-    pub torn_write_sweep: bool,
-    /// Sweep one network fault (drop / duplicate / delay) over every
-    /// message of the baseline schedule. Only runs on scenarios whose
-    /// fault surface models a network.
-    pub net_fault_sweep: bool,
+    /// Which exploration passes run. [`PassSet::defaults`] enables DFS,
+    /// random sampling, the crash sweep with nesting, and random
+    /// crashes; the fault sweeps ([`Pass::DiskFault`],
+    /// [`Pass::TornWrite`], [`Pass::NetFault`]) opt in and additionally
+    /// require the matching [`Harness::fault_surface`] flag.
+    pub passes: PassSet,
+    /// Schedule-phase exploration strategy: how the crash-free DFS and
+    /// random passes pick what to run (see [`crate::strategy`] and
+    /// DESIGN.md §12). The crash and fault sweeps are strategy-
+    /// independent. Defaults to [`Exhaustive`].
+    pub strategy: Arc<dyn Strategy>,
     /// Worker threads for the exploration pool; `0` means use
     /// `std::thread::available_parallelism()`.
     pub workers: usize,
@@ -110,12 +112,9 @@ impl Default for CheckConfig {
             max_steps: 100_000,
             dfs_max_executions: 2_000,
             random_samples: 50,
-            crash_sweep: true,
-            nested_crash_sweep: true,
             random_crash_samples: 100,
-            disk_fault_sweep: false,
-            torn_write_sweep: false,
-            net_fault_sweep: false,
+            passes: PassSet::defaults(),
+            strategy: Arc::new(Exhaustive),
             workers: 0,
             keep_going: false,
             telemetry: None,
@@ -128,11 +127,13 @@ impl Default for CheckConfig {
 impl CheckConfig {
     /// A quick configuration for unit tests (small bounds).
     pub fn quick() -> Self {
+        let mut passes = PassSet::defaults();
+        passes.remove(Pass::NestedCrash);
         CheckConfig {
             dfs_max_executions: 200,
             random_samples: 10,
             random_crash_samples: 20,
-            nested_crash_sweep: false,
+            passes,
             ..CheckConfig::default()
         }
     }
@@ -159,10 +160,17 @@ impl CheckConfig {
 /// Fluent constructor for [`CheckConfig`]:
 ///
 /// ```
-/// use perennial_checker::CheckConfig;
-/// let cfg = CheckConfig::builder().seed(7).workers(8).crash_sweep(true).build();
+/// use perennial_checker::{CheckConfig, Pass, SleepSetDpor};
+/// let cfg = CheckConfig::builder()
+///     .seed(7)
+///     .workers(8)
+///     .with_passes([Pass::DiskFault])
+///     .strategy(SleepSetDpor)
+///     .build();
 /// assert_eq!(cfg.seed, 7);
 /// assert_eq!(cfg.workers, 8);
+/// assert!(cfg.passes.contains(Pass::DiskFault));
+/// assert_eq!(cfg.strategy.name(), "sleep-set-dpor");
 /// ```
 #[derive(Debug, Clone)]
 pub struct CheckConfigBuilder {
@@ -190,41 +198,79 @@ impl CheckConfigBuilder {
         self
     }
 
-    pub fn crash_sweep(mut self, on: bool) -> Self {
-        self.config.crash_sweep = on;
-        self
-    }
-
-    pub fn nested_crash_sweep(mut self, on: bool) -> Self {
-        self.config.nested_crash_sweep = on;
-        self
-    }
-
     pub fn random_crash_samples(mut self, n: usize) -> Self {
         self.config.random_crash_samples = n;
         self
     }
 
-    pub fn disk_fault_sweep(mut self, on: bool) -> Self {
-        self.config.disk_fault_sweep = on;
+    /// Replaces the pass set wholesale.
+    pub fn passes(mut self, passes: impl IntoIterator<Item = Pass>) -> Self {
+        self.config.passes = passes.into_iter().collect();
         self
     }
 
-    pub fn torn_write_sweep(mut self, on: bool) -> Self {
-        self.config.torn_write_sweep = on;
+    /// Adds passes to the current set.
+    pub fn with_passes(mut self, passes: impl IntoIterator<Item = Pass>) -> Self {
+        for p in passes {
+            self.config.passes.insert(p);
+        }
         self
     }
 
-    pub fn net_fault_sweep(mut self, on: bool) -> Self {
-        self.config.net_fault_sweep = on;
+    /// Removes passes from the current set.
+    pub fn without_passes(mut self, passes: impl IntoIterator<Item = Pass>) -> Self {
+        for p in passes {
+            self.config.passes.remove(p);
+        }
         self
     }
 
-    /// Enables all three fault sweeps at once.
+    /// Sets the schedule-phase exploration strategy.
+    pub fn strategy(mut self, strategy: impl Strategy + 'static) -> Self {
+        self.config.strategy = Arc::new(strategy);
+        self
+    }
+
+    fn set_pass(mut self, p: Pass, on: bool) -> Self {
+        if on {
+            self.config.passes.insert(p);
+        } else {
+            self.config.passes.remove(p);
+        }
+        self
+    }
+
+    #[deprecated(note = "use passes()/with_passes()/without_passes() with Pass::CrashSweep")]
+    pub fn crash_sweep(self, on: bool) -> Self {
+        self.set_pass(Pass::CrashSweep, on)
+    }
+
+    #[deprecated(note = "use passes()/with_passes()/without_passes() with Pass::NestedCrash")]
+    pub fn nested_crash_sweep(self, on: bool) -> Self {
+        self.set_pass(Pass::NestedCrash, on)
+    }
+
+    #[deprecated(note = "use passes()/with_passes()/without_passes() with Pass::DiskFault")]
+    pub fn disk_fault_sweep(self, on: bool) -> Self {
+        self.set_pass(Pass::DiskFault, on)
+    }
+
+    #[deprecated(note = "use passes()/with_passes()/without_passes() with Pass::TornWrite")]
+    pub fn torn_write_sweep(self, on: bool) -> Self {
+        self.set_pass(Pass::TornWrite, on)
+    }
+
+    #[deprecated(note = "use passes()/with_passes()/without_passes() with Pass::NetFault")]
+    pub fn net_fault_sweep(self, on: bool) -> Self {
+        self.set_pass(Pass::NetFault, on)
+    }
+
+    /// Enables (or disables) all three fault sweeps at once.
+    #[deprecated(note = "use with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])")]
     pub fn fault_sweeps(self, on: bool) -> Self {
-        self.disk_fault_sweep(on)
-            .torn_write_sweep(on)
-            .net_fault_sweep(on)
+        self.set_pass(Pass::DiskFault, on)
+            .set_pass(Pass::TornWrite, on)
+            .set_pass(Pass::NetFault, on)
     }
 
     pub fn workers(mut self, workers: usize) -> Self {
@@ -297,7 +343,7 @@ pub struct Counterexample {
     /// What failed.
     pub outcome: ExecOutcome,
     /// Which exploration pass produced it.
-    pub pass: &'static str,
+    pub pass: Pass,
     /// Canonical index of the failing execution within its pass; the
     /// pair (pass, index) totally orders counterexamples and is how the
     /// parallel explorer picks the one to report.
@@ -306,15 +352,16 @@ pub struct Counterexample {
     /// schedule seed for random passes). [`replay`] feeds it back in.
     pub seed: u64,
     /// The schedule prefix (choice indices) that reproduces it — DFS
-    /// passes only; empty for round-robin and random passes.
+    /// prefixes, or the replayed corpus prefix of a coverage-guided
+    /// random sample; empty for round-robin and plain random passes.
     pub schedule_prefix: Vec<usize>,
     /// Injected crash points. Unit: **absolute grant counts** from the
     /// start of the execution (crash k fires before the (k+1)-th grant);
     /// an injected crash itself consumes one count, so nested points
     /// land inside recovery.
     pub crash_points: Vec<u64>,
-    /// Decision depths at which the DFS prefix asked for a choice index
-    /// out of range and was clamped to the last runnable thread —
+    /// Decision depths at which the schedule prefix asked for a choice
+    /// index out of range and was clamped to the last runnable thread —
     /// non-empty means the prefix came from a differently-shaped run.
     pub clamped: Vec<usize>,
     /// The fault plan active during the failing execution (empty for the
@@ -327,25 +374,7 @@ pub struct Counterexample {
 impl Counterexample {
     /// The canonical ordering key `(pass_rank, index)`.
     pub fn key(&self) -> (u8, u64) {
-        (pass_rank(self.pass), self.index)
-    }
-}
-
-/// Canonical rank of an exploration pass (the major sort key for
-/// counterexample selection).
-pub fn pass_rank(pass: &str) -> u8 {
-    match pass {
-        "dfs" => 0,
-        "random" => 1,
-        "crash-sweep-base" => 2,
-        "crash-sweep" => 3,
-        "nested-crash-sweep" => 4,
-        "random-crash-probe" => 5,
-        "random-crash" => 6,
-        "disk-fault-sweep" => 7,
-        "torn-write-sweep" => 8,
-        "net-fault-sweep" => 9,
-        _ => u8::MAX,
+        (self.pass.rank(), self.index)
     }
 }
 
@@ -374,6 +403,13 @@ pub struct CheckReport {
     pub workers: usize,
     /// Executions per wall-clock second.
     pub execs_per_sec: f64,
+    /// Name of the schedule-phase strategy that ran.
+    pub strategy: String,
+    /// Schedules the strategy pruned as redundant (sleep-set hits) —
+    /// deterministic across worker counts.
+    pub pruned: u64,
+    /// Executions whose schedule was re-seeded by coverage feedback.
+    pub coverage_guided: u64,
     /// The canonical (minimum-key) counterexample, if any.
     pub counterexample: Option<Counterexample>,
     /// All counterexamples found, sorted by canonical key. Without
@@ -431,15 +467,16 @@ enum Policy {
     DfsPrefix(Vec<usize>),
     /// Round-robin over runnable threads.
     RoundRobin,
-    /// Seeded pseudo-random choice.
-    Random(u64),
+    /// Replay the (possibly empty) decision prefix, then seeded
+    /// pseudo-random choice.
+    Random { seed: u64, prefix: Vec<usize> },
 }
 
 struct ScheduleState {
     policy: Policy,
     /// (choice index, number of runnable options) per decision.
     decisions: Vec<(usize, usize)>,
-    /// Decision depths where a DFS prefix index was out of range.
+    /// Decision depths where a replayed prefix index was out of range.
     clamped: Vec<usize>,
     rr_next: usize,
     rng: u64,
@@ -448,7 +485,7 @@ struct ScheduleState {
 impl ScheduleState {
     fn new(policy: Policy) -> Self {
         let rng = match &policy {
-            Policy::Random(s) => *s | 1,
+            Policy::Random { seed, .. } => *seed | 1,
             _ => 1,
         };
         ScheduleState {
@@ -482,12 +519,19 @@ impl ScheduleState {
                 self.rr_next += 1;
                 idx
             }
-            Policy::Random(_) => {
-                // xorshift64*
-                self.rng ^= self.rng << 13;
-                self.rng ^= self.rng >> 7;
-                self.rng ^= self.rng << 17;
-                (self.rng as usize) % n
+            Policy::Random { prefix, .. } => {
+                if d < prefix.len() {
+                    if prefix[d] >= n {
+                        self.clamped.push(d);
+                    }
+                    prefix[d].min(n - 1)
+                } else {
+                    // xorshift64*
+                    self.rng ^= self.rng << 13;
+                    self.rng ^= self.rng >> 7;
+                    self.rng ^= self.rng << 17;
+                    (self.rng as usize) % n
+                }
             }
         };
         self.decisions.push((idx, n));
@@ -523,10 +567,14 @@ struct RunResult {
     /// Wall time of this single execution (telemetry only).
     duration: Duration,
     trace: String,
+    /// Per-grant dependency observations (schedule-phase DPOR runs).
+    deps: Option<DepTrace>,
 }
 
 /// Runs one execution under `policy`, injecting crashes at the given
-/// absolute grant counts and faults per `faults`.
+/// absolute grant counts and faults per `faults`. With `track_deps`, the
+/// runtime records each grant's dependency footprint and the result
+/// carries a [`DepTrace`] for partial-order reduction.
 fn run_one<S: SpecTS, H: Harness<S>>(
     harness: &H,
     policy: Policy,
@@ -534,8 +582,10 @@ fn run_one<S: SpecTS, H: Harness<S>>(
     faults: &FaultPlan,
     seed: u64,
     max_steps: u64,
+    track_deps: bool,
 ) -> RunResult {
     let rt = ModelRt::with_faults(seed, max_steps, faults.clone());
+    rt.set_track_deps(track_deps);
     let ghost = Ghost::new(harness.spec());
     let w = World {
         rt: Arc::clone(&rt),
@@ -555,6 +605,12 @@ fn run_one<S: SpecTS, H: Harness<S>>(
     let mut phase = Phase::Main;
     let mut recovery_tid: Option<Tid> = None;
     let mut after_spawned = false;
+    let mut dep: Option<DepTrace> = track_deps.then(DepTrace::default);
+    if track_deps {
+        // Discard anything noted during boot/spawn: footprints belong to
+        // granted steps, not setup.
+        rt.take_step_accesses();
+    }
 
     let run_started = Instant::now();
     let finish = |outcome: ExecOutcome,
@@ -562,7 +618,8 @@ fn run_one<S: SpecTS, H: Harness<S>>(
                   steps: u64,
                   crashes: usize,
                   rt: &Arc<ModelRt>,
-                  ghost: &Arc<Ghost<S>>| {
+                  ghost: &Arc<Ghost<S>>,
+                  deps: Option<DepTrace>| {
         let stats = rt.sched_stats();
         let trace = ghost.trace().render();
         RunResult {
@@ -578,6 +635,7 @@ fn run_one<S: SpecTS, H: Harness<S>>(
             trace_fp: trace_fingerprint(&trace),
             duration: run_started.elapsed(),
             trace,
+            deps,
         }
     };
 
@@ -603,6 +661,11 @@ fn run_one<S: SpecTS, H: Harness<S>>(
             let body = exec.recovery(&w);
             recovery_tid = Some(rt.spawn("recovery", body));
             phase = Phase::Recovering;
+            if track_deps {
+                // Crash unwinding and re-boot are controller transitions,
+                // not granted steps; drop any footprint they left behind.
+                rt.take_step_accesses();
+            }
             // A crash consumes a "step" so nested sweeps can target
             // positions inside recovery distinctly.
             steps += 1;
@@ -615,12 +678,39 @@ fn run_one<S: SpecTS, H: Harness<S>>(
                 // Pending crash points beyond the end are simply unused.
                 break;
             }
-            return finish(ExecOutcome::Deadlock, &sched, steps, crashes, &rt, &ghost);
+            return finish(
+                ExecOutcome::Deadlock,
+                &sched,
+                steps,
+                crashes,
+                &rt,
+                &ghost,
+                dep.take(),
+            );
         }
         let tid = sched.choose(&runnable);
-        let res = rt.grant(tid);
+        // Snapshot immediately before the grant so controller-side ghost
+        // calls (crash(), validate()) between grants never pollute the
+        // per-grant delta.
+        let ghost_ops = if track_deps { ghost.op_count() } else { 0 };
+        let step = rt.grant(tid);
         steps += 1;
-        match res {
+        if let Some(dep) = dep.as_mut() {
+            let mut acc = rt.take_step_accesses();
+            if ghost.op_count() != ghost_ops {
+                // Ghost activity is tagged per thread: a thread's spec
+                // events are ordered by its own program order, and any
+                // cross-thread spec coupling (helping, linearization
+                // against a shared object) is mediated by a physical
+                // primitive whose resource tag is already in the
+                // footprint. Untagged cross-thread ghost coupling would
+                // be unsound to commute — see DESIGN.md §12.
+                acc.push(StepAccess::write(res::GHOST | tid as u64));
+            }
+            dep.runnables.push(runnable.clone());
+            dep.accesses.push(acc);
+        }
+        match step {
             StepResult::Yielded | StepResult::Blocked => {}
             StepResult::Finished => {
                 if phase == Phase::Recovering && recovery_tid == Some(tid) {
@@ -641,13 +731,30 @@ fn run_one<S: SpecTS, H: Harness<S>>(
                     crashes,
                     &rt,
                     &ghost,
+                    dep.take(),
                 );
             }
             StepResult::Panicked(PanicKind::Ub(msg)) => {
-                return finish(ExecOutcome::Ub(msg), &sched, steps, crashes, &rt, &ghost);
+                return finish(
+                    ExecOutcome::Ub(msg),
+                    &sched,
+                    steps,
+                    crashes,
+                    &rt,
+                    &ghost,
+                    dep.take(),
+                );
             }
             StepResult::Panicked(PanicKind::Other(msg)) => {
-                return finish(ExecOutcome::Bug(msg), &sched, steps, crashes, &rt, &ghost);
+                return finish(
+                    ExecOutcome::Bug(msg),
+                    &sched,
+                    steps,
+                    crashes,
+                    &rt,
+                    &ghost,
+                    dep.take(),
+                );
             }
             StepResult::Panicked(PanicKind::CrashUnwind) => {
                 // Only reachable via crash_all, which we drive ourselves.
@@ -671,7 +778,7 @@ fn run_one<S: SpecTS, H: Harness<S>>(
         }
         Err(e) => (ExecOutcome::Violation(e), 0),
     };
-    let mut r = finish(outcome, &sched, steps, crashes, &rt, &ghost);
+    let mut r = finish(outcome, &sched, steps, crashes, &rt, &ghost, dep.take());
     r.helped = helped;
     r
 }
@@ -700,14 +807,19 @@ enum JobKind {
 }
 
 enum PolicySpec {
-    Dfs(Vec<usize>),
+    Dfs {
+        prefix: Vec<usize>,
+        track_deps: bool,
+    },
     RoundRobin,
-    Random,
+    Random {
+        prefix: Vec<usize>,
+    },
 }
 
 struct Job {
     key: JobKey,
-    pass: &'static str,
+    pass: Pass,
     policy: PolicySpec,
     crash_points: Vec<u64>,
     /// Distinct crash points this job sweeps (for the report counter).
@@ -719,7 +831,7 @@ struct Job {
 
 impl Job {
     /// A fault-free single execution (the common case).
-    fn plain(key: JobKey, pass: &'static str, policy: PolicySpec) -> Job {
+    fn plain(key: JobKey, pass: Pass, policy: PolicySpec) -> Job {
         Job {
             key,
             pass,
@@ -757,7 +869,7 @@ impl FaultFamily {
 
 struct JobOutcome {
     key: JobKey,
-    pass: &'static str,
+    pass: Pass,
     steps: u64,
     crashes: usize,
     helped: u64,
@@ -780,8 +892,11 @@ struct JobOutcome {
     /// Wall time of the execution (telemetry only; the lone
     /// non-deterministic field here).
     duration: Duration,
-    /// Full decision path — kept for DFS jobs only (tree expansion).
+    /// Full decision path — kept for schedule-phase jobs (strategy
+    /// feedback: tree expansion, coverage corpora).
     decisions: Vec<(usize, usize)>,
+    /// Dependency observations (DPOR-tracked jobs only).
+    deps: Option<DepTrace>,
     cx: Option<Counterexample>,
 }
 
@@ -837,7 +952,7 @@ impl Cancel {
 
 fn make_counterexample(
     r: &RunResult,
-    pass: &'static str,
+    pass: Pass,
     index: u64,
     seed: u64,
     schedule_prefix: Vec<usize>,
@@ -863,7 +978,7 @@ fn make_counterexample(
 fn finish_execution(
     r: &RunResult,
     key: JobKey,
-    pass: &'static str,
+    pass: Pass,
     seed: u64,
     crash_points: Vec<u64>,
     swept: usize,
@@ -907,6 +1022,7 @@ fn finish_execution(
         } else {
             Vec::new()
         },
+        deps: r.deps.clone(),
         cx: None,
     }
 }
@@ -924,12 +1040,26 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
     }
     let (rank, index) = job.key;
     let seed = exec_seed(config.seed, rank, index);
-    let policy = match &job.policy {
-        PolicySpec::Dfs(prefix) => Policy::DfsPrefix(prefix.clone()),
-        PolicySpec::RoundRobin => Policy::RoundRobin,
-        PolicySpec::Random => Policy::Random(seed),
+    let (policy, keep_decisions) = match &job.policy {
+        PolicySpec::Dfs { prefix, .. } => (Policy::DfsPrefix(prefix.clone()), true),
+        PolicySpec::RoundRobin => (Policy::RoundRobin, false),
+        PolicySpec::Random { prefix } => (
+            Policy::Random {
+                seed,
+                prefix: prefix.clone(),
+            },
+            // The coverage strategy feeds on random-pass decision paths;
+            // the random-crash probes (rank 5) don't need them.
+            job.pass == Pass::Random,
+        ),
     };
-    let keep_decisions = matches!(job.policy, PolicySpec::Dfs(_));
+    let track = matches!(
+        &job.policy,
+        PolicySpec::Dfs {
+            track_deps: true,
+            ..
+        }
+    );
     let r = run_one(
         harness,
         policy,
@@ -937,6 +1067,7 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
         &job.faults,
         seed,
         config.max_steps,
+        track,
     );
 
     let mut out = finish_execution(
@@ -952,8 +1083,9 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
     );
     if r.outcome.is_failure() {
         let prefix = match &job.policy {
-            PolicySpec::Dfs(p) => p.clone(),
-            _ => Vec::new(),
+            PolicySpec::Dfs { prefix, .. } => prefix.clone(),
+            PolicySpec::Random { prefix } => prefix.clone(),
+            PolicySpec::RoundRobin => Vec::new(),
         };
         let cx = make_counterexample(
             &r,
@@ -976,7 +1108,7 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
             // The probe succeeded: rerun the same schedule with one
             // crash point derived from the probe's horizon. The crash
             // run reuses the probe's seed so the schedule replays.
-            let crash_key = (pass_rank("random-crash"), index);
+            let crash_key = (Pass::RandomCrash.rank(), index);
             if !cancel.should_run(crash_key) {
                 return vec![out];
             }
@@ -984,16 +1116,20 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
             let k = splitmix(seed) % horizon;
             let r2 = run_one(
                 harness,
-                Policy::Random(seed),
+                Policy::Random {
+                    seed,
+                    prefix: Vec::new(),
+                },
                 &[k],
                 &job.faults,
                 seed,
                 config.max_steps,
+                false,
             );
             let mut out2 = finish_execution(
                 &r2,
                 crash_key,
-                "random-crash",
+                Pass::RandomCrash,
                 seed,
                 vec![k],
                 1,
@@ -1004,7 +1140,7 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
             if r2.outcome.is_failure() {
                 let cx = make_counterexample(
                     &r2,
-                    "random-crash",
+                    Pass::RandomCrash,
                     index,
                     seed,
                     Vec::new(),
@@ -1059,11 +1195,6 @@ fn run_wave<S: SpecTS, H: Harness<S>>(
         .collect()
 }
 
-/// Lex-ordered wave size for DFS frontier expansion. Fixed (not derived
-/// from the worker count) so the explored set is identical for every
-/// pool size.
-const DFS_WAVE: usize = 64;
-
 /// Runs all configured exploration passes over a scenario, dispatching
 /// executions across [`CheckConfig::workers`] threads. See the module
 /// docs for the determinism contract.
@@ -1077,80 +1208,77 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     // Enumerable sweep spaces, recorded as each pass derives its job
     // list (deterministic: job derivation is probe-driven, not timed).
     let mut coverage = Coverage::default();
-    let pass_start = |pass: &'static str| {
-        telem.emit(&telemetry::ev_pass_start(pass, pass_rank(pass)));
+    let pass_start = |pass: Pass| {
+        telem.emit(&telemetry::ev_pass_start(pass));
     };
 
-    // Pass 0 (rank 0): DFS over crash-free schedules, explored as waves
-    // of the lexicographically smallest pending prefixes. Running a
-    // prefix p reveals its decision path; every sibling choice at depths
-    // >= |p| becomes a new pending prefix (depths < |p| were already
-    // enqueued by p's ancestors), so each schedule is enumerated exactly
-    // once, in an order independent of worker count.
-    if config.dfs_max_executions > 0 {
-        pass_start("dfs");
-        let mut pending: BTreeSet<Vec<usize>> = BTreeSet::new();
-        pending.insert(Vec::new());
-        let mut budget = config.dfs_max_executions;
-        let mut dfs_index: u64 = 0;
-        while budget > 0 && !pending.is_empty() {
-            if !config.keep_going && cancel.any_failure() {
-                break;
-            }
-            let wave: Vec<Vec<usize>> =
-                pending.iter().take(DFS_WAVE.min(budget)).cloned().collect();
-            for p in &wave {
-                pending.remove(p);
-            }
-            budget -= wave.len();
-            let jobs: Vec<Job> = wave
-                .into_iter()
-                .map(|prefix| {
-                    let job = Job::plain(
-                        (pass_rank("dfs"), dfs_index),
-                        "dfs",
-                        PolicySpec::Dfs(prefix),
-                    );
-                    dfs_index += 1;
-                    job
-                })
-                .collect();
-            let outs = run_wave(harness, config, &cancel, &telem, workers, &jobs);
-            for out in &outs {
-                let prefix = match &jobs[(out.key.1 - jobs[0].key.1) as usize].policy {
-                    PolicySpec::Dfs(p) => p,
-                    _ => unreachable!("DFS wave contains only DFS jobs"),
-                };
-                for d in prefix.len()..out.decisions.len() {
-                    let (choice, n) = out.decisions[d];
-                    for c in choice + 1..n {
-                        let mut q: Vec<usize> =
-                            out.decisions[..d].iter().map(|(i, _)| *i).collect();
-                        q.push(c);
-                        pending.insert(q);
-                    }
-                }
-            }
-            outcomes.extend(outs);
+    // Schedule phase (ranks 0-1): the strategy decides which crash-free
+    // schedules to run, as a wave loop with feedback. Each wave's job
+    // keys are assigned in spec order before anything runs; feedback
+    // (frontier expansion, sleep-set pruning, coverage re-seeding) is
+    // applied only from *complete* waves — a wave cut short by a failure
+    // is never observed — so the explored set and the pruned/guided
+    // counters are worker-count independent.
+    let mut session = config.strategy.session(config);
+    let mut announced = PassSet::empty();
+    let mut next_index: BTreeMap<u8, u64> = BTreeMap::new();
+    while !cancel.cancelled() {
+        let Some(wave) = session.next_wave() else {
+            break;
+        };
+        let pass = wave.pass;
+        if !announced.contains(pass) {
+            announced.insert(pass);
+            pass_start(pass);
         }
-    }
-
-    // Pass 1 (rank 1): random crash-free schedules.
-    if !cancel.cancelled() {
-        pass_start("random");
-        let jobs: Vec<Job> = (0..config.random_samples as u64)
-            .map(|i| Job::plain((pass_rank("random"), i), "random", PolicySpec::Random))
+        let first = *next_index.entry(pass.rank()).or_insert(0);
+        let jobs: Vec<Job> = wave
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let key = (pass.rank(), first + i as u64);
+                let policy = match spec {
+                    ScheduleSpec::Dfs { prefix, track_deps } => PolicySpec::Dfs {
+                        prefix: prefix.clone(),
+                        track_deps: *track_deps,
+                    },
+                    ScheduleSpec::Random { prefix } => PolicySpec::Random {
+                        prefix: prefix.clone(),
+                    },
+                };
+                Job::plain(key, pass, policy)
+            })
             .collect();
-        outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
+        next_index.insert(pass.rank(), first + jobs.len() as u64);
+        let outs = run_wave(harness, config, &cancel, &telem, workers, &jobs);
+        let observed: Vec<ObservedExec> = outs
+            .iter()
+            .map(|o| ObservedExec {
+                slot: (o.key.1 - first) as usize,
+                decisions: o.decisions.clone(),
+                trace_fp: o.trace_fp,
+                failed: o.kind != OutcomeKind::Ok,
+                deps: o.deps.clone(),
+            })
+            .collect();
+        outcomes.extend(outs);
+        if !config.keep_going && cancel.any_failure() {
+            // Break *before* observing: the failing wave may be partial
+            // (later jobs skipped), and partial feedback would make
+            // strategy state depend on worker timing.
+            break;
+        }
+        session.observe(pass, &observed);
     }
 
     // Passes 2-4: systematic crash sweep on the round-robin schedule.
-    if config.crash_sweep && !cancel.cancelled() {
-        pass_start("crash-sweep-base");
+    if config.passes.contains(Pass::CrashSweep) && !cancel.cancelled() {
+        pass_start(Pass::CrashSweepBase);
         // Rank 2: discover the crash-free horizon first.
         let base_jobs = vec![Job::plain(
-            (pass_rank("crash-sweep-base"), 0),
-            "crash-sweep-base",
+            (Pass::CrashSweepBase.rank(), 0),
+            Pass::CrashSweepBase,
             PolicySpec::RoundRobin,
         )];
         let base = run_wave(harness, config, &cancel, &telem, workers, &base_jobs);
@@ -1159,15 +1287,15 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
 
         // Rank 3: one crash at every grant count up to the horizon.
         if !cancel.cancelled() {
-            pass_start("crash-sweep");
+            pass_start(Pass::CrashSweep);
             coverage.crash_points_enumerable = horizon;
             let jobs: Vec<Job> = (0..horizon)
                 .map(|k| Job {
                     crash_points: vec![k],
                     swept: 1,
                     ..Job::plain(
-                        (pass_rank("crash-sweep"), k),
-                        "crash-sweep",
+                        (Pass::CrashSweep.rank(), k),
+                        Pass::CrashSweep,
                         PolicySpec::RoundRobin,
                     )
                 })
@@ -1176,8 +1304,8 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
 
             // Rank 4: a second crash inside each recovery, generated in
             // deterministic (k, m) order from the sweep's step counts.
-            if config.nested_crash_sweep && !cancel.cancelled() {
-                pass_start("nested-crash-sweep");
+            if config.passes.contains(Pass::NestedCrash) && !cancel.cancelled() {
+                pass_start(Pass::NestedCrash);
                 let mut nested: Vec<Job> = Vec::new();
                 let mut index: u64 = 0;
                 for out in &sweep {
@@ -1188,8 +1316,8 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                             crash_points: vec![k, k + 1 + m],
                             swept: 1,
                             ..Job::plain(
-                                (pass_rank("nested-crash-sweep"), index),
-                                "nested-crash-sweep",
+                                (Pass::NestedCrash.rank(), index),
+                                Pass::NestedCrash,
                                 PolicySpec::RoundRobin,
                             )
                         });
@@ -1206,15 +1334,15 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
 
     // Passes 5-6: random schedules with a random crash point each (probe
     // + crash run are one job; the crash run reuses the probe's seed).
-    if !cancel.cancelled() {
-        pass_start("random-crash-probe");
+    if config.passes.contains(Pass::RandomCrash) && !cancel.cancelled() {
+        pass_start(Pass::RandomCrashProbe);
         let jobs: Vec<Job> = (0..config.random_crash_samples as u64)
             .map(|i| Job {
                 kind: JobKind::ProbeThenCrash,
                 ..Job::plain(
-                    (pass_rank("random-crash-probe"), i),
-                    "random-crash-probe",
-                    PolicySpec::Random,
+                    (Pass::RandomCrashProbe.rank(), i),
+                    Pass::RandomCrashProbe,
+                    PolicySpec::Random { prefix: Vec::new() },
                 )
             })
             .collect();
@@ -1232,12 +1360,12 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     // Pass 7: transient I/O errors on every disk op, plus (on two-disk
     // substrates) a permanent single-disk failure at every grant count,
     // including during recovery.
-    if config.disk_fault_sweep
+    if config.passes.contains(Pass::DiskFault)
         && (surface.transient_disk_io || surface.two_disk)
         && !cancel.cancelled()
     {
-        let rank = pass_rank("disk-fault-sweep");
-        pass_start("disk-fault-sweep");
+        let rank = Pass::DiskFault.rank();
+        pass_start(Pass::DiskFault);
         let probe = run_wave(
             harness,
             config,
@@ -1246,7 +1374,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
             workers,
             &[Job::plain(
                 (rank, 0),
-                "disk-fault-sweep",
+                Pass::DiskFault,
                 PolicySpec::RoundRobin,
             )],
         );
@@ -1263,7 +1391,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                     faults.transient_io.insert(j);
                     jobs.push(Job {
                         faults,
-                        ..Job::plain((rank, index), "disk-fault-sweep", PolicySpec::RoundRobin)
+                        ..Job::plain((rank, index), Pass::DiskFault, PolicySpec::RoundRobin)
                     });
                     index += 1;
                 }
@@ -1277,7 +1405,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                         };
                         jobs.push(Job {
                             faults,
-                            ..Job::plain((rank, index), "disk-fault-sweep", PolicySpec::RoundRobin)
+                            ..Job::plain((rank, index), Pass::DiskFault, PolicySpec::RoundRobin)
                         });
                         index += 1;
                     }
@@ -1294,7 +1422,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                 let probe2_jobs = vec![Job {
                     crash_points: vec![k],
                     swept: 1,
-                    ..Job::plain((rank, index), "disk-fault-sweep", PolicySpec::RoundRobin)
+                    ..Job::plain((rank, index), Pass::DiskFault, PolicySpec::RoundRobin)
                 }];
                 index += 1;
                 let probe2 = run_wave(harness, config, &cancel, &telem, workers, &probe2_jobs);
@@ -1312,11 +1440,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                                 crash_points: vec![k],
                                 swept: 1,
                                 faults,
-                                ..Job::plain(
-                                    (rank, index),
-                                    "disk-fault-sweep",
-                                    PolicySpec::RoundRobin,
-                                )
+                                ..Job::plain((rank, index), Pass::DiskFault, PolicySpec::RoundRobin)
                             });
                             index += 1;
                         }
@@ -1332,9 +1456,9 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     // schedule, crashes that persist none or a pseudo-random subset of
     // the unflushed write buffer (persisting *all* of it is exactly the
     // plain crash sweep).
-    if config.torn_write_sweep && surface.torn_writes && !cancel.cancelled() {
-        let rank = pass_rank("torn-write-sweep");
-        pass_start("torn-write-sweep");
+    if config.passes.contains(Pass::TornWrite) && surface.torn_writes && !cancel.cancelled() {
+        let rank = Pass::TornWrite.rank();
+        pass_start(Pass::TornWrite);
         let probe = run_wave(
             harness,
             config,
@@ -1343,7 +1467,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
             workers,
             &[Job::plain(
                 (rank, 0),
-                "torn-write-sweep",
+                Pass::TornWrite,
                 PolicySpec::RoundRobin,
             )],
         );
@@ -1366,7 +1490,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                             faults,
                             ..Job::plain(
                                 (rank, 1 + k * MODES.len() as u64 + m as u64),
-                                "torn-write-sweep",
+                                Pass::TornWrite,
                                 PolicySpec::RoundRobin,
                             )
                         }
@@ -1380,9 +1504,9 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
 
     // Pass 9: network-fault sweep — drop, duplicate, or delay each
     // message of the baseline schedule, one fault per execution.
-    if config.net_fault_sweep && surface.net && !cancel.cancelled() {
-        let rank = pass_rank("net-fault-sweep");
-        pass_start("net-fault-sweep");
+    if config.passes.contains(Pass::NetFault) && surface.net && !cancel.cancelled() {
+        let rank = Pass::NetFault.rank();
+        pass_start(Pass::NetFault);
         let probe = run_wave(
             harness,
             config,
@@ -1391,7 +1515,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
             workers,
             &[Job::plain(
                 (rank, 0),
-                "net-fault-sweep",
+                Pass::NetFault,
                 PolicySpec::RoundRobin,
             )],
         );
@@ -1409,7 +1533,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                             faults,
                             ..Job::plain(
                                 (rank, 1 + m * FAULTS.len() as u64 + f as u64),
-                                "net-fault-sweep",
+                                Pass::NetFault,
                                 PolicySpec::RoundRobin,
                             )
                         }
@@ -1442,7 +1566,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
         workers,
         ..CheckReport::default()
     };
-    let mut per_pass: BTreeMap<(u8, &'static str), PassMetrics> = BTreeMap::new();
+    let mut per_pass: BTreeMap<Pass, PassMetrics> = BTreeMap::new();
     let mut crash_point_set: BTreeSet<u64> = BTreeSet::new();
     let mut trace_set: BTreeSet<u64> = BTreeSet::new();
     for out in &outcomes {
@@ -1469,13 +1593,11 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                 FaultFamily::None => {}
             }
         }
-        let pm = per_pass
-            .entry((out.key.0, out.pass))
-            .or_insert(PassMetrics {
-                pass: out.pass,
-                rank: out.key.0,
-                ..PassMetrics::default()
-            });
+        let pm = per_pass.entry(out.pass).or_insert(PassMetrics {
+            pass: out.pass,
+            rank: out.key.0,
+            ..PassMetrics::default()
+        });
         pm.executions += 1;
         pm.steps += out.steps;
         pm.crashes += out.crashes as u64;
@@ -1487,6 +1609,17 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     coverage.distinct_traces = trace_set.len() as u64;
     report.per_pass = per_pass.into_values().collect();
     report.coverage = coverage;
+    report.strategy = config.strategy.name().to_string();
+    report.pruned = session.pruned();
+    report.coverage_guided = session.guided();
+    for pm in &mut report.per_pass {
+        if pm.pass == Pass::Dfs {
+            pm.pruned = report.pruned;
+        }
+        if pm.pass == Pass::Random {
+            pm.coverage_guided = report.coverage_guided;
+        }
+    }
     report.counterexample = counterexamples.first().cloned();
     report.counterexamples = counterexamples;
     report.wall_time = start.elapsed();
@@ -1510,6 +1643,7 @@ pub fn run_scenario<S: SpecTS, H: Harness<S>>(
         &FaultPlan::default(),
         config.seed,
         config.max_steps,
+        false,
     );
     (r.outcome, r.trace)
 }
@@ -1521,17 +1655,25 @@ pub fn run_scenario<S: SpecTS, H: Harness<S>>(
 ///
 /// DFS counterexamples carry a choice-index prefix; crash-sweep ones
 /// replay round-robin with the recorded crash points; random-pass
-/// counterexamples replay the recorded per-execution seed.
+/// counterexamples replay the recorded per-execution seed (plus the
+/// corpus prefix, for coverage-guided samples).
 pub fn replay<S: SpecTS, H: Harness<S>>(
     harness: &H,
     cx: &Counterexample,
     config: &CheckConfig,
 ) -> (ExecOutcome, String) {
     let policy = match cx.pass {
-        "random" | "random-crash" | "random-crash-probe" => Policy::Random(cx.seed),
-        "crash-sweep" | "crash-sweep-base" | "nested-crash-sweep" | "disk-fault-sweep"
-        | "torn-write-sweep" | "net-fault-sweep" => Policy::RoundRobin,
-        _ => Policy::DfsPrefix(cx.schedule_prefix.clone()),
+        Pass::Random | Pass::RandomCrash | Pass::RandomCrashProbe => Policy::Random {
+            seed: cx.seed,
+            prefix: cx.schedule_prefix.clone(),
+        },
+        Pass::CrashSweepBase
+        | Pass::CrashSweep
+        | Pass::NestedCrash
+        | Pass::DiskFault
+        | Pass::TornWrite
+        | Pass::NetFault => Policy::RoundRobin,
+        Pass::Dfs => Policy::DfsPrefix(cx.schedule_prefix.clone()),
     };
     let r = run_one(
         harness,
@@ -1540,6 +1682,7 @@ pub fn replay<S: SpecTS, H: Harness<S>>(
         &cx.faults,
         cx.seed,
         config.max_steps,
+        false,
     );
     (r.outcome, r.trace)
 }

@@ -25,14 +25,16 @@ pub mod explore;
 pub mod harness;
 pub mod linearize;
 pub mod metrics;
+pub mod pass;
 pub mod recorder;
 pub mod report;
 pub mod scenario;
+pub mod strategy;
 pub mod telemetry;
 
 pub use explore::{
-    check, pass_rank, replay, run_scenario, CheckConfig, CheckConfigBuilder, CheckReport,
-    Counterexample, ExecOutcome,
+    check, replay, run_scenario, CheckConfig, CheckConfigBuilder, CheckReport, Counterexample,
+    ExecOutcome,
 };
 pub use goose_rt::fault::{FaultPlan, FaultSurface, IoError, IoResult, NetFault, TornMode};
 pub use harness::{Execution, Harness, ThreadBody, World};
@@ -40,9 +42,13 @@ pub use linearize::{check_linearizable, HistOp, Verdict};
 pub use metrics::{
     trace_fingerprint, Coverage, Histogram, OutcomeCounts, OutcomeKind, PassMetrics,
 };
+#[allow(deprecated)]
+pub use pass::pass_rank;
+pub use pass::{Pass, PassSet};
 pub use recorder::{Recorder, DROPPED};
 pub use report::{describe_outcome, render_failure, render_summary, verdict_line};
 pub use scenario::{Scenario, ScenarioSet};
+pub use strategy::{CoverageGuided, Exhaustive, Random, SleepSetDpor, Strategy, StrategySession};
 pub use telemetry::{validate_json_line, TelemetrySink, TIMING_KEYS};
 
 /// One-stop imports for writing and running harnesses:
@@ -53,7 +59,9 @@ pub mod prelude {
         ExecOutcome,
     };
     pub use crate::harness::{Execution, Harness, ThreadBody, World};
+    pub use crate::pass::{Pass, PassSet};
     pub use crate::scenario::{Scenario, ScenarioSet};
+    pub use crate::strategy::{CoverageGuided, Exhaustive, SleepSetDpor, Strategy};
     pub use crate::telemetry::TelemetrySink;
     pub use goose_rt::fault::{FaultPlan, FaultSurface, IoError, IoResult, NetFault, TornMode};
 }

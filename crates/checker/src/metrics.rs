@@ -10,6 +10,7 @@
 //! these are the trustworthy ones that end up in [`crate::CheckReport`].
 
 use crate::explore::ExecOutcome;
+use crate::pass::Pass;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -194,8 +195,8 @@ impl Histogram {
 /// Accounting for one exploration pass, accumulated over its executions.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PassMetrics {
-    /// Pass name (`"dfs"`, `"crash-sweep"`, …).
-    pub pass: &'static str,
+    /// Which pass.
+    pub pass: Pass,
     /// Canonical pass rank (the report sort key).
     pub rank: u8,
     pub executions: u64,
@@ -203,6 +204,12 @@ pub struct PassMetrics {
     pub crashes: u64,
     pub fault_plans: u64,
     pub failures: u64,
+    /// Schedules the strategy pruned as redundant (attributed to the
+    /// DFS pass; 0 elsewhere and under non-DPOR strategies).
+    pub pruned: u64,
+    /// Executions re-seeded by coverage feedback (attributed to the
+    /// random pass; 0 elsewhere and under non-guided strategies).
+    pub coverage_guided: u64,
     /// Summed per-execution wall time across the pass. The one
     /// timing-dependent field in this module: with a pool, passes
     /// overlap on the wall clock, so this is *busy* time, not elapsed.

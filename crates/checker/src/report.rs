@@ -35,6 +35,12 @@ fn render_pass_breakdown(report: &CheckReport) -> String {
         if pm.fault_plans > 0 {
             let _ = write!(extras, ", {} fault plans", pm.fault_plans);
         }
+        if pm.pruned > 0 {
+            let _ = write!(extras, ", {} pruned", pm.pruned);
+        }
+        if pm.coverage_guided > 0 {
+            let _ = write!(extras, ", {} guided", pm.coverage_guided);
+        }
         if pm.failures > 0 {
             let _ = write!(extras, ", {} FAILURES", pm.failures);
         }
@@ -67,6 +73,16 @@ pub fn render_summary(report: &CheckReport) -> String {
         "Executions      : {} ({} steps total)",
         report.executions, report.total_steps
     );
+    if !report.strategy.is_empty() {
+        let mut extras = String::new();
+        if report.pruned > 0 {
+            let _ = write!(extras, " ({} schedules pruned)", report.pruned);
+        }
+        if report.coverage_guided > 0 {
+            let _ = write!(extras, " ({} coverage-guided)", report.coverage_guided);
+        }
+        let _ = writeln!(out, "Strategy        : {}{}", report.strategy, extras);
+    }
     let _ = writeln!(out, "Outcomes        : {}", report.outcomes.render());
     let _ = writeln!(out, "Steps/exec      : {}", report.steps_hist.render());
     let _ = writeln!(out, "Schedule depth  : {}", report.depth_hist.render());
@@ -192,6 +208,7 @@ pub fn verdict_line(report: &CheckReport) -> String {
 mod tests {
     use super::*;
     use crate::explore::{CheckReport, Counterexample, ExecOutcome};
+    use crate::pass::Pass;
     use perennial::GhostError;
 
     fn failing_report() -> CheckReport {
@@ -204,7 +221,7 @@ mod tests {
             helped_ops: 1,
             counterexample: Some(Counterexample {
                 outcome: ExecOutcome::Violation(GhostError::HelpTokenMissing { key: 3 }),
-                pass: "crash-sweep",
+                pass: Pass::CrashSweep,
                 index: 5,
                 seed: 0xdead_beef,
                 schedule_prefix: vec![0, 1, 0],
@@ -234,7 +251,7 @@ mod tests {
     fn clamped_dfs_prefix_is_surfaced() {
         let mut r = failing_report();
         let cx = r.counterexample.as_mut().unwrap();
-        cx.pass = "dfs";
+        cx.pass = Pass::Dfs;
         cx.crash_points = vec![];
         cx.clamped = vec![2, 4];
         let text = render_failure(&r).expect("has counterexample");
@@ -267,7 +284,7 @@ mod tests {
     fn verdict_line_carries_compact_fault_summary() {
         let mut r = failing_report();
         let cx = r.counterexample.as_mut().unwrap();
-        cx.pass = "disk-fault-sweep";
+        cx.pass = Pass::DiskFault;
         cx.faults.disk_fail = Some((1, 5));
         let line = verdict_line(&r);
         assert!(line.contains("disk-fault-sweep"), "{line}");
@@ -291,7 +308,7 @@ mod tests {
             r.depth_hist.record(10);
         }
         r.per_pass.push(PassMetrics {
-            pass: "crash-sweep",
+            pass: Pass::CrashSweep,
             rank: 3,
             executions: 3,
             steps: 30,

@@ -1,0 +1,844 @@
+//! Exploration strategies: how the schedule phase picks what to run.
+//!
+//! A [`Strategy`] governs the *schedule phase* of a check — the DFS and
+//! random passes that enumerate interleavings. The crash and fault
+//! sweeps are enumerable spaces driven by probes (see DESIGN.md §12);
+//! they stay identical across strategies, which is what lets a pruned
+//! run report byte-identical crash/fault counterexamples.
+//!
+//! The explorer drives a [`StrategySession`] as a wave loop: ask for a
+//! [`Wave`] of schedules, execute them across the worker pool, then feed
+//! the observed decisions/footprints back via
+//! [`StrategySession::observe`]. All strategy state advances only on
+//! *complete* waves in canonical job order, never on wall-clock arrival
+//! — that is how the PR-1 determinism contract survives pruning.
+//!
+//! Four implementations:
+//!
+//! - [`Exhaustive`] — bounded DFS frontier + uniform random sampling
+//!   (the historical behaviour, bit-for-bit).
+//! - [`Random`] — random sampling only.
+//! - [`SleepSetDpor`] — DFS with sleep-set partial-order reduction over
+//!   the per-grant dependency footprints recorded by `goose::sched`.
+//! - [`CoverageGuided`] — wave-based novelty search that re-seeds random
+//!   samples from schedules whose ghost-trace fingerprints were new.
+
+use crate::explore::CheckConfig;
+use crate::pass::Pass;
+use goose_rt::sched::{StepAccess, Tid};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Lex-ordered wave size for DFS frontier expansion. Fixed (not derived
+/// from the worker count) so the explored set is identical for every
+/// pool size.
+pub(crate) const DFS_WAVE: usize = 64;
+
+/// Wave size for coverage-guided sampling.
+const COVERAGE_WAVE: usize = 16;
+/// Corpus entries re-seeded per coverage wave.
+const COVERAGE_RESEED: usize = 8;
+/// Corpus retention bound.
+const COVERAGE_CORPUS: usize = 32;
+/// Hard cap on coverage-guided samples (4 waves). The stop rule is
+/// saturation — a wave with no new fingerprint — but on scenarios whose
+/// behaviour space never saturates, novelty alone would burn the whole
+/// schedule budget without getting closer to a bug; the cap keeps the
+/// phase a cheap biased sample rather than a second exhaustive pass.
+const COVERAGE_MAX_SAMPLES: usize = 4 * COVERAGE_WAVE;
+
+/// One schedule the strategy wants executed.
+#[derive(Debug, Clone)]
+pub enum ScheduleSpec {
+    /// Deterministic prefix replay, then first-runnable (DFS order).
+    /// With `track_deps`, the run records per-grant dependency
+    /// footprints for partial-order reduction.
+    Dfs {
+        prefix: Vec<usize>,
+        track_deps: bool,
+    },
+    /// Seeded random schedule, optionally replaying a recorded decision
+    /// prefix first (coverage-guided re-seeding).
+    Random { prefix: Vec<usize> },
+}
+
+/// A batch of schedules to run under one pass.
+#[derive(Debug)]
+pub struct Wave {
+    pub pass: Pass,
+    pub specs: Vec<ScheduleSpec>,
+}
+
+/// Per-grant dependency observations of one execution: which threads
+/// were runnable at each decision, and the dependency footprint of the
+/// granted step.
+#[derive(Debug, Clone, Default)]
+pub struct DepTrace {
+    pub runnables: Vec<Vec<Tid>>,
+    pub accesses: Vec<Vec<StepAccess>>,
+}
+
+/// What the explorer reports back for one executed schedule.
+#[derive(Debug)]
+pub struct ObservedExec {
+    /// Position in the wave's `specs` (pairs the result with its spec).
+    pub slot: usize,
+    /// (choice index, number of runnable options) per decision.
+    pub decisions: Vec<(usize, usize)>,
+    /// Ghost-trace fingerprint of the run.
+    pub trace_fp: u64,
+    /// Whether the run failed.
+    pub failed: bool,
+    /// Dependency observations (present when the spec asked for them).
+    pub deps: Option<DepTrace>,
+}
+
+/// A schedule-phase exploration strategy (factory for sessions).
+pub trait Strategy: fmt::Debug + Send + Sync {
+    /// Stable name (telemetry, reports).
+    fn name(&self) -> &'static str;
+    /// Starts a session for one check run.
+    fn session(&self, config: &CheckConfig) -> Box<dyn StrategySession>;
+}
+
+/// Mutable per-run strategy state driven by the explorer's wave loop.
+pub trait StrategySession: Send {
+    /// The next wave of schedules, or `None` when the phase is done.
+    fn next_wave(&mut self) -> Option<Wave>;
+    /// Feeds back one *complete* wave's results, in slot order.
+    fn observe(&mut self, pass: Pass, execs: &[ObservedExec]);
+    /// Schedules pruned as redundant (sleep-set hits).
+    fn pruned(&self) -> u64 {
+        0
+    }
+    /// Executions whose seed/prefix was chosen by coverage feedback.
+    fn guided(&self) -> u64 {
+        0
+    }
+}
+
+/// Whether two step footprints commute: they conflict iff some resource
+/// appears in both with a write on either side.
+fn independent(a: &[StepAccess], b: &[StepAccess]) -> bool {
+    // Footprints are tiny (a handful of entries), so the quadratic scan
+    // beats building sets.
+    for x in a {
+        for y in b {
+            if x.resource == y.resource && (x.write || y.write) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive
+// ---------------------------------------------------------------------
+
+/// The historical default: bounded exhaustive DFS, then uniform random
+/// sampling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exhaustive;
+
+impl Strategy for Exhaustive {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn session(&self, config: &CheckConfig) -> Box<dyn StrategySession> {
+        let mut pending = BTreeSet::new();
+        pending.insert(Vec::new());
+        Box::new(ExhaustiveSession {
+            pending,
+            budget: if config.passes.contains(Pass::Dfs) {
+                config.dfs_max_executions
+            } else {
+                0
+            },
+            random_samples: config.random_samples,
+            random_enabled: config.passes.contains(Pass::Random),
+            random_done: false,
+            issued: Vec::new(),
+        })
+    }
+}
+
+struct ExhaustiveSession {
+    pending: BTreeSet<Vec<usize>>,
+    budget: usize,
+    random_samples: usize,
+    random_enabled: bool,
+    random_done: bool,
+    /// Prefixes of the outstanding DFS wave, in slot order.
+    issued: Vec<Vec<usize>>,
+}
+
+impl StrategySession for ExhaustiveSession {
+    fn next_wave(&mut self) -> Option<Wave> {
+        if self.budget > 0 && !self.pending.is_empty() {
+            let wave: Vec<Vec<usize>> = self
+                .pending
+                .iter()
+                .take(DFS_WAVE.min(self.budget))
+                .cloned()
+                .collect();
+            for p in &wave {
+                self.pending.remove(p);
+            }
+            self.budget -= wave.len();
+            self.issued = wave.clone();
+            return Some(Wave {
+                pass: Pass::Dfs,
+                specs: wave
+                    .into_iter()
+                    .map(|prefix| ScheduleSpec::Dfs {
+                        prefix,
+                        track_deps: false,
+                    })
+                    .collect(),
+            });
+        }
+        if self.random_enabled && !self.random_done {
+            self.random_done = true;
+            return Some(Wave {
+                pass: Pass::Random,
+                specs: (0..self.random_samples)
+                    .map(|_| ScheduleSpec::Random { prefix: Vec::new() })
+                    .collect(),
+            });
+        }
+        None
+    }
+
+    fn observe(&mut self, pass: Pass, execs: &[ObservedExec]) {
+        if pass != Pass::Dfs {
+            return;
+        }
+        // Running a prefix p reveals its decision path; every sibling
+        // choice at depths >= |p| becomes a new pending prefix (depths
+        // < |p| were already enqueued by p's ancestors), so each
+        // schedule is enumerated exactly once.
+        for exec in execs {
+            let prefix = &self.issued[exec.slot];
+            for d in prefix.len()..exec.decisions.len() {
+                let (choice, n) = exec.decisions[d];
+                for c in choice + 1..n {
+                    let mut q: Vec<usize> = exec.decisions[..d].iter().map(|(i, _)| *i).collect();
+                    q.push(c);
+                    self.pending.insert(q);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------
+
+/// Random sampling only — no DFS phase at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Random;
+
+impl Strategy for Random {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn session(&self, config: &CheckConfig) -> Box<dyn StrategySession> {
+        Box::new(RandomSession {
+            random_samples: config.random_samples,
+            random_enabled: config.passes.contains(Pass::Random),
+            done: false,
+        })
+    }
+}
+
+struct RandomSession {
+    random_samples: usize,
+    random_enabled: bool,
+    done: bool,
+}
+
+impl StrategySession for RandomSession {
+    fn next_wave(&mut self) -> Option<Wave> {
+        if self.done || !self.random_enabled {
+            return None;
+        }
+        self.done = true;
+        Some(Wave {
+            pass: Pass::Random,
+            specs: (0..self.random_samples)
+                .map(|_| ScheduleSpec::Random { prefix: Vec::new() })
+                .collect(),
+        })
+    }
+
+    fn observe(&mut self, _pass: Pass, _execs: &[ObservedExec]) {}
+}
+
+// ---------------------------------------------------------------------
+// Sleep-set DPOR
+// ---------------------------------------------------------------------
+
+/// DFS with sleep-set partial-order reduction.
+///
+/// Two grants commute when their dependency footprints touch disjoint
+/// state (or only read shared state). When the DFS would branch to a
+/// sibling thread that is in the node's sleep set — meaning the sibling
+/// was already explored from an equivalent earlier branch and nothing
+/// dependent has run since — the branch is pruned. Pruned branches
+/// still consume DFS budget, so reduction translates directly into
+/// fewer executions. Soundness leans on a property of this codebase's
+/// primitives: a parked thread's next-step footprint is determined by
+/// the primitive's arguments, so recorded footprints stay valid while
+/// the thread sleeps.
+///
+/// Unlike [`Exhaustive`], this strategy runs no uniform-random tail:
+/// the reduced DFS replaces the whole schedule phase. Random sampling
+/// exists to cover what a bounded frontier misses; pruning spends the
+/// same budget reaching deeper systematically instead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SleepSetDpor;
+
+impl Strategy for SleepSetDpor {
+    fn name(&self) -> &'static str {
+        "sleep-set-dpor"
+    }
+
+    fn session(&self, config: &CheckConfig) -> Box<dyn StrategySession> {
+        let mut pending = BTreeMap::new();
+        pending.insert(Vec::new(), Vec::new());
+        Box::new(DporSession {
+            pending,
+            budget: if config.passes.contains(Pass::Dfs) {
+                config.dfs_max_executions
+            } else {
+                0
+            },
+            issued: Vec::new(),
+            pruned: 0,
+        })
+    }
+}
+
+/// A sleeping thread and the footprint of the step it would take.
+type SleepEntry = (Tid, Vec<StepAccess>);
+
+struct DporSession {
+    /// Pending prefixes (lex order) with their sleep sets.
+    pending: BTreeMap<Vec<usize>, Vec<SleepEntry>>,
+    budget: usize,
+    /// (prefix, sleep set) of the outstanding DFS wave, in slot order.
+    issued: Vec<(Vec<usize>, Vec<SleepEntry>)>,
+    pruned: u64,
+}
+
+/// The footprint of `tid`'s next granted step strictly after depth `d`
+/// in this execution, if it was ever granted again. By footprint
+/// stability (a parked primitive's next-step footprint is determined by
+/// its arguments), that footprint is also what `tid` *would have*
+/// accessed if granted at depth `d`.
+fn next_footprint(
+    deps: &DepTrace,
+    decisions: &[(usize, usize)],
+    d: usize,
+    tid: Tid,
+) -> Option<Vec<StepAccess>> {
+    for (e, (choice, _)) in decisions.iter().enumerate().skip(d + 1) {
+        let runnable = deps.runnables.get(e)?;
+        let granted = *runnable.get(*choice)?;
+        if granted == tid {
+            return deps.accesses.get(e).cloned();
+        }
+    }
+    None
+}
+
+impl DporSession {
+    /// Expands one executed run: enqueue sibling prefixes, pruning those
+    /// whose deviating thread is asleep, and maintain the sleep set down
+    /// the executed path.
+    fn expand(&mut self, prefix: &[usize], sleep: &[SleepEntry], exec: &ObservedExec) {
+        let deps = exec.deps.as_ref();
+        // `alive` is the sleep set at the current depth. The walk starts
+        // one edge *before* the frontier (at the prefix's own last
+        // decision) so the wake filter applies this run's true footprint
+        // of the deviating step — the footprint recorded when the
+        // parent enqueued this prefix belonged to the parent's run.
+        let mut alive: Vec<SleepEntry> = sleep.to_vec();
+        let start = prefix.len().saturating_sub(1);
+        for d in start..exec.decisions.len() {
+            let (choice, n) = exec.decisions[d];
+            let edge = deps.and_then(|dt| {
+                let runnable = dt.runnables.get(d)?;
+                let fp = dt.accesses.get(d)?;
+                let t0 = *runnable.get(choice)?;
+                (runnable.len() == n).then_some((runnable, fp, t0))
+            });
+            if d >= prefix.len() {
+                // Branches already scheduled from this node, in
+                // exploration order: the executed continuation first,
+                // then each enqueued sibling. Later siblings sleep on
+                // all of them — the classical sleep-set accumulation.
+                let mut explored: Vec<SleepEntry> = Vec::new();
+                if let Some((_, fp, t0)) = edge {
+                    explored.push((t0, fp.clone()));
+                }
+                for c in choice + 1..n {
+                    let asleep = edge.is_some_and(|(runnable, _, _)| {
+                        let tid_c = runnable[c];
+                        alive.iter().any(|(t, _)| *t == tid_c)
+                    });
+                    if asleep {
+                        // An equivalent interleaving was already
+                        // explored; skip the branch but charge it to
+                        // the DFS budget so reduction shows up as
+                        // fewer executions, not a longer frontier.
+                        self.pruned += 1;
+                        self.budget = self.budget.saturating_sub(1);
+                        continue;
+                    }
+                    let mut q: Vec<usize> = exec.decisions[..d].iter().map(|(i, _)| *i).collect();
+                    q.push(c);
+                    let mut child_sleep = match edge {
+                        Some(_) => {
+                            let mut s = alive.clone();
+                            s.extend(explored.iter().cloned());
+                            s
+                        }
+                        None => Vec::new(),
+                    };
+                    if edge.is_none() {
+                        child_sleep.clear();
+                    }
+                    // A prefix reachable two ways keeps only the
+                    // *intersection* of its sleep sets to stay sound;
+                    // the empty set is the conservative intersection
+                    // and keeps the outcome order-independent.
+                    self.pending
+                        .entry(q)
+                        .and_modify(|s| s.clear())
+                        .or_insert(child_sleep);
+                    // This sibling is scheduled now, so still-later
+                    // siblings may sleep on it — footprint recovered
+                    // from the thread's next granted step in this run
+                    // (it parks, unchanged, until then).
+                    if let Some((runnable, _, _)) = edge {
+                        let tid_c = runnable[c];
+                        if let Some(dt) = deps {
+                            if let Some(fp_c) = next_footprint(dt, &exec.decisions, d, tid_c) {
+                                explored.push((tid_c, fp_c));
+                            }
+                        }
+                    }
+                }
+            }
+            // Wake filter: executing t0 removes t0's own entry, and any
+            // sleeper whose step conflicts with what just ran.
+            match edge {
+                Some((_, fp, t0)) => {
+                    alive.retain(|(t, f)| *t != t0 && independent(f, fp));
+                }
+                None => alive.clear(),
+            }
+        }
+    }
+}
+
+impl StrategySession for DporSession {
+    fn next_wave(&mut self) -> Option<Wave> {
+        if self.budget > 0 && !self.pending.is_empty() {
+            let take = DFS_WAVE.min(self.budget);
+            let keys: Vec<Vec<usize>> = self.pending.keys().take(take).cloned().collect();
+            let wave: Vec<(Vec<usize>, Vec<SleepEntry>)> = keys
+                .into_iter()
+                .map(|k| {
+                    let s = self.pending.remove(&k).unwrap_or_default();
+                    (k, s)
+                })
+                .collect();
+            self.budget -= wave.len();
+            let specs = wave
+                .iter()
+                .map(|(prefix, _)| ScheduleSpec::Dfs {
+                    prefix: prefix.clone(),
+                    track_deps: true,
+                })
+                .collect();
+            self.issued = wave;
+            return Some(Wave {
+                pass: Pass::Dfs,
+                specs,
+            });
+        }
+        // No random tail: the reduced DFS *is* the schedule phase.
+        // Uniform sampling exists to cover what a bounded exhaustive
+        // frontier misses; sleep-set pruning spends the same budget
+        // reaching deeper systematically instead.
+        None
+    }
+
+    fn observe(&mut self, pass: Pass, execs: &[ObservedExec]) {
+        if pass != Pass::Dfs {
+            return;
+        }
+        let issued = std::mem::take(&mut self.issued);
+        for exec in execs {
+            let (prefix, sleep) = &issued[exec.slot];
+            self.expand(prefix, sleep, exec);
+        }
+    }
+
+    fn pruned(&self) -> u64 {
+        self.pruned
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coverage-guided
+// ---------------------------------------------------------------------
+
+/// Coverage-guided random sampling.
+///
+/// Runs random schedules in waves and keeps a corpus of schedules whose
+/// ghost-trace fingerprints were previously unseen. Later waves replay
+/// truncated prefixes of corpus schedules (then diverge randomly),
+/// concentrating samples near behaviour that was novel. The phase stops
+/// as soon as a wave yields no new fingerprint — on scenarios whose
+/// behaviour space saturates quickly this is the 5-10x
+/// executions-to-counterexample win measured in BENCH_scale.json.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoverageGuided;
+
+impl Strategy for CoverageGuided {
+    fn name(&self) -> &'static str {
+        "coverage-guided"
+    }
+
+    fn session(&self, config: &CheckConfig) -> Box<dyn StrategySession> {
+        let enabled = config.passes.contains(Pass::Random) || config.passes.contains(Pass::Dfs);
+        Box::new(CoverageSession {
+            budget: if enabled {
+                (config.dfs_max_executions + config.random_samples).min(COVERAGE_MAX_SAMPLES)
+            } else {
+                0
+            },
+            spent: 0,
+            wave_num: 0,
+            novel_last_wave: false,
+            seen: BTreeSet::new(),
+            corpus: Vec::new(),
+            guided: 0,
+        })
+    }
+}
+
+struct CoverageSession {
+    budget: usize,
+    spent: usize,
+    wave_num: usize,
+    novel_last_wave: bool,
+    /// Ghost-trace fingerprints observed so far.
+    seen: BTreeSet<u64>,
+    /// Decision paths of novel runs, most recent first.
+    corpus: Vec<Vec<usize>>,
+    guided: u64,
+}
+
+impl StrategySession for CoverageSession {
+    fn next_wave(&mut self) -> Option<Wave> {
+        if self.spent >= self.budget {
+            return None;
+        }
+        if self.wave_num > 0 && !self.novel_last_wave {
+            // Coverage saturated: the last full wave discovered nothing
+            // new, so further sampling has diminishing returns.
+            return None;
+        }
+        let mut specs: Vec<ScheduleSpec> = Vec::new();
+        if self.wave_num > 0 {
+            for path in self.corpus.iter().take(COVERAGE_RESEED) {
+                for cut in [path.len() / 3, (2 * path.len()) / 3] {
+                    if cut == 0 {
+                        continue;
+                    }
+                    specs.push(ScheduleSpec::Random {
+                        prefix: path[..cut].to_vec(),
+                    });
+                }
+            }
+            specs.truncate(COVERAGE_WAVE);
+        }
+        let seeded = specs.len();
+        while specs.len() < COVERAGE_WAVE {
+            specs.push(ScheduleSpec::Random { prefix: Vec::new() });
+        }
+        specs.truncate(self.budget - self.spent);
+        self.guided += specs.len().min(seeded) as u64;
+        self.spent += specs.len();
+        self.wave_num += 1;
+        self.novel_last_wave = false;
+        Some(Wave {
+            pass: Pass::Random,
+            specs,
+        })
+    }
+
+    fn observe(&mut self, pass: Pass, execs: &[ObservedExec]) {
+        if pass != Pass::Random {
+            return;
+        }
+        for exec in execs {
+            if self.seen.insert(exec.trace_fp) {
+                self.novel_last_wave = true;
+                self.corpus
+                    .insert(0, exec.decisions.iter().map(|(i, _)| *i).collect());
+            }
+        }
+        self.corpus.truncate(COVERAGE_CORPUS);
+    }
+
+    fn guided(&self) -> u64 {
+        self.guided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(resource: u64, write: bool) -> StepAccess {
+        StepAccess { resource, write }
+    }
+
+    #[test]
+    fn independence_requires_a_write_on_a_shared_resource() {
+        let r = acc(1, false);
+        let w = acc(1, true);
+        let w2 = acc(2, true);
+        assert!(independent(&[r], &[r]));
+        assert!(!independent(&[r], &[w]));
+        assert!(!independent(&[w], &[w]));
+        assert!(independent(&[w], &[w2]));
+        assert!(independent(&[], &[w]));
+    }
+
+    fn quick_cfg() -> CheckConfig {
+        CheckConfig::quick()
+    }
+
+    #[test]
+    fn exhaustive_session_walks_the_frontier() {
+        let mut s = Exhaustive.session(&quick_cfg());
+        let w = s.next_wave().expect("dfs wave");
+        assert_eq!(w.pass, Pass::Dfs);
+        assert_eq!(w.specs.len(), 1); // the empty prefix
+                                      // A run with a 2-way branch at depth 0 yields one sibling.
+        s.observe(
+            Pass::Dfs,
+            &[ObservedExec {
+                slot: 0,
+                decisions: vec![(0, 2), (0, 1)],
+                trace_fp: 1,
+                failed: false,
+                deps: None,
+            }],
+        );
+        let w2 = s.next_wave().expect("second dfs wave");
+        assert_eq!(w2.specs.len(), 1);
+        match &w2.specs[0] {
+            ScheduleSpec::Dfs { prefix, .. } => assert_eq!(prefix, &vec![1]),
+            other => panic!("unexpected spec {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dpor_prunes_independent_sibling() {
+        // Two threads, disjoint write footprints: after exploring
+        // thread 0 first, the sibling branch (thread 1 first) at the
+        // *next* node should find thread 0 asleep and prune the
+        // commuted continuation.
+        let mut s = SleepSetDpor.session(&quick_cfg());
+        let w = s.next_wave().expect("dfs wave");
+        assert_eq!(w.specs.len(), 1);
+        // Root run: grants tid 10 (choice 0 of {10, 11}), then tid 11.
+        s.observe(
+            Pass::Dfs,
+            &[ObservedExec {
+                slot: 0,
+                decisions: vec![(0, 2), (0, 1)],
+                trace_fp: 1,
+                failed: false,
+                deps: Some(DepTrace {
+                    runnables: vec![vec![10, 11], vec![11]],
+                    accesses: vec![vec![acc(1, true)], vec![acc(2, true)]],
+                }),
+            }],
+        );
+        // Sibling [1] enqueued with sleep {10}.
+        let w2 = s.next_wave().expect("sibling wave");
+        assert_eq!(w2.specs.len(), 1);
+        // Sibling run: grants tid 11 first (choice 1), then tid 10.
+        // At depth 1 the only alternative ordering is 10-before-11,
+        // which sleeps — the expansion prunes it.
+        s.observe(
+            Pass::Dfs,
+            &[ObservedExec {
+                slot: 0,
+                decisions: vec![(1, 2), (0, 1)],
+                trace_fp: 2,
+                failed: false,
+                deps: Some(DepTrace {
+                    runnables: vec![vec![10, 11], vec![10]],
+                    accesses: vec![vec![acc(2, true)], vec![acc(1, true)]],
+                }),
+            }],
+        );
+        assert_eq!(s.pruned(), 0, "no sibling existed to prune at depth 1");
+        // Frontier is now empty: both interleavings of the dependent
+        // pair were explored, nothing redundant was scheduled, and DPOR
+        // runs no random tail.
+        assert!(s.next_wave().is_none());
+    }
+
+    #[test]
+    fn dpor_sleep_suppresses_commuted_branch() {
+        // Three threads with pairwise-disjoint write footprints: every
+        // interleaving is equivalent, so sleep sets must prune at least
+        // one commuted branch of the 3! tree.
+        let mut s = SleepSetDpor.session(&quick_cfg());
+        s.next_wave().expect("root wave");
+        // Root run: grants 10, then 11, then 12.
+        s.observe(
+            Pass::Dfs,
+            &[ObservedExec {
+                slot: 0,
+                decisions: vec![(0, 3), (0, 2), (0, 1)],
+                trace_fp: 1,
+                failed: false,
+                deps: Some(DepTrace {
+                    runnables: vec![vec![10, 11, 12], vec![11, 12], vec![12]],
+                    accesses: vec![vec![acc(1, true)], vec![acc(2, true)], vec![acc(3, true)]],
+                }),
+            }],
+        );
+        // Root expansion enqueues siblings at every depth: [0,1] with
+        // sleep {11}, [1] with sleep {10}, and [2] with sleep {10, 11}
+        // (sibling accumulation: [2] sleeps on the already-scheduled
+        // branch [1] too, with 11's footprint read off its next grant).
+        let w2 = s.next_wave().expect("sibling wave");
+        assert_eq!(w2.specs.len(), 3);
+        let prefixes: Vec<Vec<usize>> = w2
+            .specs
+            .iter()
+            .map(|sp| match sp {
+                ScheduleSpec::Dfs { prefix, .. } => prefix.clone(),
+                other => panic!("unexpected spec {other:?}"),
+            })
+            .collect();
+        assert_eq!(prefixes, vec![vec![0, 1], vec![1], vec![2]]);
+        s.observe(
+            Pass::Dfs,
+            &[
+                // [0,1]: grants 10, 12, 11. No new siblings below the
+                // frontier (depth 2 has a single runnable).
+                ObservedExec {
+                    slot: 0,
+                    decisions: vec![(0, 3), (1, 2), (0, 1)],
+                    trace_fp: 2,
+                    failed: false,
+                    deps: Some(DepTrace {
+                        runnables: vec![vec![10, 11, 12], vec![11, 12], vec![11]],
+                        accesses: vec![vec![acc(1, true)], vec![acc(3, true)], vec![acc(2, true)]],
+                    }),
+                },
+                // [1]: grants 11, 10, 12. Deviating to 12 at depth 1 is
+                // awake (12 never slept) — enqueued, not pruned.
+                ObservedExec {
+                    slot: 1,
+                    decisions: vec![(1, 3), (0, 2), (0, 1)],
+                    trace_fp: 3,
+                    failed: false,
+                    deps: Some(DepTrace {
+                        runnables: vec![vec![10, 11, 12], vec![10, 12], vec![12]],
+                        accesses: vec![vec![acc(2, true)], vec![acc(1, true)], vec![acc(3, true)]],
+                    }),
+                },
+                // [2]: grants 12, 10, 11. Deviating to 11 at depth 1
+                // finds 11 asleep (it slept through 12's and 10's
+                // independent steps) — the commuted branch is pruned.
+                ObservedExec {
+                    slot: 2,
+                    decisions: vec![(2, 3), (0, 2), (0, 1)],
+                    trace_fp: 4,
+                    failed: false,
+                    deps: Some(DepTrace {
+                        runnables: vec![vec![10, 11, 12], vec![10, 11], vec![11]],
+                        accesses: vec![vec![acc(3, true)], vec![acc(1, true)], vec![acc(2, true)]],
+                    }),
+                },
+            ],
+        );
+        assert_eq!(s.pruned(), 1, "the 12-10-11-commuted branch is pruned");
+        // Only [1,1] (11, 12, 10) survives into the next wave.
+        let w3 = s.next_wave().expect("third dfs wave");
+        assert_eq!(w3.pass, Pass::Dfs);
+        assert_eq!(w3.specs.len(), 1);
+        match &w3.specs[0] {
+            ScheduleSpec::Dfs { prefix, .. } => assert_eq!(prefix, &vec![1, 1]),
+            other => panic!("unexpected spec {other:?}"),
+        }
+        // Its expansion finds nothing new; the schedule phase is done.
+        s.observe(
+            Pass::Dfs,
+            &[ObservedExec {
+                slot: 0,
+                decisions: vec![(1, 3), (1, 2), (0, 1)],
+                trace_fp: 5,
+                failed: false,
+                deps: Some(DepTrace {
+                    runnables: vec![vec![10, 11, 12], vec![10, 12], vec![10]],
+                    accesses: vec![vec![acc(2, true)], vec![acc(3, true)], vec![acc(1, true)]],
+                }),
+            }],
+        );
+        assert!(s.next_wave().is_none());
+    }
+
+    #[test]
+    fn coverage_session_stops_when_novelty_dries() {
+        let mut s = CoverageGuided.session(&quick_cfg());
+        let w = s.next_wave().expect("wave 0");
+        assert_eq!(w.pass, Pass::Random);
+        let execs: Vec<ObservedExec> = (0..w.specs.len())
+            .map(|i| ObservedExec {
+                slot: i,
+                decisions: vec![(0, 2); 6],
+                trace_fp: 42, // all identical: one novel fp
+                failed: false,
+                deps: None,
+            })
+            .collect();
+        s.observe(Pass::Random, &execs);
+        let w2 = s.next_wave().expect("wave 1 (novelty seen)");
+        assert!(w2
+            .specs
+            .iter()
+            .any(|sp| matches!(sp, ScheduleSpec::Random { prefix } if !prefix.is_empty())));
+        assert!(s.guided() > 0);
+        // No novelty this time: the phase ends.
+        let execs2: Vec<ObservedExec> = (0..w2.specs.len())
+            .map(|i| ObservedExec {
+                slot: i,
+                decisions: vec![(0, 2); 6],
+                trace_fp: 42,
+                failed: false,
+                deps: None,
+            })
+            .collect();
+        s.observe(Pass::Random, &execs2);
+        assert!(s.next_wave().is_none());
+    }
+}

@@ -22,6 +22,7 @@
 
 use crate::explore::{CheckConfig, CheckReport, Counterexample};
 use crate::metrics::OutcomeKind;
+use crate::pass::Pass;
 use parking_lot::Mutex;
 use serde_json::{json, Value};
 use std::io::Write;
@@ -207,26 +208,23 @@ pub fn ev_run_start(name: &str, config: &CheckConfig, workers: usize) -> Value {
         "dfs_max_executions": config.dfs_max_executions,
         "random_samples": config.random_samples,
         "random_crash_samples": config.random_crash_samples,
-        "crash_sweep": config.crash_sweep,
-        "nested_crash_sweep": config.nested_crash_sweep,
-        "disk_fault_sweep": config.disk_fault_sweep,
-        "torn_write_sweep": config.torn_write_sweep,
-        "net_fault_sweep": config.net_fault_sweep,
+        "passes": config.passes.iter().map(Pass::name).collect::<Vec<_>>(),
+        "strategy": config.strategy.name(),
         "keep_going": config.keep_going,
     })
 }
 
-pub fn ev_pass_start(pass: &str, rank: u8) -> Value {
+pub fn ev_pass_start(pass: Pass) -> Value {
     json!({
         "type": "pass_start",
-        "pass": pass,
-        "rank": rank,
+        "pass": pass.name(),
+        "rank": pass.rank(),
     })
 }
 
 #[allow(clippy::too_many_arguments)]
 pub fn ev_exec_done(
-    pass: &str,
+    pass: Pass,
     index: u64,
     seed: u64,
     outcome: OutcomeKind,
@@ -240,7 +238,7 @@ pub fn ev_exec_done(
 ) -> Value {
     json!({
         "type": "exec_done",
-        "pass": pass,
+        "pass": pass.name(),
         "index": index,
         "seed": hex64(seed),
         "outcome": outcome.name(),
@@ -257,7 +255,7 @@ pub fn ev_exec_done(
 pub fn ev_counterexample(cx: &Counterexample) -> Value {
     json!({
         "type": "counterexample",
-        "pass": cx.pass,
+        "pass": cx.pass.name(),
         "index": cx.index,
         "seed": hex64(cx.seed),
         "outcome": OutcomeKind::of(&cx.outcome).name(),
@@ -288,6 +286,9 @@ pub fn ev_run_end(report: &CheckReport) -> Value {
         "fault_plans_exercised": report.coverage.fault_plans_exercised(),
         "fault_plans_enumerable": report.coverage.fault_plans_enumerable(),
         "distinct_traces": report.coverage.distinct_traces,
+        "strategy": report.strategy,
+        "pruned": report.pruned,
+        "coverage_guided": report.coverage_guided,
         "workers": report.workers,
         "wall_time_s": report.wall_time.as_secs_f64(),
         "execs_per_sec": report.execs_per_sec,
@@ -395,7 +396,7 @@ mod tests {
     fn big_seeds_survive_as_hex() {
         let seed = u64::MAX - 12345;
         let v = ev_exec_done(
-            "dfs",
+            Pass::Dfs,
             0,
             seed,
             OutcomeKind::Ok,

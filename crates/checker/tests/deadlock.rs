@@ -4,7 +4,9 @@
 
 use goose_rt::runtime::ModelRtExt;
 use perennial::GhostUnwrap;
-use perennial_checker::{check, CheckConfig, ExecOutcome, Execution, Harness, ThreadBody, World};
+use perennial_checker::{
+    check, CheckConfig, ExecOutcome, Execution, Harness, Pass, ThreadBody, World,
+};
 use perennial_spec::fixtures::{RegOp, RegSpec};
 use std::sync::Arc;
 
@@ -73,8 +75,7 @@ fn abba_deadlock_is_found_and_classified() {
             .dfs_max_executions(200)
             .random_samples(0)
             .random_crash_samples(0)
-            .crash_sweep(false)
-            .nested_crash_sweep(false)
+            .without_passes([Pass::CrashSweep, Pass::NestedCrash])
             .build(),
     );
     let cx = report
@@ -155,8 +156,7 @@ fn consistent_lock_order_never_deadlocks() {
             .dfs_max_executions(500)
             .random_samples(20)
             .random_crash_samples(0)
-            .crash_sweep(false)
-            .nested_crash_sweep(false)
+            .without_passes([Pass::CrashSweep, Pass::NestedCrash])
             .build(),
     );
     assert!(

@@ -256,7 +256,6 @@ fn quick() -> CheckConfig {
         .dfs_max_executions(300)
         .random_samples(15)
         .random_crash_samples(25)
-        .nested_crash_sweep(true)
         .build()
 }
 

@@ -85,6 +85,11 @@ struct Inner<S: SpecTS> {
     sets: HashMap<u64, SetCell>,
     trace: Trace<S::Op, S::Ret>,
     first_error: Option<GhostError>,
+    /// Ghost-engine calls made so far. The explorer diffs this around
+    /// each scheduler grant to learn whether the step touched ghost
+    /// state (many mutators push no trace event, so trace length is not
+    /// a usable signal).
+    op_count: u64,
 }
 
 /// The ghost engine for one checked execution.
@@ -112,6 +117,7 @@ impl<S: SpecTS> Ghost<S> {
                 sets: HashMap::new(),
                 trace: Trace::default(),
                 first_error: None,
+                op_count: 0,
             }),
         })
     }
@@ -121,24 +127,39 @@ impl<S: SpecTS> Ghost<S> {
         &self.spec
     }
 
+    /// Locks the engine, counting the call: every public method goes
+    /// through here, so `op_count` over-approximates ghost activity
+    /// (conservative for dependency tracking).
+    fn step_lock(&self) -> parking_lot::MutexGuard<'_, Inner<S>> {
+        let mut g = self.inner.lock();
+        g.op_count += 1;
+        g
+    }
+
+    /// Ghost-engine calls made so far (dependency tracking; see
+    /// `Inner::op_count`).
+    pub fn op_count(&self) -> u64 {
+        self.inner.lock().op_count
+    }
+
     /// Current execution version (bumped by every crash).
     pub fn version(&self) -> u64 {
-        self.inner.lock().version
+        self.step_lock().version
     }
 
     /// A snapshot of `source(σ)`, the current abstract state.
     pub fn spec_state(&self) -> S::State {
-        self.inner.lock().state.clone()
+        self.step_lock().state.clone()
     }
 
     /// Current crash-token state.
     pub fn crash_token(&self) -> CrashToken {
-        self.inner.lock().crash_token
+        self.step_lock().crash_token
     }
 
     /// First discipline violation observed, if any (sticky).
     pub fn first_error(&self) -> Option<GhostError> {
-        self.inner.lock().first_error.clone()
+        self.step_lock().first_error.clone()
     }
 
     fn fail<T>(inner: &mut Inner<S>, err: GhostError) -> GhostResult<T> {
@@ -154,7 +175,7 @@ impl<S: SpecTS> Ghost<S> {
 
     /// Mints `j ⇛ op` for a newly invoked operation.
     pub fn begin_op(&self, op: S::Op) -> GhostResult<OpToken> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         if g.crash_token == CrashToken::Crashing {
             return Self::fail(
                 &mut g,
@@ -180,12 +201,12 @@ impl<S: SpecTS> Ghost<S> {
     /// point, replacing `j ⇛ op` with `j ⇛ ret v` (Table 1, *refinement*).
     pub fn commit_op(&self, tok: &OpToken) -> GhostResult<S::Ret> {
         let op = {
-            let g = self.inner.lock();
+            let g = self.step_lock();
             match g.ops.get(&tok.jid) {
                 Some(rec) => rec.op.clone(),
                 None => {
                     drop(g);
-                    let mut g = self.inner.lock();
+                    let mut g = self.step_lock();
                     return Self::fail(
                         &mut g,
                         GhostError::OpState {
@@ -203,7 +224,7 @@ impl<S: SpecTS> Ghost<S> {
     /// resolves implementation-chosen nondeterminism (checked against
     /// [`SpecTS::op_refines`]).
     pub fn commit_op_as(&self, tok: &OpToken, refined: S::Op) -> GhostResult<S::Ret> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         let rec = match g.ops.get(&tok.jid) {
             Some(r) => r,
             None => {
@@ -269,7 +290,7 @@ impl<S: SpecTS> Ghost<S> {
     /// Consumes `j ⇛ ret v` when the implementation returns, checking the
     /// returned value matches the committed spec value.
     pub fn finish_op(&self, tok: OpToken, actual: &S::Ret) -> GhostResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         let rec = match g.ops.get(&tok.jid) {
             Some(r) => r,
             None => {
@@ -317,7 +338,7 @@ impl<S: SpecTS> Ghost<S> {
     /// group commit's background flush moving buffered transactions to the
     /// persisted prefix.
     pub fn internal_step(&self, t: &Transition<S::State, ()>) -> GhostResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         match t.run(&g.state) {
             Outcome::Ok(s2, ()) => {
                 g.state = s2;
@@ -347,7 +368,7 @@ impl<S: SpecTS> Ghost<S> {
     /// Stores `j ⇛ op` in the crash invariant under `key`, so recovery may
     /// complete the operation if a crash intervenes.
     pub fn stash_op(&self, tok: &OpToken, key: u64) -> GhostResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         if g.help.contains_key(&key) {
             return Self::fail(&mut g, GhostError::HelpKeyBusy { key });
         }
@@ -384,7 +405,7 @@ impl<S: SpecTS> Ghost<S> {
     /// Takes `j ⇛ op` back out of the crash invariant (the no-crash path:
     /// the thread finishes its own operation).
     pub fn unstash_op(&self, tok: &OpToken, key: u64) -> GhostResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         match g.help.get(&key) {
             Some(j) if *j == tok.jid => {}
             _ => return Self::fail(&mut g, GhostError::HelpTokenMissing { key }),
@@ -400,7 +421,7 @@ impl<S: SpecTS> Ghost<S> {
 
     /// Whether a helping token is stashed under `key`.
     pub fn has_help(&self, key: u64) -> bool {
-        self.inner.lock().help.contains_key(&key)
+        self.step_lock().help.contains_key(&key)
     }
 
     /// Recovery redeems the helping token under `key`, committing the
@@ -409,7 +430,7 @@ impl<S: SpecTS> Ghost<S> {
     /// Only legal while `⇛Crashing` is armed: helping is how recovery
     /// justifies its repairs.
     pub fn help_commit(&self, key: u64) -> GhostResult<(Jid, S::Ret)> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         if g.crash_token != CrashToken::Crashing {
             return Self::fail(
                 &mut g,
@@ -469,7 +490,7 @@ impl<S: SpecTS> Ghost<S> {
     /// decided the crashed operation never took effect (legal — the caller
     /// never observed a return).
     pub fn drop_help(&self, key: u64) -> GhostResult<Jid> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         if g.crash_token != CrashToken::Crashing {
             return Self::fail(
                 &mut g,
@@ -497,7 +518,7 @@ impl<S: SpecTS> Ghost<S> {
     /// `⇛Crashing`. Crashes during recovery collapse into the already
     /// armed token (the whole sequence simulates one spec crash step).
     pub fn crash(&self) {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         g.version += 1;
         g.vol.clear();
         for cell in g.dur.values_mut() {
@@ -525,7 +546,7 @@ impl<S: SpecTS> Ghost<S> {
     /// Recovery spends `⇛Crashing`: simulates the spec crash transition
     /// and moves the token to `⇛Done` (Table 1, *crash refinement*).
     pub fn recovery_done(&self) -> GhostResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         if g.crash_token != CrashToken::Crashing {
             return Self::fail(
                 &mut g,
@@ -566,7 +587,7 @@ impl<S: SpecTS> Ghost<S> {
     /// Allocates a volatile cell, returning `p ↦ₙ v` for the current
     /// version.
     pub fn alloc_vol<T: Clone + Send + 'static>(&self, v: T) -> PointsTo<T> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         let id = g.next_res;
         g.next_res += 1;
         let version = g.version;
@@ -580,7 +601,7 @@ impl<S: SpecTS> Ghost<S> {
 
     /// Reads through a points-to capability (version checked).
     pub fn read_vol<T: Clone + Send + 'static>(&self, p: &PointsTo<T>) -> GhostResult<T> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         if let Err(e) = check_version("points-to", p.version, g.version) {
             return Self::fail(&mut g, e);
         }
@@ -602,7 +623,7 @@ impl<S: SpecTS> Ghost<S> {
         p: &mut PointsTo<T>,
         v: T,
     ) -> GhostResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         if let Err(e) = check_version("points-to", p.version, g.version) {
             return Self::fail(&mut g, e);
         }
@@ -623,7 +644,7 @@ impl<S: SpecTS> Ghost<S> {
     /// invariant (implicitly — the engine holds it); the returned lease
     /// conveys mutation rights for the current version.
     pub fn alloc_durable<T: Clone + Send + 'static>(&self, v: T) -> (DurId<T>, Lease<T>) {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         let id = g.next_res;
         g.next_res += 1;
         let version = g.version;
@@ -653,7 +674,7 @@ impl<S: SpecTS> Ghost<S> {
         id: DurId<T>,
         lease: &Lease<T>,
     ) -> GhostResult<T> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         if lease.id != id.id {
             return Self::fail(
                 &mut g,
@@ -674,7 +695,7 @@ impl<S: SpecTS> Ghost<S> {
     /// Recovery does this to learn the pre-crash durable state (§5.3: the
     /// master copy records the value so that recovery can use it).
     pub fn read_master<T: Clone + Send + 'static>(&self, id: DurId<T>) -> GhostResult<T> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         Self::dur_value(&mut g, id.id)
     }
 
@@ -698,7 +719,7 @@ impl<S: SpecTS> Ghost<S> {
         lease: &mut Lease<T>,
         v: T,
     ) -> GhostResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         if lease.id != id.id {
             return Self::fail(
                 &mut g,
@@ -725,7 +746,7 @@ impl<S: SpecTS> Ghost<S> {
     ///
     /// At most one lease per resource per version.
     pub fn recover_lease<T: Clone + Send + 'static>(&self, id: DurId<T>) -> GhostResult<Lease<T>> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         let version = g.version;
         let cell = match g.dur.get_mut(&id.id) {
             Some(c) => c,
@@ -752,7 +773,7 @@ impl<S: SpecTS> Ghost<S> {
         &self,
         init: impl IntoIterator<Item = T>,
     ) -> (SetId<T>, SetLease<T>) {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         let id = g.next_res;
         g.next_res += 1;
         let version = g.version;
@@ -781,7 +802,7 @@ impl<S: SpecTS> Ghost<S> {
     /// lease only constrains deletion, so concurrent inserters (Mailboat's
     /// `Deliver`) proceed without the mailbox lock.
     pub fn set_insert<T: SetItem>(&self, id: SetId<T>, item: &T) -> GhostResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         match g.sets.get_mut(&id.id) {
             Some(s) => {
                 s.members.insert(item.encode());
@@ -799,7 +820,7 @@ impl<S: SpecTS> Ghost<S> {
         lease: &mut SetLease<T>,
         item: &T,
     ) -> GhostResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         if lease.id != id.id {
             return Self::fail(
                 &mut g,
@@ -827,7 +848,7 @@ impl<S: SpecTS> Ghost<S> {
     /// Whether `item` is currently a member (readable by anyone; the
     /// master copy lives in the crash invariant).
     pub fn set_contains<T: SetItem>(&self, id: SetId<T>, item: &T) -> GhostResult<bool> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         match g.sets.get(&id.id) {
             Some(s) => Ok(s.members.contains(&item.encode())),
             None => Self::fail(&mut g, GhostError::UnknownResource { id: id.id }),
@@ -836,7 +857,7 @@ impl<S: SpecTS> Ghost<S> {
 
     /// Number of members (recovery uses this to audit cleanup).
     pub fn set_len<T: SetItem>(&self, id: SetId<T>) -> GhostResult<usize> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         match g.sets.get(&id.id) {
             Some(s) => Ok(s.members.len()),
             None => Self::fail(&mut g, GhostError::UnknownResource { id: id.id }),
@@ -846,7 +867,7 @@ impl<S: SpecTS> Ghost<S> {
     /// Synthesizes a fresh lower-bound lease after a crash; at most one
     /// per version.
     pub fn recover_set_lease<T: SetItem>(&self, id: SetId<T>) -> GhostResult<SetLease<T>> {
-        let mut g = self.inner.lock();
+        let mut g = self.step_lock();
         let version = g.version;
         let cell = match g.sets.get_mut(&id.id) {
             Some(c) => c,
@@ -874,7 +895,7 @@ impl<S: SpecTS> Ghost<S> {
     /// finished op was committed with a matching value (enforced online;
     /// re-counted here).
     pub fn validate(&self) -> Result<crate::validate::Report<S>, GhostError> {
-        let g = self.inner.lock();
+        let g = self.step_lock();
         if let Some(err) = &g.first_error {
             return Err(err.clone());
         }
@@ -923,6 +944,6 @@ impl<S: SpecTS> Ghost<S> {
 
     /// A snapshot of the refinement trace (for reporting).
     pub fn trace(&self) -> Trace<S::Op, S::Ret> {
-        self.inner.lock().trace.clone()
+        self.step_lock().trace.clone()
     }
 }

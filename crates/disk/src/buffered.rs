@@ -23,7 +23,7 @@
 use crate::single::{oob_ub, ModelDisk, SingleDisk};
 use crate::Block;
 use goose_rt::fault::{retry_with_backoff, IoError, IoResult, DEFAULT_IO_ATTEMPTS};
-use goose_rt::sched::ModelRt;
+use goose_rt::sched::{res, ModelRt};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -35,16 +35,23 @@ pub struct BufferedDisk {
     /// than once; a torn crash keeping a later entry over an earlier one
     /// models write reordering).
     pending: Mutex<Vec<(u64, Block)>>,
+    /// Dependency-tracking resource id. The whole device is one
+    /// resource: the *order* of entries in the shared write buffer is
+    /// observable through torn-crash plans, so buffered writes to
+    /// different blocks still do not commute.
+    tag: u64,
 }
 
 impl BufferedDisk {
     /// Creates a buffered disk over a fresh zeroed durable image.
     pub fn new(rt: Arc<ModelRt>, nblocks: u64, block_size: usize) -> Arc<Self> {
         let inner = ModelDisk::new(Arc::clone(&rt), nblocks, block_size);
+        let tag = rt.alloc_resource_tag();
         Arc::new(BufferedDisk {
             rt,
             inner,
             pending: Mutex::new(Vec::new()),
+            tag,
         })
     }
 
@@ -63,6 +70,7 @@ impl BufferedDisk {
     /// the barrier step happens before any of it applies.
     pub fn flush(&self) {
         self.rt.yield_point();
+        self.rt.note_access(res::instance(self.tag), true);
         let mut pending = self.pending.lock();
         for (a, v) in pending.drain(..) {
             self.inner.poke(a, &v);
@@ -85,6 +93,7 @@ impl BufferedDisk {
     /// Fallible [`BufferedDisk::write_through`].
     pub fn try_write_through(&self, a: u64, v: &[u8]) -> IoResult<()> {
         self.rt.yield_point();
+        self.rt.note_access(res::instance(self.tag), true);
         if a >= self.inner.size() {
             oob_ub("write", a, self.inner.size());
         }
@@ -152,6 +161,7 @@ impl SingleDisk for BufferedDisk {
 
     fn try_read(&self, a: u64) -> IoResult<Block> {
         self.rt.yield_point();
+        self.rt.note_access(res::instance(self.tag), false);
         if a >= self.inner.size() {
             oob_ub("read", a, self.inner.size());
         }
@@ -170,6 +180,7 @@ impl SingleDisk for BufferedDisk {
     fn try_write(&self, a: u64, v: &[u8]) -> IoResult<()> {
         assert_eq!(v.len(), self.block_size(), "partial block write");
         self.rt.yield_point();
+        self.rt.note_access(res::instance(self.tag), true);
         if a >= self.inner.size() {
             oob_ub("write", a, self.inner.size());
         }

@@ -3,7 +3,7 @@
 
 use crate::Block;
 use goose_rt::fault::{retry_with_backoff, IoError, IoResult, DEFAULT_IO_ATTEMPTS};
-use goose_rt::sched::{ModelRt, UbSignal};
+use goose_rt::sched::{res, ModelRt, UbSignal};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -60,16 +60,20 @@ pub struct ModelDisk {
     blocks: Mutex<Vec<Block>>,
     block_size: usize,
     ops: Mutex<u64>,
+    /// Dependency-tracking resource id; accesses are per-block.
+    tag: u64,
 }
 
 impl ModelDisk {
     /// Creates a disk of `nblocks` zeroed blocks of `block_size` bytes.
     pub fn new(rt: Arc<ModelRt>, nblocks: u64, block_size: usize) -> Arc<Self> {
+        let tag = rt.alloc_resource_tag();
         Arc::new(ModelDisk {
             rt,
             blocks: Mutex::new(vec![vec![0; block_size]; nblocks as usize]),
             block_size,
             ops: Mutex::new(0),
+            tag,
         })
     }
 
@@ -126,6 +130,7 @@ impl SingleDisk for ModelDisk {
 
     fn try_read(&self, a: u64) -> IoResult<Block> {
         self.rt.yield_point();
+        self.rt.note_access(res::disk_block(self.tag, a), false);
         *self.ops.lock() += 1;
         let blocks = self.blocks.lock();
         if a as usize >= blocks.len() {
@@ -140,6 +145,7 @@ impl SingleDisk for ModelDisk {
     fn try_write(&self, a: u64, v: &[u8]) -> IoResult<()> {
         assert_eq!(v.len(), self.block_size, "partial block write");
         self.rt.yield_point();
+        self.rt.note_access(res::disk_block(self.tag, a), true);
         *self.ops.lock() += 1;
         let mut blocks = self.blocks.lock();
         if a as usize >= blocks.len() {

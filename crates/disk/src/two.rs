@@ -10,7 +10,7 @@
 use crate::single::oob_ub;
 use crate::Block;
 use goose_rt::fault::{retry_with_backoff, IoError, IoResult, DEFAULT_IO_ATTEMPTS};
-use goose_rt::sched::ModelRt;
+use goose_rt::sched::{res, ModelRt};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -65,13 +65,17 @@ pub struct ModelTwoDisks {
     rt: Arc<ModelRt>,
     state: Mutex<TwoState>,
     block_size: usize,
+    /// Dependency-tracking resource id; accesses are per (disk, block).
+    tag: u64,
 }
 
 impl ModelTwoDisks {
     /// Creates two zeroed disks of `nblocks` blocks of `block_size` bytes.
     pub fn new(rt: Arc<ModelRt>, nblocks: u64, block_size: usize) -> Arc<Self> {
+        let tag = rt.alloc_resource_tag();
         Arc::new(ModelTwoDisks {
             rt,
+            tag,
             state: Mutex::new(TwoState {
                 d1: vec![vec![0; block_size]; nblocks as usize],
                 d2: vec![vec![0; block_size]; nblocks as usize],
@@ -83,8 +87,10 @@ impl ModelTwoDisks {
         })
     }
 
-    /// Fails a disk permanently (controller-side fault injection).
+    /// Fails a disk permanently (fault injection; also usable from a
+    /// scheduled thread body, so it carries a dependency footprint).
     pub fn fail(&self, d: DiskId) {
+        self.rt.note_access(res::instance(self.tag), true);
         let mut s = self.state.lock();
         match d {
             DiskId::D1 => s.failed1 = true,
@@ -94,6 +100,7 @@ impl ModelTwoDisks {
 
     /// Whether `d` has failed.
     pub fn is_failed(&self, d: DiskId) -> bool {
+        self.rt.note_access(res::instance(self.tag), false);
         let s = self.state.lock();
         match d {
             DiskId::D1 => s.failed1,
@@ -131,6 +138,15 @@ impl ModelTwoDisks {
     pub fn block_size(&self) -> usize {
         self.block_size
     }
+
+    /// Packs (disk, block) into one dependency-resource address.
+    fn addr(d: DiskId, a: u64) -> u64 {
+        let disk_bit = match d {
+            DiskId::D1 => 0u64,
+            DiskId::D2 => 1u64,
+        };
+        (disk_bit << 31) | (a & 0x7fff_ffff)
+    }
 }
 
 impl TwoDisks for ModelTwoDisks {
@@ -152,6 +168,11 @@ impl TwoDisks for ModelTwoDisks {
 
     fn try_disk_read(&self, d: DiskId, a: u64) -> IoResult<Option<Block>> {
         self.rt.yield_point();
+        self.rt
+            .note_access(res::disk_block(self.tag, Self::addr(d, a)), false);
+        // Reads consult the failure flags, which `fail` can flip from a
+        // scheduled thread.
+        self.rt.note_access(res::instance(self.tag), false);
         let mut s = self.state.lock();
         s.ops += 1;
         if a as usize >= s.d1.len() {
@@ -171,6 +192,9 @@ impl TwoDisks for ModelTwoDisks {
     fn try_disk_write(&self, d: DiskId, a: u64, v: &[u8]) -> IoResult<()> {
         assert_eq!(v.len(), self.block_size, "partial block write");
         self.rt.yield_point();
+        self.rt
+            .note_access(res::disk_block(self.tag, Self::addr(d, a)), true);
+        self.rt.note_access(res::instance(self.tag), false);
         let mut s = self.state.lock();
         s.ops += 1;
         if a as usize >= s.d1.len() {

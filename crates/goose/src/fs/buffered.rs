@@ -22,7 +22,7 @@
 //!   durable one, and drops all descriptors.
 
 use super::traits::{DirH, Fd, FileSys, FsError, FsResult, Mode};
-use crate::sched::ModelRt;
+use crate::sched::{res, ModelRt};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -74,6 +74,9 @@ struct BufState {
 pub struct BufferedFs {
     rt: Arc<ModelRt>,
     state: Mutex<BufState>,
+    /// Dependency-tracking resource id: the whole file system is one
+    /// resource (fd/inode allocation couples every mutating op).
+    tag: u64,
 }
 
 impl BufferedFs {
@@ -90,8 +93,10 @@ impl BufferedFs {
             dirs: tables,
             inodes: HashMap::new(),
         };
+        let tag = rt.alloc_resource_tag();
         Arc::new(BufferedFs {
             rt,
+            tag,
             state: Mutex::new(BufState {
                 vol: image.clone(),
                 dur: image,
@@ -104,8 +109,9 @@ impl BufferedFs {
         })
     }
 
-    fn step(&self) -> parking_lot::MutexGuard<'_, BufState> {
+    fn step(&self, write: bool) -> parking_lot::MutexGuard<'_, BufState> {
         self.rt.yield_point();
+        self.rt.note_access(res::instance(self.tag), write);
         let mut s = self.state.lock();
         s.ops += 1;
         s
@@ -114,7 +120,7 @@ impl BufferedFs {
     /// Flushes one file's contents to the durable image (POSIX
     /// `fsync(fd)`: data only, not the directory entry naming it).
     pub fn fsync(&self, fd: Fd) -> FsResult<()> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         let ino = s.fds.get(&fd).ok_or(FsError::BadFd)?.inode;
         let data = s.vol.inodes.get(&ino).cloned().ok_or(FsError::BadFd)?;
         s.dur.inodes.insert(ino, data);
@@ -125,7 +131,7 @@ impl BufferedFs {
     /// pointing at never-fsynced inodes persist with empty contents
     /// (metadata before data — the realistic hazard).
     pub fn dir_sync(&self, dir: DirH) -> FsResult<()> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         let table = s.vol.dirs.get(dir).cloned().ok_or(FsError::NotFound)?;
         for ino in table.values() {
             s.dur.inodes.entry(*ino).or_default();
@@ -139,7 +145,7 @@ impl BufferedFs {
 
     /// Flushes everything (like `sync(2)`).
     pub fn sync_all(&self) -> FsResult<()> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         s.dur = s.vol.clone();
         Ok(())
     }
@@ -176,12 +182,12 @@ impl BufferedFs {
 
 impl FileSys for BufferedFs {
     fn resolve(&self, dir: &str) -> FsResult<DirH> {
-        let s = self.step();
+        let s = self.step(false);
         s.dir_names.get(dir).copied().ok_or(FsError::NotFound)
     }
 
     fn create(&self, dir: DirH, name: &str) -> FsResult<Option<Fd>> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         if dir >= s.vol.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -205,7 +211,7 @@ impl FileSys for BufferedFs {
     }
 
     fn open(&self, dir: DirH, name: &str) -> FsResult<Fd> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         if dir >= s.vol.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -223,7 +229,7 @@ impl FileSys for BufferedFs {
     }
 
     fn append(&self, fd: Fd, data: &[u8]) -> FsResult<()> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         if entry.mode != Mode::Append {
             return Err(FsError::BadMode);
@@ -238,7 +244,7 @@ impl FileSys for BufferedFs {
     }
 
     fn read_at(&self, fd: Fd, off: u64, len: u64) -> FsResult<Vec<u8>> {
-        let s = self.step();
+        let s = self.step(false);
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         if entry.mode != Mode::Read {
             return Err(FsError::BadMode);
@@ -250,13 +256,13 @@ impl FileSys for BufferedFs {
     }
 
     fn size(&self, fd: Fd) -> FsResult<u64> {
-        let s = self.step();
+        let s = self.step(false);
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         Ok(s.vol.inodes.get(&entry.inode).ok_or(FsError::BadFd)?.len() as u64)
     }
 
     fn close(&self, fd: Fd) -> FsResult<()> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         s.fds.remove(&fd).ok_or(FsError::BadFd)?;
         let live = fd_inodes(&s.fds);
         s.vol.gc(&live);
@@ -264,7 +270,7 @@ impl FileSys for BufferedFs {
     }
 
     fn delete(&self, dir: DirH, name: &str) -> FsResult<()> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         if dir >= s.vol.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -275,7 +281,7 @@ impl FileSys for BufferedFs {
     }
 
     fn link(&self, src: DirH, src_name: &str, dst: DirH, dst_name: &str) -> FsResult<bool> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         if src >= s.vol.dirs.len() || dst >= s.vol.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -288,7 +294,7 @@ impl FileSys for BufferedFs {
     }
 
     fn list(&self, dir: DirH) -> FsResult<Vec<String>> {
-        let s = self.step();
+        let s = self.step(false);
         if dir >= s.vol.dirs.len() {
             return Err(FsError::NotFound);
         }

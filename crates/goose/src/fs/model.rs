@@ -6,7 +6,7 @@
 //! inode contents persist — the process-crash model the paper uses.
 
 use super::traits::{DirH, Fd, FileSys, FsError, FsResult, Mode};
-use crate::sched::ModelRt;
+use crate::sched::{res, ModelRt};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -39,6 +39,9 @@ struct FsState {
 pub struct ModelFs {
     rt: Arc<ModelRt>,
     state: Mutex<FsState>,
+    /// Dependency-tracking resource id: the whole file system is one
+    /// resource (fd/inode allocation couples every mutating op).
+    tag: u64,
 }
 
 impl ModelFs {
@@ -51,8 +54,10 @@ impl ModelFs {
             dir_names.insert((*d).to_string(), i);
             dir_tables.push(BTreeMap::new());
         }
+        let tag = rt.alloc_resource_tag();
         Arc::new(ModelFs {
             rt,
+            tag,
             state: Mutex::new(FsState {
                 dirs: dir_tables,
                 dir_names,
@@ -86,8 +91,9 @@ impl ModelFs {
         Some(s.dirs[d].keys().cloned().collect())
     }
 
-    fn step(&self) -> parking_lot::MutexGuard<'_, FsState> {
+    fn step(&self, write: bool) -> parking_lot::MutexGuard<'_, FsState> {
         self.rt.yield_point();
+        self.rt.note_access(res::instance(self.tag), write);
         let mut s = self.state.lock();
         s.ops += 1;
         s
@@ -108,12 +114,12 @@ impl ModelFs {
 
 impl FileSys for ModelFs {
     fn resolve(&self, dir: &str) -> FsResult<DirH> {
-        let s = self.step();
+        let s = self.step(false);
         s.dir_names.get(dir).copied().ok_or(FsError::NotFound)
     }
 
     fn create(&self, dir: DirH, name: &str) -> FsResult<Option<Fd>> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         if dir >= s.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -143,7 +149,7 @@ impl FileSys for ModelFs {
     }
 
     fn open(&self, dir: DirH, name: &str) -> FsResult<Fd> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         if dir >= s.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -161,7 +167,7 @@ impl FileSys for ModelFs {
     }
 
     fn append(&self, fd: Fd, data: &[u8]) -> FsResult<()> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         if entry.mode != Mode::Append {
             return Err(FsError::BadMode);
@@ -176,7 +182,7 @@ impl FileSys for ModelFs {
     }
 
     fn read_at(&self, fd: Fd, off: u64, len: u64) -> FsResult<Vec<u8>> {
-        let s = self.step();
+        let s = self.step(false);
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         if entry.mode != Mode::Read {
             return Err(FsError::BadMode);
@@ -188,20 +194,20 @@ impl FileSys for ModelFs {
     }
 
     fn size(&self, fd: Fd) -> FsResult<u64> {
-        let s = self.step();
+        let s = self.step(false);
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         Ok(s.inodes.get(&entry.inode).ok_or(FsError::BadFd)?.data.len() as u64)
     }
 
     fn close(&self, fd: Fd) -> FsResult<()> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         let entry = s.fds.remove(&fd).ok_or(FsError::BadFd)?;
         ModelFs::free_if_unlinked(&mut s, entry.inode);
         Ok(())
     }
 
     fn delete(&self, dir: DirH, name: &str) -> FsResult<()> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         if dir >= s.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -214,7 +220,7 @@ impl FileSys for ModelFs {
     }
 
     fn link(&self, src: DirH, src_name: &str, dst: DirH, dst_name: &str) -> FsResult<bool> {
-        let mut s = self.step();
+        let mut s = self.step(true);
         if src >= s.dirs.len() || dst >= s.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -230,7 +236,7 @@ impl FileSys for ModelFs {
     }
 
     fn list(&self, dir: DirH) -> FsResult<Vec<String>> {
-        let s = self.step();
+        let s = self.step(false);
         if dir >= s.dirs.len() {
             return Err(FsError::NotFound);
         }

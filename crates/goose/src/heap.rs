@@ -18,7 +18,7 @@
 //! object), which is conservative but matches the paper's "unordered
 //! accesses to the same object".
 
-use crate::sched::{ModelRt, Tid, UbSignal};
+use crate::sched::{res, ModelRt, Tid, UbSignal};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -127,6 +127,9 @@ impl Heap {
     /// Allocates a new object; one atomic step.
     pub fn alloc(&self, val: HVal) -> Ptr {
         self.rt.yield_point();
+        // Allocation order determines the pointer id, so concurrent
+        // allocations never commute.
+        self.rt.note_access(res::ALLOC, true);
         let mut s = self.state.lock();
         let id = s.next;
         s.next += 1;
@@ -142,6 +145,7 @@ impl Heap {
     }
 
     fn with_obj<R>(&self, p: Ptr, access: &str, f: impl FnOnce(&mut HeapObj) -> R) -> R {
+        self.rt.note_access(res::heap_obj(p.0), false);
         let mut s = self.state.lock();
         let tid = Self::cur_tid();
         match s.objs.get_mut(&p.0) {
@@ -177,6 +181,7 @@ impl Heap {
 
     fn write_start(&self, p: Ptr) {
         self.rt.yield_point();
+        self.rt.note_access(res::heap_obj(p.0), true);
         let mut s = self.state.lock();
         let tid = Self::cur_tid();
         match s.objs.get_mut(&p.0) {
@@ -194,6 +199,7 @@ impl Heap {
     }
 
     fn write_end(&self, p: Ptr, val: HVal) {
+        self.rt.note_access(res::heap_obj(p.0), true);
         let mut s = self.state.lock();
         let tid = Self::cur_tid();
         match s.objs.get_mut(&p.0) {
@@ -248,6 +254,7 @@ impl Heap {
     pub fn slice_write(&self, s: Slice, off: u64, data: &[u8]) {
         self.write_start(s.ptr);
         self.rt.yield_point();
+        self.rt.note_access(res::heap_obj(s.ptr.0), true);
         let mut st = self.state.lock();
         let tid = Self::cur_tid();
         let obj = st.objs.get_mut(&s.ptr.0).expect("slice backing vanished");
@@ -300,6 +307,7 @@ impl Heap {
             // In place: extend the existing array under a write window.
             self.write_start(s.ptr);
             self.rt.yield_point();
+            self.rt.note_access(res::heap_obj(s.ptr.0), true);
             let mut st = self.state.lock();
             let tid = Self::cur_tid();
             let obj = st.objs.get_mut(&s.ptr.0).expect("slice backing vanished");
@@ -336,6 +344,7 @@ impl Heap {
     pub fn map_insert(&self, p: Ptr, key: &str, val: HVal) {
         self.write_start(p);
         self.rt.yield_point();
+        self.rt.note_access(res::heap_obj(p.0), true);
         let mut s = self.state.lock();
         let obj = s.objs.get_mut(&p.0).expect("map vanished");
         match &mut obj.val {
@@ -360,6 +369,7 @@ impl Heap {
     pub fn map_delete(&self, p: Ptr, key: &str) {
         self.write_start(p);
         self.rt.yield_point();
+        self.rt.note_access(res::heap_obj(p.0), true);
         let mut s = self.state.lock();
         let obj = s.objs.get_mut(&p.0).expect("map vanished");
         match &mut obj.val {
@@ -376,6 +386,7 @@ impl Heap {
     /// sees each key in order, with a schedule point before each.
     pub fn map_iter(&self, p: Ptr, mut f: impl FnMut(&str, &HVal)) {
         self.rt.yield_point();
+        self.rt.note_access(res::heap_obj(p.0), false);
         let keys: Vec<String> = {
             let mut s = self.state.lock();
             let obj = s.objs.get_mut(&p.0).expect("map vanished");
@@ -393,6 +404,7 @@ impl Heap {
         };
         for k in keys {
             self.rt.yield_point();
+            self.rt.note_access(res::heap_obj(p.0), false);
             let s = self.state.lock();
             let obj = s.objs.get(&p.0).expect("map vanished");
             if let HVal::Map(m) = &obj.val {

@@ -35,4 +35,6 @@ pub use fs::{BufferedFs, DirH, Fd, FileSys, FsError, FsResult, ModelFs, NativeFs
 pub use heap::{HVal, Heap, Ptr, Slice};
 pub use net::ModelNet;
 pub use runtime::{GLock, ModelRtExt, ModelRuntime, NativeRt, Runtime};
-pub use sched::{CrashSignal, LockId, ModelRt, PanicKind, SchedStats, StepResult, Tid, UbSignal};
+pub use sched::{
+    res, CrashSignal, LockId, ModelRt, PanicKind, SchedStats, StepAccess, StepResult, Tid, UbSignal,
+};

@@ -13,7 +13,7 @@
 //! — [`ModelNet::crash`] clears the queue.
 
 use crate::fault::NetFault;
-use crate::sched::ModelRt;
+use crate::sched::{res, ModelRt};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -30,11 +30,15 @@ struct NetState {
 pub struct ModelNet {
     rt: Arc<ModelRt>,
     state: Mutex<NetState>,
+    /// Dependency-tracking resource id: the whole channel is one
+    /// resource (queue order makes all sends/recvs conflict anyway).
+    tag: u64,
 }
 
 impl ModelNet {
     /// Creates an open channel on the given runtime.
     pub fn new(rt: Arc<ModelRt>) -> Arc<Self> {
+        let tag = rt.alloc_resource_tag();
         Arc::new(ModelNet {
             rt,
             state: Mutex::new(NetState {
@@ -42,6 +46,7 @@ impl ModelNet {
                 delayed: None,
                 closed: false,
             }),
+            tag,
         })
     }
 
@@ -49,6 +54,7 @@ impl ModelNet {
     /// whether it arrives once, twice, later, or never.
     pub fn send(&self, msg: &[u8]) {
         self.rt.yield_point();
+        self.rt.note_access(res::instance(self.tag), true);
         let fault = self.rt.next_net_fault();
         let mut s = self.state.lock();
         match fault {
@@ -79,6 +85,7 @@ impl ModelNet {
     /// queue has drained past it.
     pub fn recv(&self) -> Option<Vec<u8>> {
         self.rt.yield_point();
+        self.rt.note_access(res::instance(self.tag), true);
         let mut s = self.state.lock();
         if let Some(m) = s.queue.pop_front() {
             return Some(m);
@@ -90,11 +97,15 @@ impl ModelNet {
     /// the channel is closed and drained.
     pub fn close(&self) {
         self.rt.yield_point();
+        self.rt.note_access(res::instance(self.tag), true);
         self.state.lock().closed = true;
     }
 
     /// Whether the channel is closed *and* fully drained.
     pub fn finished(&self) -> bool {
+        // No yield point of its own, but it reads shared state within
+        // the caller's current grant window.
+        self.rt.note_access(res::instance(self.tag), false);
         let s = self.state.lock();
         s.closed && s.queue.is_empty() && s.delayed.is_none()
     }

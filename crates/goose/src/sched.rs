@@ -19,6 +19,7 @@ use parking_lot::{Condvar, Mutex};
 use perennial::GhostPanic;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -134,6 +135,94 @@ thread_local! {
     static CURRENT_TID: Cell<Option<Tid>> = const { Cell::new(None) };
 }
 
+/// One shared-state access performed during a granted step, as recorded
+/// by the dependency hooks (see [`ModelRt::note_access`]). The checker's
+/// partial-order reduction treats two steps as *independent* — freely
+/// commutable — exactly when no resource appears in both footprints with
+/// a write on either side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepAccess {
+    /// Opaque resource id; see [`res`] for the naming scheme.
+    pub resource: u64,
+    /// Whether the access mutates the resource.
+    pub write: bool,
+}
+
+impl StepAccess {
+    /// A read access.
+    pub fn read(resource: u64) -> Self {
+        StepAccess {
+            resource,
+            write: false,
+        }
+    }
+
+    /// A write access.
+    pub fn write(resource: u64) -> Self {
+        StepAccess {
+            resource,
+            write: true,
+        }
+    }
+}
+
+/// Resource-id naming scheme for [`StepAccess`] footprints. Ids are
+/// opaque to the checker — all it needs is that two accesses to the same
+/// shared state produce the same id, and accesses to disjoint state
+/// produce different ids. The high byte tags the resource class; model
+/// instances (disks, channels, file systems) disambiguate themselves with
+/// a runtime-allocated tag ([`ModelRt::alloc_resource_tag`]).
+pub mod res {
+    /// A model lock (low bits: the [`LockId`](super::LockId)).
+    pub const LOCK: u64 = 0x01 << 56;
+    /// A heap object (low bits: the pointer id).
+    pub const HEAP: u64 = 0x02 << 56;
+    /// The shared deterministic-randomness counter (every draw advances
+    /// it, so draws never commute — reordering them changes the values).
+    pub const RAND: u64 = 0x03 << 56;
+    /// Shared allocators (heap ids, lock ids, thread ids): allocation
+    /// order determines the allocated id, so allocations never commute.
+    pub const ALLOC: u64 = 0x04 << 56;
+    /// One block of a model disk (bits 32..56: instance tag; low bits:
+    /// block address, with bit 31 carrying the disk number on two-disk
+    /// substrates).
+    pub const DISK: u64 = 0x05 << 56;
+    /// A whole model instance treated as one resource (network channels,
+    /// file systems, write buffers).
+    pub const INSTANCE: u64 = 0x06 << 56;
+    /// A thread's ghost-engine activity (low bits: the thread id). Spec
+    /// events are ordered per thread; cross-thread spec coupling must be
+    /// mediated by a physical primitive whose own resource tag appears
+    /// in the footprint (DESIGN.md §12).
+    pub const GHOST: u64 = 0x07 << 56;
+    /// The disk-op fault counter — only shared when the execution's plan
+    /// schedules transient I/O faults (the index stream then decides
+    /// *which* op fails).
+    pub const DISK_FAULT_CTR: u64 = 0x08 << 56;
+    /// The net-send fault counter (see [`DISK_FAULT_CTR`]).
+    pub const NET_FAULT_CTR: u64 = 0x09 << 56;
+
+    /// Resource id for a model lock.
+    pub fn lock(id: super::LockId) -> u64 {
+        LOCK | id as u64
+    }
+
+    /// Resource id for a heap object.
+    pub fn heap_obj(id: u64) -> u64 {
+        HEAP | (id & 0x00ff_ffff_ffff_ffff)
+    }
+
+    /// Resource id for one block of a tagged disk instance.
+    pub fn disk_block(tag: u64, block: u64) -> u64 {
+        DISK | ((tag & 0x00ff_ffff) << 32) | (block & 0xffff_ffff)
+    }
+
+    /// Resource id for a whole tagged model instance.
+    pub fn instance(tag: u64) -> u64 {
+        INSTANCE | (tag & 0x00ff_ffff_ffff_ffff)
+    }
+}
+
 /// The model runtime: scheduler state plus the primitives virtual threads
 /// call.
 pub struct ModelRt {
@@ -146,6 +235,16 @@ pub struct ModelRt {
     /// at construction, like the seed, so fault injection is a pure
     /// function of the canonical job key.
     faults: FaultPlan,
+    /// Whether the dependency hooks record accesses (off by default; the
+    /// checker enables it for executions feeding partial-order
+    /// reduction). Checked lock-free so disabled runs pay one relaxed
+    /// load per primitive.
+    track_deps: AtomicBool,
+    /// Accesses of the currently granted step; the controller drains
+    /// them after each grant via [`ModelRt::take_step_accesses`].
+    cur_accesses: Mutex<Vec<StepAccess>>,
+    /// Next instance tag for [`ModelRt::alloc_resource_tag`].
+    next_tag: AtomicU64,
 }
 
 /// Installs a process-wide panic hook (once) that silences the expected
@@ -195,7 +294,51 @@ impl ModelRt {
             seed,
             max_steps,
             faults,
+            track_deps: AtomicBool::new(false),
+            cur_accesses: Mutex::new(Vec::new()),
+            next_tag: AtomicU64::new(0),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Dependency hooks (partial-order reduction support).
+    // ------------------------------------------------------------------
+
+    /// Enables (or disables) access recording for this execution. The
+    /// checker turns it on for executions whose footprints feed
+    /// partial-order reduction.
+    pub fn set_track_deps(&self, on: bool) {
+        self.track_deps.store(on, Ordering::Relaxed);
+    }
+
+    /// Records one shared-state access of the currently granted step.
+    /// No-op unless tracking is enabled and a virtual thread is running
+    /// (controller-context setup code is not part of any step).
+    pub fn note_access(&self, resource: u64, write: bool) {
+        if !self.track_deps.load(Ordering::Relaxed) || Self::current_tid().is_none() {
+            return;
+        }
+        self.cur_accesses
+            .lock()
+            .push(StepAccess { resource, write });
+    }
+
+    /// Drains the accesses recorded since the last drain — the footprint
+    /// of the step the controller just granted. Reads subsumed by a
+    /// write to the same resource are deduplicated.
+    pub fn take_step_accesses(&self) -> Vec<StepAccess> {
+        let mut raw = std::mem::take(&mut *self.cur_accesses.lock());
+        raw.sort_by_key(|a| (a.resource, !a.write));
+        raw.dedup_by_key(|a| a.resource);
+        raw
+    }
+
+    /// Allocates a fresh instance tag for a model (disk, channel, file
+    /// system) so its accesses are distinguishable in footprints.
+    /// Deterministic: models are constructed in a deterministic order
+    /// per schedule.
+    pub fn alloc_resource_tag(&self) -> u64 {
+        self.next_tag.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The fault schedule this runtime was built with.
@@ -208,6 +351,12 @@ impl ModelRt {
     /// operation calls this exactly once per attempt, so the index stream
     /// is deterministic per schedule.
     pub fn next_disk_op_faulty(&self) -> bool {
+        // With transient faults planned, the shared op-index stream
+        // decides *which* op fails, so consuming an index is a
+        // dependency-relevant write.
+        if !self.faults.transient_io.is_empty() {
+            self.note_access(res::DISK_FAULT_CTR, true);
+        }
         let mut s = self.state.lock();
         let i = s.disk_ops;
         s.disk_ops += 1;
@@ -223,6 +372,9 @@ impl ModelRt {
     /// Consumes the next network-send index and returns the fault the
     /// plan injects there, if any.
     pub fn next_net_fault(&self) -> Option<NetFault> {
+        if !self.faults.net.is_empty() {
+            self.note_access(res::NET_FAULT_CTR, true);
+        }
         let mut s = self.state.lock();
         let i = s.net_msgs;
         s.net_msgs += 1;
@@ -260,6 +412,9 @@ impl ModelRt {
         f: impl FnOnce() + Send + 'static,
     ) -> Tid {
         let name = name.into();
+        // Spawn order determines thread ids (and hence the schedule's
+        // choice indices), so spawns from within a step never commute.
+        self.note_access(res::ALLOC, true);
         let tid = {
             let mut s = self.state.lock();
             s.threads.push(ThreadMeta {
@@ -355,6 +510,7 @@ impl ModelRt {
     /// the same values.
     pub fn rand_u64(&self) -> u64 {
         self.yield_point();
+        self.note_access(res::RAND, true);
         let mut s = self.state.lock();
         s.rand_ctr += 1;
         splitmix64(self.seed ^ s.rand_ctr.wrapping_mul(0x9e37_79b9_7f4a_7c15))
@@ -366,6 +522,8 @@ impl ModelRt {
 
     /// Allocates a model lock.
     pub fn new_lock(&self) -> LockId {
+        // Allocation order determines the lock id.
+        self.note_access(res::ALLOC, true);
         let mut s = self.state.lock();
         s.locks.push(LockSlot { held_by: None });
         s.locks.len() - 1
@@ -393,6 +551,9 @@ impl ModelRt {
         };
         self.yield_point();
         loop {
+            // Noted per attempt so a blocked-then-woken retry carries
+            // the lock in its own step footprint too.
+            self.note_access(res::lock(lock), true);
             let mut s = self.state.lock();
             if s.locks[lock].held_by.is_none() {
                 s.locks[lock].held_by = Some(tid);
@@ -437,6 +598,7 @@ impl ModelRt {
             }
         };
         self.yield_point();
+        self.note_access(res::lock(lock), true);
         let mut s = self.state.lock();
         assert_eq!(
             s.locks[lock].held_by,

@@ -1,7 +1,7 @@
 //! Model-checking the node KV store: all workloads, crash sweeps, and
 //! mutants.
 
-use perennial_checker::{check, CheckConfig, ExecOutcome};
+use perennial_checker::{check, CheckConfig, ExecOutcome, Pass};
 use perennial_kv::{KvHarness, KvMutant, KvWorkload};
 
 fn cfg() -> CheckConfig {
@@ -9,7 +9,7 @@ fn cfg() -> CheckConfig {
         .dfs_max_executions(300)
         .random_samples(10)
         .random_crash_samples(20)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .max_steps(200_000)
         .build()
 }
@@ -66,7 +66,6 @@ fn crash_during_recovery_is_idempotent() {
             .dfs_max_executions(0)
             .random_samples(0)
             .random_crash_samples(0)
-            .nested_crash_sweep(true)
             .max_steps(200_000)
             .build(),
     );
@@ -126,9 +125,9 @@ fn kv_passes_fault_sweeps() {
         .dfs_max_executions(0)
         .random_samples(0)
         .random_crash_samples(0)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .max_steps(200_000)
-        .fault_sweeps(true)
+        .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
         .build();
     let h = KvHarness {
         workload: KvWorkload::SinglePut,

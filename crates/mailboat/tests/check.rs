@@ -3,14 +3,14 @@
 
 use mailboat::harness::{MbHarness, MbWorkload};
 use mailboat::proof::MbMutant;
-use perennial_checker::{check, CheckConfig, ExecOutcome};
+use perennial_checker::{check, CheckConfig, ExecOutcome, Pass};
 
 fn cfg() -> CheckConfig {
     CheckConfig::builder()
         .dfs_max_executions(250)
         .random_samples(10)
         .random_crash_samples(15)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .max_steps(200_000)
         .build()
 }
@@ -20,8 +20,7 @@ fn cfg_no_crash() -> CheckConfig {
         .dfs_max_executions(400)
         .random_samples(20)
         .random_crash_samples(0)
-        .crash_sweep(false)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::CrashSweep, Pass::NestedCrash])
         .max_steps(200_000)
         .build()
 }
@@ -80,7 +79,6 @@ fn single_deliver_crash_during_recovery() {
             .dfs_max_executions(0)
             .random_samples(0)
             .random_crash_samples(0)
-            .nested_crash_sweep(true)
             .max_steps(200_000)
             .build(),
     );
@@ -193,9 +191,9 @@ fn cfg_faults() -> CheckConfig {
         .dfs_max_executions(0)
         .random_samples(0)
         .random_crash_samples(0)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .max_steps(200_000)
-        .fault_sweeps(true)
+        .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
         .build()
 }
 

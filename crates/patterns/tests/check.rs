@@ -4,14 +4,14 @@
 use crash_patterns::group_commit::{GcHarness, GcMutant};
 use crash_patterns::shadow::{ShadowHarness, ShadowMutant};
 use crash_patterns::wal::{WalHarness, WalMutant};
-use perennial_checker::{check, CheckConfig, ExecOutcome};
+use perennial_checker::{check, CheckConfig, ExecOutcome, Pass};
 
 fn cfg() -> CheckConfig {
     CheckConfig::builder()
         .dfs_max_executions(300)
         .random_samples(10)
         .random_crash_samples(20)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .build()
 }
 
@@ -20,7 +20,6 @@ fn cfg_nested() -> CheckConfig {
         .dfs_max_executions(0)
         .random_samples(0)
         .random_crash_samples(0)
-        .nested_crash_sweep(true)
         .build()
 }
 
@@ -331,8 +330,8 @@ fn cfg_faults() -> CheckConfig {
         .dfs_max_executions(0)
         .random_samples(0)
         .random_crash_samples(0)
-        .nested_crash_sweep(false)
-        .fault_sweeps(true)
+        .without_passes([Pass::NestedCrash])
+        .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
         .build()
 }
 

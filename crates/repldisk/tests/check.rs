@@ -2,7 +2,7 @@
 //! including the Figure 6 crash-mid-write scenario, disk failover, and
 //! mutants that the checker must reject.
 
-use perennial_checker::{check, CheckConfig, ExecOutcome};
+use perennial_checker::{check, CheckConfig, ExecOutcome, Pass};
 use repldisk::harness::{RdHarness, RdWorkload};
 use repldisk::proof::RdMutant;
 
@@ -11,7 +11,7 @@ fn cfg() -> CheckConfig {
         .dfs_max_executions(400)
         .random_samples(15)
         .random_crash_samples(30)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .build()
 }
 
@@ -20,7 +20,6 @@ fn cfg_nested() -> CheckConfig {
         .dfs_max_executions(0)
         .random_samples(0)
         .random_crash_samples(0)
-        .nested_crash_sweep(true)
         .build()
 }
 
@@ -191,8 +190,8 @@ fn cfg_faults() -> CheckConfig {
         .dfs_max_executions(0)
         .random_samples(0)
         .random_crash_samples(0)
-        .nested_crash_sweep(false)
-        .fault_sweeps(true)
+        .without_passes([Pass::NestedCrash])
+        .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
         .build()
 }
 

@@ -7,7 +7,7 @@
 //! ([`perennial_suite::all_mutant_scenarios`]); pass a name fragment to
 //! filter, e.g. `cargo run --example crash_hunt -- repldisk`.
 
-use perennial_checker::{CheckConfig, CheckReport};
+use perennial_checker::{CheckConfig, CheckReport, Pass};
 use perennial_suite::all_mutant_scenarios;
 
 fn show(name: &str, report: &CheckReport) {
@@ -33,9 +33,9 @@ fn main() {
         .dfs_max_executions(300)
         .random_samples(10)
         .random_crash_samples(25)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .max_steps(200_000)
-        .fault_sweeps(true)
+        .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
         .build();
 
     let registry = all_mutant_scenarios();

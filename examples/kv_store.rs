@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example kv_store`
 
-use perennial_checker::{check, CheckConfig};
+use perennial_checker::{check, CheckConfig, Pass};
 use perennial_kv::{KvHarness, KvMutant, KvWorkload};
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
         .dfs_max_executions(400)
         .random_samples(15)
         .random_crash_samples(30)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .build();
 
     println!("Checking the crash-safe node KV store:\n");

@@ -24,7 +24,7 @@ fn main() {
         .dfs_max_executions(500)
         .random_samples(20)
         .random_crash_samples(40)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .build();
     let report = check(&harness, &config);
     println!("correct system : {}", report.summary());

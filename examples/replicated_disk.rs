@@ -46,7 +46,6 @@ fn main() {
             .dfs_max_executions(100)
             .random_samples(5)
             .random_crash_samples(10)
-            .nested_crash_sweep(true)
             .build(),
     );
     println!("  {}", report.summary());

@@ -6,12 +6,17 @@
 //! Run with: `cargo run --release --example scenario_smoke`
 //! (optionally pass a name fragment to filter, e.g. `-- kv/`, and/or
 //! `--faults` to also run the fault-injection sweeps: torn writes,
-//! transient I/O errors, disk failures, and net faults). Observability
-//! flags: `--telemetry PATH` appends every scenario's JSONL event
-//! stream to one file (the CI artifact), `--summary` prints the full
-//! per-scenario metrics block instead of just the verdict line.
+//! transient I/O errors, disk failures, and net faults; `--strategy
+//! exhaustive|dpor|coverage` picks the schedule-phase exploration
+//! strategy, DESIGN.md §12). Observability flags: `--telemetry PATH`
+//! appends every scenario's JSONL event stream to one file (the CI
+//! artifact), `--summary` prints the full per-scenario metrics block
+//! instead of just the verdict line.
 
-use perennial_checker::{render_summary, verdict_line, CheckConfig, TelemetrySink};
+use perennial_checker::{
+    render_summary, verdict_line, CheckConfig, CoverageGuided, Exhaustive, Pass, SleepSetDpor,
+    TelemetrySink,
+};
 use perennial_suite::all_scenarios;
 
 fn main() {
@@ -19,6 +24,7 @@ fn main() {
     let mut faults = false;
     let mut summary = false;
     let mut telemetry_path: Option<String> = None;
+    let mut strategy = String::from("exhaustive");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,6 +32,9 @@ fn main() {
             "--summary" => summary = true,
             "--telemetry" => {
                 telemetry_path = Some(args.next().expect("--telemetry needs a file path"));
+            }
+            "--strategy" => {
+                strategy = args.next().expect("--strategy needs a name");
             }
             _ => filter = arg,
         }
@@ -35,8 +44,16 @@ fn main() {
         .dfs_max_executions(200)
         .random_samples(10)
         .random_crash_samples(20)
-        .nested_crash_sweep(false)
-        .fault_sweeps(faults);
+        .without_passes([Pass::NestedCrash]);
+    builder = match strategy.as_str() {
+        "exhaustive" => builder.strategy(Exhaustive),
+        "dpor" | "sleep-set-dpor" => builder.strategy(SleepSetDpor),
+        "coverage" | "coverage-guided" => builder.strategy(CoverageGuided),
+        other => panic!("unknown --strategy {other:?} (exhaustive|dpor|coverage)"),
+    };
+    if faults {
+        builder = builder.with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault]);
+    }
     if let Some(path) = &telemetry_path {
         // One shared sink: every scenario appends to the same JSONL
         // stream, distinguished by the `scenario` field on each record.

@@ -9,14 +9,14 @@
 use crash_patterns::group_commit::GcHarness;
 use crash_patterns::shadow::ShadowHarness;
 use crash_patterns::wal::WalHarness;
-use perennial_checker::{check, CheckConfig};
+use perennial_checker::{check, CheckConfig, Pass};
 
 fn main() {
     let config = CheckConfig::builder()
         .dfs_max_executions(300)
         .random_samples(10)
         .random_crash_samples(20)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .build();
 
     println!("Checking the three §9.1 crash-safety patterns:\n");

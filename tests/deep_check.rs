@@ -17,8 +17,6 @@ fn deep() -> CheckConfig {
         .dfs_max_executions(5_000)
         .random_samples(200)
         .random_crash_samples(300)
-        .crash_sweep(true)
-        .nested_crash_sweep(true)
         .max_steps(500_000)
         .build()
 }

@@ -6,7 +6,7 @@ use crash_patterns::group_commit::GcHarness;
 use crash_patterns::shadow::ShadowHarness;
 use crash_patterns::wal::WalHarness;
 use mailboat::harness::MbHarness;
-use perennial_checker::{check, CheckConfig};
+use perennial_checker::{check, CheckConfig, Pass};
 use perennial_kv::KvHarness;
 use repldisk::harness::{RdHarness, RdWorkload};
 
@@ -15,7 +15,7 @@ fn cfg() -> CheckConfig {
         .dfs_max_executions(400)
         .random_samples(20)
         .random_crash_samples(30)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .max_steps(200_000)
         .build()
 }
@@ -89,8 +89,6 @@ fn deeper_nested_crash_sweep_on_two_systems() {
         .dfs_max_executions(0)
         .random_samples(0)
         .random_crash_samples(0)
-        .crash_sweep(true)
-        .nested_crash_sweep(true)
         .max_steps(200_000)
         .build();
     let r = check(

@@ -4,7 +4,7 @@
 //! because counterexamples are selected by canonical (pass, index) order
 //! rather than wall-clock discovery order.
 
-use perennial_checker::{CheckConfig, CheckConfigBuilder, Counterexample, FaultPlan};
+use perennial_checker::{CheckConfig, CheckConfigBuilder, Counterexample, FaultPlan, Pass};
 use perennial_suite::{all_mutant_scenarios, all_scenarios};
 
 fn base_cfg() -> CheckConfigBuilder {
@@ -13,7 +13,7 @@ fn base_cfg() -> CheckConfigBuilder {
         .dfs_max_executions(300)
         .random_samples(10)
         .random_crash_samples(25)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .max_steps(200_000)
 }
 
@@ -34,8 +34,18 @@ fn workers_do_not_change_the_counterexample() {
     // reachable through the fault passes, and those passes are part of
     // the determinism contract like any other.
     for scenario in &all_mutant_scenarios() {
-        let seq = scenario.run(&base_cfg().fault_sweeps(true).workers(1).build());
-        let par = scenario.run(&base_cfg().fault_sweeps(true).workers(8).build());
+        let seq = scenario.run(
+            &base_cfg()
+                .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
+                .workers(1)
+                .build(),
+        );
+        let par = scenario.run(
+            &base_cfg()
+                .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
+                .workers(8)
+                .build(),
+        );
 
         let seq_cx = seq
             .counterexample
@@ -134,14 +144,14 @@ fn keep_going_fault_passes_are_deterministic() {
         let scenario = registry.get(name).expect("registered scenario");
         let seq = scenario.run(
             &base_cfg()
-                .fault_sweeps(true)
+                .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
                 .keep_going(true)
                 .workers(1)
                 .build(),
         );
         let par = scenario.run(
             &base_cfg()
-                .fault_sweeps(true)
+                .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
                 .keep_going(true)
                 .workers(8)
                 .build(),

@@ -7,7 +7,7 @@
 use perennial_checker::telemetry::strip_timing;
 use perennial_checker::{
     render_summary, validate_json_line, CheckConfig, CheckConfigBuilder, Counterexample, FaultPlan,
-    TelemetrySink,
+    Pass, TelemetrySink,
 };
 use perennial_suite::{all_mutant_scenarios, all_scenarios};
 use serde_json::Value;
@@ -18,7 +18,7 @@ fn base_cfg() -> CheckConfigBuilder {
         .dfs_max_executions(150)
         .random_samples(10)
         .random_crash_samples(15)
-        .nested_crash_sweep(false)
+        .without_passes([Pass::NestedCrash])
         .max_steps(200_000)
 }
 
@@ -150,7 +150,12 @@ fn report_metrics_add_up_on_a_passing_run() {
     let scenario = registry
         .get("repldisk/single-write")
         .expect("registered scenario");
-    let report = scenario.run(&base_cfg().fault_sweeps(true).workers(4).build());
+    let report = scenario.run(
+        &base_cfg()
+            .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
+            .workers(4)
+            .build(),
+    );
     assert!(report.passed());
 
     // Outcome histogram and step histogram both cover every execution.
