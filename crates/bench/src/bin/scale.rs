@@ -1,19 +1,24 @@
 //! Parallel-explorer scaling driver.
 //!
 //! Usage: `cargo run --release -p perennial-bench --bin scale -- \
-//!           [scenario-name] [worker counts…] [--json FILE]`
+//!           [scenario-name] [worker counts…] [--json FILE] \
+//!           [--shard I/N] [--resume WAL]`
 //!
 //! Defaults to `patterns/wal` over pool sizes 1 2 4 8, measuring two
 //! passes per pool size: pure schedule exploration (crash sweeps) and
 //! fault-sweep exploration (torn writes, transient I/O, disk/net fault
-//! plans). `--json` writes a `BENCH_*.json`-style record with both
-//! series. The acceptance target on an 8-core machine is ≥3x execs/sec
-//! at 8 workers vs 1.
+//! plans), plus the checkpoint/resume cost of writing and replaying
+//! the telemetry WAL (`--resume` overrides the log path). `--shard I/N`
+//! scopes the scaling series to one deterministic campaign slice
+//! (DESIGN.md §13). `--json` writes a `BENCH_*.json`-style record with
+//! every series. The acceptance targets on an 8-core machine: ≥3x
+//! execs/sec at 8 workers vs 1, and WAL overhead < 5% of a cold run.
 
 use perennial_bench::scale::{
-    median_ratio, render_reduction, render_scale, run_reduction, run_scale, ReductionRow, ScaleRow,
+    median_ratio, render_reduction, render_resume, render_scale, run_reduction, run_resume,
+    run_scale, ReductionRow, ResumeRow, ScaleRow,
 };
-use perennial_checker::{CheckConfig, Pass, ScenarioSet};
+use perennial_checker::{parse_shard, CheckConfig, Pass, ScenarioSet};
 
 fn registry() -> ScenarioSet {
     let mut set = ScenarioSet::new();
@@ -82,17 +87,48 @@ fn reduction_json(rows: &[ReductionRow]) -> serde_json::Value {
     })
 }
 
+fn resume_json(row: &ResumeRow) -> serde_json::Value {
+    serde_json::json!({
+        "executions": row.executions,
+        "cold_wall_time_s": row.cold.as_secs_f64(),
+        "walled_wall_time_s": row.walled.as_secs_f64(),
+        "resumed_wall_time_s": row.resumed.as_secs_f64(),
+        "replayed": row.replayed,
+        "wal_overhead": row.overhead(),
+        "resume_speedup": row.resume_speedup(),
+        "fingerprints_match": row.fingerprints_match,
+    })
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let mut positional = args.iter().filter(|a| *a != "--json");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--flag VALUE` extractor: removes the pair from `args`.
+    let mut take = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+        args.remove(i);
+        Some(args.remove(i))
+    };
+    let json_path = take("--json");
+    // `--shard I/N`: measure one deterministic slice of the job space
+    // (applied to both scaling configs; the reduction table stays
+    // unsharded — executions-to-counterexample is a whole-space metric).
+    let shard = take("--shard").map(|s| match parse_shard(&s) {
+        Ok(sh) => sh,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    });
+    // `--resume PATH`: use PATH as the WAL for the checkpoint/resume
+    // cost measurement (default: a file in the system temp dir).
+    let resume_wal = take("--resume").map(std::path::PathBuf::from);
+    let mut positional = args.iter();
     let name = positional
         .next()
-        .filter(|a| Some(*a) != json_path.as_ref())
         .cloned()
         .unwrap_or_else(|| "patterns/wal".to_string());
     let mut counts: Vec<usize> = positional.filter_map(|a| a.parse().ok()).collect();
@@ -116,6 +152,7 @@ fn main() {
         .random_samples(100)
         .random_crash_samples(200)
         .max_steps(200_000)
+        .shard_opt(shard)
         .build();
     // The fault pass swaps the nested sweep for the fault sweeps, so the
     // execs/sec figure tracks fault-plan exploration throughput.
@@ -126,6 +163,7 @@ fn main() {
         .without_passes([Pass::NestedCrash])
         .with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])
         .max_steps(200_000)
+        .shard_opt(shard)
         .build();
 
     println!(
@@ -162,12 +200,25 @@ fn main() {
     println!();
     print!("{}", render_reduction(&reduction));
 
+    // Checkpoint/resume cost on the fault config (the heavier per-exec
+    // telemetry records). Acceptance: WAL overhead < 5% of a cold run.
+    let wal = resume_wal.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "perennial-scale-resume-{}.jsonl",
+            std::process::id()
+        ))
+    });
+    let resume = run_resume(scenario, &fault_cfg, &wal, 3);
+    println!();
+    print!("{}", render_resume(scenario.name(), &resume));
+
     if let Some(path) = json_path {
         let record = serde_json::json!({
             "scenario": scenario.name(),
             "schedule_exploration": rows_json(&rows),
             "fault_exploration": rows_json(&fault_rows),
             "strategy_reduction": reduction_json(&reduction),
+            "resume_overhead": resume_json(&resume),
         });
         std::fs::write(&path, serde_json::to_string_pretty(&record).unwrap())
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));

@@ -1,0 +1,262 @@
+//! Campaign driver: sweep every registered scenario and mutant under
+//! one partitioned, resumable configuration.
+//!
+//! ```text
+//! scan [--filter SUBSTR] [--shard I/N] [--wal DIR] [--resume]
+//!      [--out FILE] [--faults] [--strategy exhaustive|dpor|coverage]
+//!      [--workers N] [--budget N] [--seed N]
+//! scan --merge FILE... [--out FILE]
+//! ```
+//!
+//! A campaign runs scenarios × mutants × passes. `--shard I/N` hands
+//! this process the I-th deterministic slice of every scenario's job
+//! space; shard report files (`--out`) from all N slices recombine with
+//! `--merge` into exactly the unsharded campaign — same fingerprint.
+//! `--wal DIR` writes one JSONL write-ahead log per scenario; with
+//! `--resume`, completed executions found in those logs are replayed
+//! instead of re-run, so a SIGKILLed campaign picks up where it died
+//! and still lands on the same fingerprint.
+//!
+//! The final line is always `campaign fingerprint: 0x…` — a hash of the
+//! per-scenario report fingerprints (timing and worker-count excluded),
+//! which is the equality oracle CI uses for kill/resume and shard/merge.
+//! Exit status: 0 when the campaign completed (mutant FAILs are
+//! expected findings, not campaign errors), 1 when a run degraded to an
+//! INCOMPLETE partial report, 2 on usage errors.
+
+use perennial_checker::{
+    merge_reports, parse_shard, report_fingerprint, report_from_json, report_to_json,
+    trace_fingerprint, CheckConfig, CheckReport, CoverageGuided, Pass, ScenarioSet, SleepSetDpor,
+};
+use std::path::{Path, PathBuf};
+
+fn registry() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    set.extend(perennial_kv::scenarios());
+    set.extend(repldisk::harness::scenarios());
+    set.extend(mailboat::scenarios());
+    set.extend(crash_patterns::scenarios());
+    set.extend(perennial_kv::mutant_scenarios());
+    set.extend(repldisk::harness::mutant_scenarios());
+    set.extend(mailboat::mutant_scenarios());
+    set.extend(crash_patterns::mutant_scenarios());
+    set
+}
+
+/// One WAL file per scenario: `"kv/cross-bucket"` → `kv__cross-bucket.jsonl`.
+fn wal_path(dir: &Path, scenario: &str) -> PathBuf {
+    dir.join(format!("{}.jsonl", scenario.replace('/', "__")))
+}
+
+/// The campaign-level equality oracle: fold the per-scenario report
+/// fingerprints (already timing/worker/shard-insensitive) in name order.
+fn campaign_fingerprint(reports: &[CheckReport]) -> u64 {
+    let mut lines: Vec<String> = reports
+        .iter()
+        .map(|r| format!("{}={:#018x}", r.name, report_fingerprint(r)))
+        .collect();
+    lines.sort();
+    trace_fingerprint(&lines.join("\n"))
+}
+
+fn write_out(path: &str, shard: Option<(u32, u32)>, reports: &[CheckReport]) {
+    let mut root = serde_json::Map::new();
+    root.insert(
+        "shard".into(),
+        match shard {
+            Some((i, n)) => serde_json::Value::String(format!("{i}/{n}")),
+            None => serde_json::Value::Null,
+        },
+    );
+    root.insert(
+        "campaign_fingerprint".into(),
+        serde_json::Value::String(format!("{:#018x}", campaign_fingerprint(reports))),
+    );
+    root.insert(
+        "scenarios".into(),
+        serde_json::Value::Array(reports.iter().map(report_to_json).collect()),
+    );
+    let text = serde_json::to_string_pretty(&serde_json::Value::Object(root)).unwrap();
+    std::fs::write(path, text).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+    println!("(campaign report written to {path})");
+}
+
+fn read_out(path: &str) -> Vec<CheckReport> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+    let v = serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("parsing {path}: {e}")));
+    let serde_json::Value::Object(map) = v else {
+        die(&format!("{path}: not a campaign report object"));
+    };
+    let Some(serde_json::Value::Array(items)) = map.get("scenarios") else {
+        die(&format!("{path}: no \"scenarios\" array"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            report_from_json(item).unwrap_or_else(|e| die(&format!("{path}: bad report: {e}")))
+        })
+        .collect()
+}
+
+/// Merge mode: one campaign report file per shard in, the recombined
+/// whole-campaign report out.
+fn merge_mode(files: &[String], out: Option<&str>) -> i32 {
+    let mut by_name: std::collections::BTreeMap<String, Vec<CheckReport>> = Default::default();
+    for f in files {
+        for r in read_out(f) {
+            by_name.entry(r.name.clone()).or_default().push(r);
+        }
+    }
+    let mut merged = Vec::new();
+    for (name, shards) in by_name {
+        match merge_reports(shards) {
+            Ok(r) => {
+                println!("{}", r.summary());
+                merged.push(r);
+            }
+            Err(e) => die(&format!("merging {name}: {e}")),
+        }
+    }
+    let incomplete = merged.iter().any(|r| r.is_incomplete());
+    if let Some(path) = out {
+        write_out(path, None, &merged);
+    }
+    println!(
+        "campaign fingerprint: {:#018x}",
+        campaign_fingerprint(&merged)
+    );
+    i32::from(incomplete)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("scan: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter = None;
+    let mut shard = None;
+    let mut wal_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut out = None;
+    let mut faults = false;
+    let mut strategy = "exhaustive".to_string();
+    let mut workers = 0usize; // 0 = builder default
+    let mut budget = 0u64;
+    let mut seed = 7u64;
+    let mut merge_files: Vec<String> = Vec::new();
+
+    fn val(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+        it.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    }
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--filter" => filter = Some(val(&mut it, "--filter")),
+            "--shard" => {
+                shard = Some(parse_shard(&val(&mut it, "--shard")).unwrap_or_else(|e| die(&e)));
+            }
+            "--wal" => wal_dir = Some(PathBuf::from(val(&mut it, "--wal"))),
+            "--resume" => resume = true,
+            "--out" => out = Some(val(&mut it, "--out")),
+            "--faults" => faults = true,
+            "--strategy" => strategy = val(&mut it, "--strategy"),
+            "--workers" => {
+                workers = val(&mut it, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --workers"));
+            }
+            "--budget" => {
+                budget = val(&mut it, "--budget")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --budget"));
+            }
+            "--seed" => {
+                seed = val(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --seed"));
+            }
+            "--merge" => {
+                merge_files.push(val(&mut it, "--merge"));
+                merge_files.extend(it.by_ref());
+            }
+            other => die(&format!("unknown argument {other:?} (see the doc comment)")),
+        }
+    }
+    if !merge_files.is_empty() {
+        std::process::exit(merge_mode(&merge_files, out.as_deref()));
+    }
+    if resume && wal_dir.is_none() {
+        die("--resume needs --wal DIR (the logs to resume from)");
+    }
+    if let Some(dir) = &wal_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("creating {dir:?}: {e}")));
+    }
+
+    let registry = registry();
+    let selected: Vec<_> = registry
+        .iter()
+        .filter(|s| filter.as_deref().is_none_or(|f| s.name().contains(f)))
+        .collect();
+    if selected.is_empty() {
+        die("no scenario matches the filter; run without --filter to sweep everything");
+    }
+
+    let mut reports = Vec::new();
+    for scenario in selected {
+        let mut cfg = CheckConfig::builder()
+            .seed(seed)
+            .dfs_max_executions(300)
+            .random_samples(10)
+            .random_crash_samples(25)
+            .max_steps(200_000)
+            .shard_opt(shard)
+            .keep_going(true);
+        if faults {
+            cfg = cfg.with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault]);
+        }
+        match strategy.as_str() {
+            "exhaustive" => {}
+            "dpor" => cfg = cfg.strategy(SleepSetDpor),
+            "coverage" => cfg = cfg.strategy(CoverageGuided),
+            other => die(&format!("unknown strategy {other:?}")),
+        }
+        if workers > 0 {
+            cfg = cfg.workers(workers);
+        }
+        if budget > 0 {
+            cfg = cfg.exec_budget(budget);
+        }
+        if let Some(dir) = &wal_dir {
+            let wal = wal_path(dir, scenario.name());
+            cfg = cfg.telemetry_path(&wal);
+            if resume {
+                cfg = cfg.resume_from(&wal);
+            }
+        }
+        let mut report = scenario.run(&cfg.build());
+        // Reports carry the harness's human name, which mutants share
+        // with their base scenario; campaign files key on the unique
+        // registry name so shard merging can group correctly.
+        report.name = scenario.name().to_string();
+        println!("{}", report.summary());
+        reports.push(report);
+    }
+
+    let incomplete = reports.iter().any(|r| r.is_incomplete());
+    let replayed: u64 = reports.iter().map(|r| r.replayed).sum();
+    if replayed > 0 {
+        println!("(resume: {replayed} executions replayed from the WAL)");
+    }
+    if let Some(path) = &out {
+        write_out(path, shard, &reports);
+    }
+    println!(
+        "campaign fingerprint: {:#018x}",
+        campaign_fingerprint(&reports)
+    );
+    std::process::exit(i32::from(incomplete));
+}

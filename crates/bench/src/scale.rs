@@ -85,6 +85,116 @@ pub fn render_scale(name: &str, rows: &[ScaleRow]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Resume overhead: what does making a run resumable cost?
+// ---------------------------------------------------------------------
+
+/// Cost accounting for the checkpoint/resume machinery on one scenario.
+///
+/// Three runs: *cold* (no WAL), *walled* (same run writing its JSONL
+/// write-ahead log), and *resumed* (re-run against the completed WAL,
+/// replaying finished executions instead of re-executing them). The
+/// acceptance target is `overhead() < 0.05`: writing the WAL costs
+/// less than 5% of the cold wall time, so campaigns can always afford
+/// to be resumable.
+#[derive(Debug, Clone)]
+pub struct ResumeRow {
+    pub executions: usize,
+    pub cold: Duration,
+    pub walled: Duration,
+    pub resumed: Duration,
+    /// Executions the resumed run satisfied from the WAL.
+    pub replayed: u64,
+    /// All three runs produced the same report fingerprint.
+    pub fingerprints_match: bool,
+}
+
+impl ResumeRow {
+    /// Fractional wall-time cost of writing the WAL (0.03 = 3%).
+    pub fn overhead(&self) -> f64 {
+        self.walled.as_secs_f64() / self.cold.as_secs_f64().max(1e-9) - 1.0
+    }
+
+    /// How much faster a fully-replayed resume is than a cold run.
+    pub fn resume_speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.resumed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measures checkpoint/resume cost for `scenario` using `wal` as the
+/// log path (best wall time of `reps` runs per variant, to shave
+/// scheduler noise). Sharded configs force keep-going semantics, so
+/// the comparison uses `keep_going` on all three variants.
+pub fn run_resume(
+    scenario: &Scenario,
+    base: &CheckConfig,
+    wal: &std::path::Path,
+    reps: usize,
+) -> ResumeRow {
+    use perennial_checker::report_fingerprint;
+    let reps = reps.max(1);
+    let mut cfg = base.clone();
+    cfg.keep_going = true;
+
+    let best = |f: &dyn Fn() -> perennial_checker::CheckReport| {
+        let mut best: Option<perennial_checker::CheckReport> = None;
+        for _ in 0..reps {
+            let r = f();
+            if best.as_ref().is_none_or(|b| r.wall_time < b.wall_time) {
+                best = Some(r);
+            }
+        }
+        best.expect("reps >= 1")
+    };
+
+    let cold = best(&|| scenario.run(&cfg));
+    let walled = best(&|| {
+        let mut c = cfg.clone();
+        c.telemetry_path = Some(wal.to_path_buf());
+        scenario.run(&c)
+    });
+    // One resumed run against the *complete* WAL: everything replayable
+    // is replayed, which is the steady-state cost of the machinery.
+    let mut rcfg = cfg.clone();
+    rcfg.telemetry_path = Some(wal.to_path_buf());
+    rcfg.resume_from = Some(wal.to_path_buf());
+    let resumed = scenario.run(&rcfg);
+
+    let fp = report_fingerprint(&cold);
+    ResumeRow {
+        executions: cold.executions,
+        cold: cold.wall_time,
+        walled: walled.wall_time,
+        resumed: resumed.wall_time,
+        replayed: resumed.replayed,
+        fingerprints_match: report_fingerprint(&walled) == fp && report_fingerprint(&resumed) == fp,
+    }
+}
+
+/// Renders the resume-overhead measurement.
+pub fn render_resume(name: &str, row: &ResumeRow) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Checkpoint/resume cost: {name}");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>4}",
+        "executions", "cold", "with WAL", "resumed", "overhead", "speedup", "fp="
+    );
+    let _ = writeln!(
+        out,
+        "{:>12} {:>11.3}s {:>11.3}s {:>11.3}s {:>9.1}% {:>9.1}x {:>4}",
+        row.executions,
+        row.cold.as_secs_f64(),
+        row.walled.as_secs_f64(),
+        row.resumed.as_secs_f64(),
+        row.overhead() * 100.0,
+        row.resume_speedup(),
+        if row.fingerprints_match { "yes" } else { "NO" },
+    );
+    let _ = writeln!(out, "({} executions replayed from the WAL)", row.replayed);
+    out
+}
+
+// ---------------------------------------------------------------------
 // Strategy reduction: executions-to-counterexample per mutant
 // ---------------------------------------------------------------------
 

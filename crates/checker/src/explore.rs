@@ -46,13 +46,14 @@ use crate::pass::{Pass, PassSet};
 use crate::strategy::{DepTrace, Exhaustive, ObservedExec, ScheduleSpec, Strategy};
 use crate::telemetry::{self, RunTelemetry, TelemetrySink};
 use goose_rt::fault::{FaultPlan, NetFault, TornMode};
-use goose_rt::sched::{res, ModelRt, PanicKind, StepAccess, StepResult, Tid};
+use goose_rt::sched::{quiet_worker_panics, res, ModelRt, PanicKind, StepAccess, StepResult, Tid};
 use parking_lot::Mutex;
 use perennial::{Ghost, GhostError};
 use perennial_spec::SpecTS;
+use serde_json::Value;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -103,6 +104,30 @@ pub struct CheckConfig {
     /// Print a progress line to stderr every N completed executions
     /// (`0` = off, the default) so long sweeps are observable live.
     pub progress_every: u64,
+    /// Shard assignment `(i, n)`: this run owns only the job keys whose
+    /// [`shard_of`] hash lands on shard `i` of `n`. Derivation-spine
+    /// executions (schedule phase, probes, and the first-level crash
+    /// sweep when the nested sweep is on) still run in every shard so
+    /// every shard enumerates the identical job space, but they are
+    /// *counted* only by their owner — `merge_reports` over all `n`
+    /// shards reproduces the unsharded report (DESIGN.md §13). Sharded
+    /// runs imply `keep_going` semantics so shard statistics are exactly
+    /// summable.
+    pub shard: Option<(u32, u32)>,
+    /// Resume checkpoint: a telemetry JSONL file from a previous
+    /// (possibly killed) run of the same scenario + config, replayed as
+    /// a write-ahead log. Completed sweep-phase executions (`exec_done`
+    /// records with outcome `ok`) are skipped and their recorded
+    /// statistics reused; everything else re-runs. A torn final line
+    /// (SIGKILL mid-write) is tolerated. A missing file is a cold
+    /// start, and a config-mismatched WAL is ignored with a warning.
+    pub resume_from: Option<PathBuf>,
+    /// Hard cap on executions this run may schedule (0 = unlimited).
+    /// Applied by truncating job lists in canonical order, so the cap
+    /// is deterministic across worker counts and shards; exhaustion
+    /// degrades to a partial report with an `incomplete` marker rather
+    /// than a panic.
+    pub exec_budget: u64,
 }
 
 impl Default for CheckConfig {
@@ -120,6 +145,9 @@ impl Default for CheckConfig {
             telemetry: None,
             telemetry_path: None,
             progress_every: 0,
+            shard: None,
+            resume_from: None,
+            exec_budget: 0,
         }
     }
 }
@@ -307,6 +335,39 @@ impl CheckConfigBuilder {
         self
     }
 
+    /// Runs only shard `i` of `n` of the deterministic job space (see
+    /// [`CheckConfig::shard`]). Panics if `i >= n` or `n == 0`.
+    pub fn shard(mut self, i: u32, n: u32) -> Self {
+        assert!(n > 0 && i < n, "shard {i}/{n} is not a valid assignment");
+        self.config.shard = Some((i, n));
+        self
+    }
+
+    /// Optional variant of [`Self::shard`] for flag plumbing.
+    pub fn shard_opt(mut self, shard: Option<(u32, u32)>) -> Self {
+        if let Some((i, n)) = shard {
+            assert!(n > 0 && i < n, "shard {i}/{n} is not a valid assignment");
+        }
+        self.config.shard = shard;
+        self
+    }
+
+    /// Resumes from a telemetry JSONL checkpoint (see
+    /// [`CheckConfig::resume_from`]). When this equals
+    /// [`CheckConfig::telemetry_path`] the stream is opened in append
+    /// mode so the same file keeps serving as the write-ahead log.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.resume_from = Some(path.into());
+        self
+    }
+
+    /// Caps scheduled executions (0 = unlimited); see
+    /// [`CheckConfig::exec_budget`].
+    pub fn exec_budget(mut self, n: u64) -> Self {
+        self.config.exec_budget = n;
+        self
+    }
+
     pub fn build(self) -> CheckConfig {
         self.config
     }
@@ -328,6 +389,16 @@ pub enum ExecOutcome {
     Deadlock,
     /// The harness's final predicate failed.
     FinalCheckFailed(String),
+    /// The execution exhausted its step budget (`max_steps`) without
+    /// finishing — a livelock or runaway loop. Carries the budget. The
+    /// watchdog is deterministic (step counts, not wall clock), so a
+    /// wedged execution wedges identically on replay.
+    Wedged(u64),
+    /// The harness itself (a controller-side hook: boot, crash_reset,
+    /// recovery construction, final_check) panicked. Isolated by
+    /// `catch_unwind` and recorded as an outcome so one broken scenario
+    /// cannot poison a campaign.
+    HarnessPanic(String),
 }
 
 impl ExecOutcome {
@@ -428,12 +499,36 @@ pub struct CheckReport {
     /// Coverage accounting: sweep spaces exercised vs. enumerable, and
     /// distinct ghost-trace fingerprints seen.
     pub coverage: Coverage,
+    /// Shard assignment this report covers (`None` = the whole space).
+    pub shard: Option<(u32, u32)>,
+    /// Executions satisfied from the resume WAL instead of re-run.
+    /// Excluded from the report fingerprint: a resumed run and a cold
+    /// run must otherwise be identical.
+    pub replayed: u64,
+    /// Why the run degraded to a partial result (execution budget
+    /// exhausted, telemetry sink failures). Empty for a complete run;
+    /// [`CheckReport::passed`] is unaffected, but summaries carry an
+    /// explicit INCOMPLETE marker.
+    pub incomplete: Vec<String>,
+    /// The distinct crash points behind
+    /// [`Coverage::crash_points_exercised`] — kept as a set so shard
+    /// reports merge by union, not by sum.
+    pub crash_point_set: BTreeSet<u64>,
+    /// The distinct ghost-trace fingerprints behind
+    /// [`Coverage::distinct_traces`], kept for the same reason.
+    pub trace_fps: BTreeSet<u64>,
 }
 
 impl CheckReport {
     /// Whether every explored execution passed.
     pub fn passed(&self) -> bool {
         self.counterexample.is_none()
+    }
+
+    /// Whether the run degraded to a partial result (see
+    /// [`CheckReport::incomplete`]).
+    pub fn is_incomplete(&self) -> bool {
+        !self.incomplete.is_empty()
     }
 
     /// One-line summary.
@@ -443,9 +538,13 @@ impl CheckReport {
         } else {
             String::new()
         };
+        let shard = match self.shard {
+            Some((i, n)) => format!(" [shard {i}/{n}]"),
+            None => String::new(),
+        };
         format!(
             "{}: {} executions, {} steps, {} crashes over {} crash points{}, {} helped ops, \
-             {:.0} execs/s on {} workers — {}",
+             {:.0} execs/s on {} workers{} — {}{}",
             self.name,
             self.executions,
             self.total_steps,
@@ -455,7 +554,13 @@ impl CheckReport {
             self.helped_ops,
             self.execs_per_sec,
             self.workers,
-            if self.passed() { "PASS" } else { "FAIL" }
+            shard,
+            if self.passed() { "PASS" } else { "FAIL" },
+            if self.is_incomplete() {
+                " (INCOMPLETE)"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -575,6 +680,13 @@ struct RunResult {
 /// absolute grant counts and faults per `faults`. With `track_deps`, the
 /// runtime records each grant's dependency footprint and the result
 /// carries a [`DepTrace`] for partial-order reduction.
+///
+/// The execution is **isolated**: the harness body runs under
+/// `catch_unwind`, so a panicking harness hook becomes an
+/// [`ExecOutcome::HarnessPanic`] outcome instead of killing the worker,
+/// and any virtual threads a failed or panicked execution left parked
+/// are unwound and joined before returning (no OS-thread leaks across a
+/// long keep-going campaign).
 fn run_one<S: SpecTS, H: Harness<S>>(
     harness: &H,
     policy: Policy,
@@ -585,6 +697,65 @@ fn run_one<S: SpecTS, H: Harness<S>>(
     track_deps: bool,
 ) -> RunResult {
     let rt = ModelRt::with_faults(seed, max_steps, faults.clone());
+    let run_started = Instant::now();
+    let result = quiet_worker_panics(|| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_one_inner(harness, &rt, policy, crash_points, faults, track_deps)
+        }))
+    });
+    match result {
+        Ok(r) => {
+            if r.outcome.is_failure() {
+                // Deadlocked, wedged, or panicked executions leave
+                // virtual threads parked; reap them.
+                rt.crash_all();
+                rt.join_all();
+            }
+            r
+        }
+        Err(payload) => {
+            rt.crash_all();
+            rt.join_all();
+            let stats = rt.sched_stats();
+            RunResult {
+                outcome: ExecOutcome::HarnessPanic(panic_message(payload)),
+                decisions: Vec::new(),
+                clamped: Vec::new(),
+                steps: stats.steps,
+                crashes: 0,
+                helped: 0,
+                disk_ops: stats.disk_ops,
+                net_msgs: stats.net_msgs,
+                lock_blocks: stats.lock_blocks,
+                trace_fp: trace_fingerprint(""),
+                duration: run_started.elapsed(),
+                trace: String::new(),
+                deps: None,
+            }
+        }
+    }
+}
+
+/// Renders an arbitrary unwind payload for the harness-panic outcome.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_one_inner<S: SpecTS, H: Harness<S>>(
+    harness: &H,
+    rt: &Arc<ModelRt>,
+    policy: Policy,
+    crash_points: &[u64],
+    faults: &FaultPlan,
+    track_deps: bool,
+) -> RunResult {
+    let rt = Arc::clone(rt);
     rt.set_track_deps(track_deps);
     let ghost = Ghost::new(harness.spec());
     let w = World {
@@ -756,6 +927,19 @@ fn run_one<S: SpecTS, H: Harness<S>>(
                     dep.take(),
                 );
             }
+            StepResult::Panicked(PanicKind::StepBudget(budget)) => {
+                // Deterministic stall watchdog: the execution burned its
+                // whole step budget without finishing.
+                return finish(
+                    ExecOutcome::Wedged(budget),
+                    &sched,
+                    steps,
+                    crashes,
+                    &rt,
+                    &ghost,
+                    dep.take(),
+                );
+            }
             StepResult::Panicked(PanicKind::CrashUnwind) => {
                 // Only reachable via crash_all, which we drive ourselves.
                 unreachable!("crash unwind surfaced outside crash injection");
@@ -797,6 +981,18 @@ fn exec_seed(base: u64, rank: u8, index: u64) -> u64 {
     splitmix(splitmix(base ^ (rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ index)
 }
 
+/// Deterministic shard assignment for a job key: a splitmix hash of
+/// `(rank, index)` reduced mod `n`. Pure function of the key, so every
+/// process — and every worker count — agrees on who owns which job
+/// (DESIGN.md §13).
+pub fn shard_of(key: (u8, u64), n: u32) -> u32 {
+    if n <= 1 {
+        return 0;
+    }
+    let mixed = splitmix(((key.0 as u64) << 56) ^ key.1.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    (mixed % n as u64) as u32
+}
+
 enum JobKind {
     /// One `run_one` execution.
     Single,
@@ -827,6 +1023,11 @@ struct Job {
     /// The fault plan injected into this job's execution.
     faults: FaultPlan,
     kind: JobKind,
+    /// Whether later job derivation depends on this execution's result
+    /// (horizon probes). Probes run in every shard — a shard that
+    /// skipped them could not enumerate the same downstream job keys —
+    /// but are counted only by their owner.
+    probe: bool,
 }
 
 impl Job {
@@ -840,6 +1041,7 @@ impl Job {
             swept: 0,
             faults: FaultPlan::default(),
             kind: JobKind::Single,
+            probe: false,
         }
     }
 }
@@ -898,6 +1100,42 @@ struct JobOutcome {
     /// Dependency observations (DPOR-tracked jobs only).
     deps: Option<DepTrace>,
     cx: Option<Counterexample>,
+    /// Whether this shard owns the job key. Spine executions (schedule
+    /// phase, probes) run everywhere but count toward statistics and
+    /// counterexample selection only in the owning shard, which is what
+    /// makes shard reports exactly summable.
+    counted: bool,
+}
+
+/// Per-run exploration context: shard ownership and the WAL replay map.
+struct ExploreCtx {
+    shard: Option<(u32, u32)>,
+    /// Completed `ok` executions from the resume WAL, keyed by job key.
+    replay: BTreeMap<JobKey, telemetry::WalExec>,
+    /// Whether the nested crash sweep is enabled (it promotes the
+    /// first-level crash sweep into the derivation spine: nested job
+    /// enumeration needs every rank-3 step count).
+    nested_on: bool,
+    /// Executions satisfied from the WAL instead of run.
+    replayed: AtomicU64,
+}
+
+impl ExploreCtx {
+    fn owns(&self, key: JobKey) -> bool {
+        match self.shard {
+            None => true,
+            Some((i, n)) => shard_of(key, n) == i,
+        }
+    }
+
+    /// Whether every shard must *execute* this job even when it does
+    /// not own it: its result feeds deterministic job derivation or
+    /// strategy feedback, which must be identical across shards.
+    fn is_spine(&self, job: &Job) -> bool {
+        job.probe
+            || matches!(job.pass, Pass::Dfs | Pass::Random)
+            || (job.pass == Pass::CrashSweep && self.nested_on)
+    }
 }
 
 /// Shared cancellation state: the minimum-key counterexample found so
@@ -974,6 +1212,9 @@ fn make_counterexample(
 
 /// Builds a [`JobOutcome`] from one finished execution and emits its
 /// telemetry (`exec_done`, live counters, optional `counterexample`).
+/// The `exec_done` record doubles as the resume WAL entry, so it
+/// carries everything a replayed outcome needs (helped ops and probe
+/// horizons included).
 #[allow(clippy::too_many_arguments)]
 fn finish_execution(
     r: &RunResult,
@@ -985,21 +1226,25 @@ fn finish_execution(
     faults: &FaultPlan,
     keep_decisions: bool,
     telem: &RunTelemetry,
+    counted: bool,
 ) -> JobOutcome {
     let kind = OutcomeKind::of(&r.outcome);
-    telem.emit(&telemetry::ev_exec_done(
+    telem.emit(&telemetry::ev_exec_done(&telemetry::ExecEvent {
         pass,
-        key.1,
+        index: key.1,
         seed,
-        kind,
-        r.steps,
-        r.decisions.len() as u64,
-        r.crashes as u64,
-        r.lock_blocks,
-        r.trace_fp,
-        &faults.compact(),
-        r.duration,
-    ));
+        outcome: kind,
+        steps: r.steps,
+        depth: r.decisions.len() as u64,
+        crashes: r.crashes as u64,
+        helped: r.helped,
+        lock_blocks: r.lock_blocks,
+        disk_ops: r.disk_ops,
+        net_msgs: r.net_msgs,
+        trace_fp: r.trace_fp,
+        faults: &faults.compact(),
+        duration: r.duration,
+    }));
     telem.exec_finished(r.steps, r.outcome.is_failure());
     JobOutcome {
         key,
@@ -1024,81 +1269,159 @@ fn finish_execution(
         },
         deps: r.deps.clone(),
         cx: None,
+        counted,
     }
 }
 
-/// Runs one job (one or two executions) and produces its outcomes.
+/// Synthesizes a [`JobOutcome`] from a WAL record instead of running
+/// the execution. Only `ok` records are replayable, and every field
+/// below is either deterministic job metadata or a recorded
+/// deterministic statistic, so a resumed run aggregates to the same
+/// report as a cold one. Emits no telemetry: the record is already in
+/// the WAL.
+fn replayed_outcome(
+    key: JobKey,
+    pass: Pass,
+    w: &telemetry::WalExec,
+    crash_points: Vec<u64>,
+    swept: usize,
+    faults: &FaultPlan,
+    counted: bool,
+) -> JobOutcome {
+    JobOutcome {
+        key,
+        pass,
+        steps: w.steps,
+        crashes: w.crashes as usize,
+        helped: w.helped,
+        swept,
+        plans: usize::from(!faults.is_empty()),
+        family: FaultFamily::of(faults),
+        disk_ops: w.disk_ops,
+        net_msgs: w.net_msgs,
+        kind: OutcomeKind::Ok,
+        depth: w.depth,
+        crash_points,
+        trace_fp: w.trace_fp,
+        duration: Duration::ZERO,
+        decisions: Vec::new(),
+        deps: None,
+        cx: None,
+        counted,
+    }
+}
+
+/// Runs one job (one or two executions) and produces its outcomes,
+/// applying shard ownership (skip leaf jobs other shards own; run but
+/// don't count spine jobs) and the WAL replay map (skip sweep-phase
+/// executions the checkpoint already completed).
 fn execute_job<S: SpecTS, H: Harness<S>>(
     harness: &H,
     config: &CheckConfig,
     cancel: &Cancel,
     telem: &RunTelemetry,
+    ctx: &ExploreCtx,
     job: &Job,
 ) -> Vec<JobOutcome> {
+    let owned = ctx.owns(job.key);
+    let paired = matches!(job.kind, JobKind::ProbeThenCrash);
+    let crash_key = (Pass::RandomCrash.rank(), job.key.1);
+    // A random-crash probe must also run when this shard owns only the
+    // derived crash half: the crash point is a function of the probe's
+    // horizon.
+    let crash_owned = paired && ctx.owns(crash_key);
+    if !owned && !crash_owned && !ctx.is_spine(job) {
+        return Vec::new();
+    }
     if !cancel.should_run(job.key) {
         return Vec::new();
     }
     let (rank, index) = job.key;
     let seed = exec_seed(config.seed, rank, index);
-    let (policy, keep_decisions) = match &job.policy {
-        PolicySpec::Dfs { prefix, .. } => (Policy::DfsPrefix(prefix.clone()), true),
-        PolicySpec::RoundRobin => (Policy::RoundRobin, false),
-        PolicySpec::Random { prefix } => (
-            Policy::Random {
-                seed,
-                prefix: prefix.clone(),
-            },
-            // The coverage strategy feeds on random-pass decision paths;
-            // the random-crash probes (rank 5) don't need them.
-            job.pass == Pass::Random,
-        ),
-    };
-    let track = matches!(
-        &job.policy,
-        PolicySpec::Dfs {
-            track_deps: true,
-            ..
-        }
-    );
-    let r = run_one(
-        harness,
-        policy,
-        &job.crash_points,
-        &job.faults,
-        seed,
-        config.max_steps,
-        track,
-    );
 
-    let mut out = finish_execution(
-        &r,
-        job.key,
-        job.pass,
-        seed,
-        job.crash_points.clone(),
-        job.swept,
-        &job.faults,
-        keep_decisions,
-        telem,
-    );
-    if r.outcome.is_failure() {
-        let prefix = match &job.policy {
-            PolicySpec::Dfs { prefix, .. } => prefix.clone(),
-            PolicySpec::Random { prefix } => prefix.clone(),
-            PolicySpec::RoundRobin => Vec::new(),
-        };
-        let cx = make_counterexample(
-            &r,
+    // Schedule-phase executions (ranks 0-1) always run live — the
+    // strategy needs their decision paths and dependency traces for
+    // feedback; everything from the crash-sweep base up is replayable.
+    let replayable = rank >= Pass::CrashSweepBase.rank();
+
+    let mut first_failed = false;
+    let out = if replayable && ctx.replay.contains_key(&job.key) {
+        ctx.replayed.fetch_add(1, Ordering::Relaxed);
+        replayed_outcome(
+            job.key,
             job.pass,
-            index,
-            seed,
-            prefix,
+            &ctx.replay[&job.key],
             job.crash_points.clone(),
-            job.faults.clone(),
+            job.swept,
+            &job.faults,
+            owned,
+        )
+    } else {
+        let (policy, keep_decisions) = match &job.policy {
+            PolicySpec::Dfs { prefix, .. } => (Policy::DfsPrefix(prefix.clone()), true),
+            PolicySpec::RoundRobin => (Policy::RoundRobin, false),
+            PolicySpec::Random { prefix } => (
+                Policy::Random {
+                    seed,
+                    prefix: prefix.clone(),
+                },
+                // The coverage strategy feeds on random-pass decision
+                // paths; the random-crash probes (rank 5) don't need
+                // them.
+                job.pass == Pass::Random,
+            ),
+        };
+        let track = matches!(
+            &job.policy,
+            PolicySpec::Dfs {
+                track_deps: true,
+                ..
+            }
         );
-        telem.emit(&telemetry::ev_counterexample(&cx));
-        out.cx = Some(cx);
-        cancel.offer(job.key);
+        let r = run_one(
+            harness,
+            policy,
+            &job.crash_points,
+            &job.faults,
+            seed,
+            config.max_steps,
+            track,
+        );
+        let mut out = finish_execution(
+            &r,
+            job.key,
+            job.pass,
+            seed,
+            job.crash_points.clone(),
+            job.swept,
+            &job.faults,
+            keep_decisions,
+            telem,
+            owned,
+        );
+        if r.outcome.is_failure() {
+            first_failed = true;
+            let prefix = match &job.policy {
+                PolicySpec::Dfs { prefix, .. } => prefix.clone(),
+                PolicySpec::Random { prefix } => prefix.clone(),
+                PolicySpec::RoundRobin => Vec::new(),
+            };
+            let cx = make_counterexample(
+                &r,
+                job.pass,
+                index,
+                seed,
+                prefix,
+                job.crash_points.clone(),
+                job.faults.clone(),
+            );
+            telem.emit(&telemetry::ev_counterexample(&cx));
+            out.cx = Some(cx);
+            cancel.offer(job.key);
+        }
+        out
+    };
+    if first_failed {
         return vec![out];
     }
 
@@ -1108,12 +1431,24 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
             // The probe succeeded: rerun the same schedule with one
             // crash point derived from the probe's horizon. The crash
             // run reuses the probe's seed so the schedule replays.
-            let crash_key = (Pass::RandomCrash.rank(), index);
-            if !cancel.should_run(crash_key) {
+            if !crash_owned || !cancel.should_run(crash_key) {
                 return vec![out];
             }
-            let horizon = r.steps.max(1);
+            let horizon = out.steps.max(1);
             let k = splitmix(seed) % horizon;
+            if let Some(w) = ctx.replay.get(&crash_key) {
+                ctx.replayed.fetch_add(1, Ordering::Relaxed);
+                let out2 = replayed_outcome(
+                    crash_key,
+                    Pass::RandomCrash,
+                    w,
+                    vec![k],
+                    1,
+                    &job.faults,
+                    true,
+                );
+                return vec![out, out2];
+            }
             let r2 = run_one(
                 harness,
                 Policy::Random {
@@ -1136,6 +1471,7 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
                 &job.faults,
                 false,
                 telem,
+                true,
             );
             if r2.outcome.is_failure() {
                 let cx = make_counterexample(
@@ -1163,6 +1499,7 @@ fn run_wave<S: SpecTS, H: Harness<S>>(
     config: &CheckConfig,
     cancel: &Cancel,
     telem: &RunTelemetry,
+    ctx: &ExploreCtx,
     workers: usize,
     jobs: &[Job],
 ) -> Vec<JobOutcome> {
@@ -1170,7 +1507,7 @@ fn run_wave<S: SpecTS, H: Harness<S>>(
     if workers == 1 {
         return jobs
             .iter()
-            .flat_map(|job| execute_job(harness, config, cancel, telem, job))
+            .flat_map(|job| execute_job(harness, config, cancel, telem, ctx, job))
             .collect();
     }
 
@@ -1184,7 +1521,7 @@ fn run_wave<S: SpecTS, H: Harness<S>>(
                 if i >= jobs.len() {
                     break;
                 }
-                let outs = execute_job(harness, config, cancel, telem, &jobs[i]);
+                let outs = execute_job(harness, config, cancel, telem, ctx, &jobs[i]);
                 *slots[i].lock() = outs;
             });
         }
@@ -1195,15 +1532,143 @@ fn run_wave<S: SpecTS, H: Harness<S>>(
         .collect()
 }
 
+/// Deterministic execution-budget gate: admits job waves in canonical
+/// order until [`CheckConfig::exec_budget`] executions have been
+/// *enumerated* (owned or not, replayed or not — so the gate closes at
+/// the same job across shards and resumes), then truncates.
+struct BudgetGate {
+    limit: u64,
+    used: u64,
+    exhausted: bool,
+}
+
+impl BudgetGate {
+    fn new(limit: u64) -> Self {
+        BudgetGate {
+            limit,
+            used: 0,
+            exhausted: false,
+        }
+    }
+
+    fn open(&self) -> bool {
+        !self.exhausted
+    }
+
+    /// Truncates `jobs` to the remaining budget (a probe-then-crash job
+    /// costs two executions); marks the gate exhausted on truncation.
+    fn admit(&mut self, mut jobs: Vec<Job>) -> Vec<Job> {
+        if self.limit == 0 {
+            return jobs;
+        }
+        let mut kept = 0;
+        for job in &jobs {
+            let cost = match job.kind {
+                JobKind::Single => 1,
+                JobKind::ProbeThenCrash => 2,
+            };
+            if self.used + cost > self.limit {
+                break;
+            }
+            self.used += cost;
+            kept += 1;
+        }
+        if kept < jobs.len() {
+            self.exhausted = true;
+            jobs.truncate(kept);
+        }
+        jobs
+    }
+}
+
+/// Whether a WAL's `run_start` record matches the resuming
+/// configuration. Workers are excluded (reports are worker-count
+/// independent); everything else — seed, budgets, passes, strategy,
+/// shard — must agree, or replayed statistics would be lies.
+fn wal_matches_config(stored: &Value, name: &str, config: &CheckConfig) -> bool {
+    let mut want = telemetry::ev_run_start(name, config, 0);
+    let mut got = stored.clone();
+    for v in [&mut want, &mut got] {
+        if let Value::Object(m) = v {
+            m.remove("workers");
+        }
+    }
+    want == got
+}
+
+/// Loads the resume WAL, if configured. Any problem — unreadable file,
+/// config mismatch — degrades to a cold start with a warning rather
+/// than failing the run: a campaign must make progress even when its
+/// checkpoint is useless.
+fn load_wal(name: &str, config: &CheckConfig) -> BTreeMap<JobKey, telemetry::WalExec> {
+    let Some(path) = &config.resume_from else {
+        return BTreeMap::new();
+    };
+    let wal = match telemetry::read_wal(path, name) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!(
+                "[checker] {name}: cannot read WAL {}: {e}; starting cold",
+                path.display()
+            );
+            return BTreeMap::new();
+        }
+    };
+    match &wal.run_start {
+        Some(rs) if wal_matches_config(rs, name, config) => {
+            if wal.torn_lines > 0 {
+                eprintln!(
+                    "[checker] {name}: WAL {}: dropped {} torn line(s)",
+                    path.display(),
+                    wal.torn_lines
+                );
+            }
+            wal.completed
+        }
+        Some(_) => {
+            eprintln!(
+                "[checker] {name}: WAL {} was written by a different configuration; starting cold",
+                path.display()
+            );
+            BTreeMap::new()
+        }
+        None => {
+            if wal.runs_started + wal.torn_lines + wal.completed.len() as u64 > 0 {
+                eprintln!(
+                    "[checker] {name}: WAL {} has no usable run_start record; starting cold",
+                    path.display()
+                );
+            }
+            BTreeMap::new()
+        }
+    }
+}
+
 /// Runs all configured exploration passes over a scenario, dispatching
 /// executions across [`CheckConfig::workers`] threads. See the module
 /// docs for the determinism contract.
 pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> CheckReport {
     let start = Instant::now();
     let workers = config.effective_workers();
+    let mut incomplete: Vec<String> = Vec::new();
+    let replay = load_wal(harness.name(), config);
+    let ctx = ExploreCtx {
+        shard: config.shard,
+        replay,
+        nested_on: config.passes.contains(Pass::NestedCrash),
+        replayed: AtomicU64::new(0),
+    };
+    let mut budget = BudgetGate::new(config.exec_budget);
     let telem = RunTelemetry::new(harness.name(), config);
+    if let Some(e) = &telem.open_error {
+        incomplete.push(format!("telemetry degraded: {e}"));
+    }
     telem.emit(&telemetry::ev_run_start(harness.name(), config, workers));
-    let cancel = Cancel::new(config.keep_going);
+    // Sharded runs force keep-going semantics: a cutoff chosen inside
+    // one shard would depend on which jobs that shard owns, and shard
+    // statistics must be exactly summable by `merge_reports`.
+    let keep_going = config.keep_going || config.shard.is_some();
+    let cancel = Cancel::new(keep_going);
     let mut outcomes: Vec<JobOutcome> = Vec::new();
     // Enumerable sweep spaces, recorded as each pass derives its job
     // list (deterministic: job derivation is probe-driven, not timed).
@@ -1222,7 +1687,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     let mut session = config.strategy.session(config);
     let mut announced = PassSet::empty();
     let mut next_index: BTreeMap<u8, u64> = BTreeMap::new();
-    while !cancel.cancelled() {
+    while !cancel.cancelled() && budget.open() {
         let Some(wave) = session.next_wave() else {
             break;
         };
@@ -1250,8 +1715,9 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                 Job::plain(key, pass, policy)
             })
             .collect();
+        let jobs = budget.admit(jobs);
         next_index.insert(pass.rank(), first + jobs.len() as u64);
-        let outs = run_wave(harness, config, &cancel, &telem, workers, &jobs);
+        let outs = run_wave(harness, config, &cancel, &telem, &ctx, workers, &jobs);
         let observed: Vec<ObservedExec> = outs
             .iter()
             .map(|o| ObservedExec {
@@ -1263,30 +1729,42 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
             })
             .collect();
         outcomes.extend(outs);
-        if !config.keep_going && cancel.any_failure() {
+        if !keep_going && cancel.any_failure() {
             // Break *before* observing: the failing wave may be partial
             // (later jobs skipped), and partial feedback would make
             // strategy state depend on worker timing.
+            break;
+        }
+        if !budget.open() {
+            // A budget-truncated wave is run (its executions were paid
+            // for) but never observed: feedback from a partial wave
+            // would make strategy state depend on where the budget
+            // landed rather than on canonical job order.
             break;
         }
         session.observe(pass, &observed);
     }
 
     // Passes 2-4: systematic crash sweep on the round-robin schedule.
-    if config.passes.contains(Pass::CrashSweep) && !cancel.cancelled() {
+    if config.passes.contains(Pass::CrashSweep) && !cancel.cancelled() && budget.open() {
         pass_start(Pass::CrashSweepBase);
-        // Rank 2: discover the crash-free horizon first.
-        let base_jobs = vec![Job::plain(
-            (Pass::CrashSweepBase.rank(), 0),
-            Pass::CrashSweepBase,
-            PolicySpec::RoundRobin,
-        )];
-        let base = run_wave(harness, config, &cancel, &telem, workers, &base_jobs);
+        // Rank 2: discover the crash-free horizon first. The probe is
+        // derivation spine: every shard runs it (only the owner counts
+        // it), because the rank-3 job list depends on its step count.
+        let base_jobs = budget.admit(vec![Job {
+            probe: true,
+            ..Job::plain(
+                (Pass::CrashSweepBase.rank(), 0),
+                Pass::CrashSweepBase,
+                PolicySpec::RoundRobin,
+            )
+        }]);
+        let base = run_wave(harness, config, &cancel, &telem, &ctx, workers, &base_jobs);
         let horizon = base.first().map_or(0, |o| o.steps);
         outcomes.extend(base);
 
         // Rank 3: one crash at every grant count up to the horizon.
-        if !cancel.cancelled() {
+        if !cancel.cancelled() && budget.open() {
             pass_start(Pass::CrashSweep);
             coverage.crash_points_enumerable = horizon;
             let jobs: Vec<Job> = (0..horizon)
@@ -1300,11 +1778,12 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                     )
                 })
                 .collect();
-            let sweep = run_wave(harness, config, &cancel, &telem, workers, &jobs);
+            let jobs = budget.admit(jobs);
+            let sweep = run_wave(harness, config, &cancel, &telem, &ctx, workers, &jobs);
 
             // Rank 4: a second crash inside each recovery, generated in
             // deterministic (k, m) order from the sweep's step counts.
-            if config.passes.contains(Pass::NestedCrash) && !cancel.cancelled() {
+            if config.passes.contains(Pass::NestedCrash) && !cancel.cancelled() && budget.open() {
                 pass_start(Pass::NestedCrash);
                 let mut nested: Vec<Job> = Vec::new();
                 let mut index: u64 = 0;
@@ -1324,8 +1803,11 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                         index += 1;
                     }
                 }
+                let nested = budget.admit(nested);
                 outcomes.extend(sweep);
-                outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &nested));
+                outcomes.extend(run_wave(
+                    harness, config, &cancel, &telem, &ctx, workers, &nested,
+                ));
             } else {
                 outcomes.extend(sweep);
             }
@@ -1334,7 +1816,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
 
     // Passes 5-6: random schedules with a random crash point each (probe
     // + crash run are one job; the crash run reuses the probe's seed).
-    if config.passes.contains(Pass::RandomCrash) && !cancel.cancelled() {
+    if config.passes.contains(Pass::RandomCrash) && !cancel.cancelled() && budget.open() {
         pass_start(Pass::RandomCrashProbe);
         let jobs: Vec<Job> = (0..config.random_crash_samples as u64)
             .map(|i| Job {
@@ -1346,7 +1828,10 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                 )
             })
             .collect();
-        outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
+        let jobs = budget.admit(jobs);
+        outcomes.extend(run_wave(
+            harness, config, &cancel, &telem, &ctx, workers, &jobs,
+        ));
     }
 
     // Passes 7-9: deterministic fault-injection sweeps. Each pass probes
@@ -1363,26 +1848,20 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     if config.passes.contains(Pass::DiskFault)
         && (surface.transient_disk_io || surface.two_disk)
         && !cancel.cancelled()
+        && budget.open()
     {
         let rank = Pass::DiskFault.rank();
         pass_start(Pass::DiskFault);
-        let probe = run_wave(
-            harness,
-            config,
-            &cancel,
-            &telem,
-            workers,
-            &[Job::plain(
-                (rank, 0),
-                Pass::DiskFault,
-                PolicySpec::RoundRobin,
-            )],
-        );
+        let probe_jobs = budget.admit(vec![Job {
+            probe: true,
+            ..Job::plain((rank, 0), Pass::DiskFault, PolicySpec::RoundRobin)
+        }]);
+        let probe = run_wave(harness, config, &cancel, &telem, &ctx, workers, &probe_jobs);
         let horizon = probe.first().map_or(0, |o| o.steps);
         let disk_ops = probe.first().map_or(0, |o| o.disk_ops);
         outcomes.extend(probe);
 
-        if !cancel.cancelled() {
+        if !cancel.cancelled() && budget.open() {
             let mut jobs: Vec<Job> = Vec::new();
             let mut index: u64 = 1;
             if surface.transient_disk_io {
@@ -1412,23 +1891,35 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                 }
             }
             coverage.disk_fault_plans_enumerable += jobs.len() as u64;
-            outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
+            let jobs = budget.admit(jobs);
+            outcomes.extend(run_wave(
+                harness, config, &cancel, &telem, &ctx, workers, &jobs,
+            ));
 
             // Disk failure *during recovery*: probe one mid-schedule
             // crash to learn the recovery horizon, then fail each disk
             // at every post-crash grant count.
-            if surface.two_disk && horizon > 0 && !cancel.cancelled() {
+            if surface.two_disk && horizon > 0 && !cancel.cancelled() && budget.open() {
                 let k = horizon / 2;
-                let probe2_jobs = vec![Job {
+                let probe2_jobs = budget.admit(vec![Job {
                     crash_points: vec![k],
                     swept: 1,
+                    probe: true,
                     ..Job::plain((rank, index), Pass::DiskFault, PolicySpec::RoundRobin)
-                }];
+                }]);
                 index += 1;
-                let probe2 = run_wave(harness, config, &cancel, &telem, workers, &probe2_jobs);
+                let probe2 = run_wave(
+                    harness,
+                    config,
+                    &cancel,
+                    &telem,
+                    &ctx,
+                    workers,
+                    &probe2_jobs,
+                );
                 let h2 = probe2.first().map_or(0, |o| o.steps);
                 outcomes.extend(probe2);
-                if !cancel.cancelled() {
+                if !cancel.cancelled() && budget.open() {
                     let mut jobs: Vec<Job> = Vec::new();
                     for g in k + 1..h2 {
                         for d in [1u8, 2u8] {
@@ -1446,7 +1937,10 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                         }
                     }
                     coverage.disk_fault_plans_enumerable += jobs.len() as u64;
-                    outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
+                    let jobs = budget.admit(jobs);
+                    outcomes.extend(run_wave(
+                        harness, config, &cancel, &telem, &ctx, workers, &jobs,
+                    ));
                 }
             }
         }
@@ -1456,25 +1950,22 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     // schedule, crashes that persist none or a pseudo-random subset of
     // the unflushed write buffer (persisting *all* of it is exactly the
     // plain crash sweep).
-    if config.passes.contains(Pass::TornWrite) && surface.torn_writes && !cancel.cancelled() {
+    if config.passes.contains(Pass::TornWrite)
+        && surface.torn_writes
+        && !cancel.cancelled()
+        && budget.open()
+    {
         let rank = Pass::TornWrite.rank();
         pass_start(Pass::TornWrite);
-        let probe = run_wave(
-            harness,
-            config,
-            &cancel,
-            &telem,
-            workers,
-            &[Job::plain(
-                (rank, 0),
-                Pass::TornWrite,
-                PolicySpec::RoundRobin,
-            )],
-        );
+        let probe_jobs = budget.admit(vec![Job {
+            probe: true,
+            ..Job::plain((rank, 0), Pass::TornWrite, PolicySpec::RoundRobin)
+        }]);
+        let probe = run_wave(harness, config, &cancel, &telem, &ctx, workers, &probe_jobs);
         let horizon = probe.first().map_or(0, |o| o.steps);
         outcomes.extend(probe);
 
-        if !cancel.cancelled() {
+        if !cancel.cancelled() && budget.open() {
             const MODES: [TornMode; 3] =
                 [TornMode::KeepNone, TornMode::Subset(0), TornMode::Subset(1)];
             let jobs: Vec<Job> = (0..horizon)
@@ -1498,31 +1989,28 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                 })
                 .collect();
             coverage.torn_plans_enumerable += jobs.len() as u64;
-            outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
+            let jobs = budget.admit(jobs);
+            outcomes.extend(run_wave(
+                harness, config, &cancel, &telem, &ctx, workers, &jobs,
+            ));
         }
     }
 
     // Pass 9: network-fault sweep — drop, duplicate, or delay each
     // message of the baseline schedule, one fault per execution.
-    if config.passes.contains(Pass::NetFault) && surface.net && !cancel.cancelled() {
+    if config.passes.contains(Pass::NetFault) && surface.net && !cancel.cancelled() && budget.open()
+    {
         let rank = Pass::NetFault.rank();
         pass_start(Pass::NetFault);
-        let probe = run_wave(
-            harness,
-            config,
-            &cancel,
-            &telem,
-            workers,
-            &[Job::plain(
-                (rank, 0),
-                Pass::NetFault,
-                PolicySpec::RoundRobin,
-            )],
-        );
+        let probe_jobs = budget.admit(vec![Job {
+            probe: true,
+            ..Job::plain((rank, 0), Pass::NetFault, PolicySpec::RoundRobin)
+        }]);
+        let probe = run_wave(harness, config, &cancel, &telem, &ctx, workers, &probe_jobs);
         let net_msgs = probe.first().map_or(0, |o| o.net_msgs);
         outcomes.extend(probe);
 
-        if !cancel.cancelled() {
+        if !cancel.cancelled() && budget.open() {
             const FAULTS: [NetFault; 3] = [NetFault::Drop, NetFault::Duplicate, NetFault::Delay];
             let jobs: Vec<Job> = (0..net_msgs)
                 .flat_map(|m| {
@@ -1541,18 +2029,26 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
                 })
                 .collect();
             coverage.net_plans_enumerable += jobs.len() as u64;
-            outcomes.extend(run_wave(harness, config, &cancel, &telem, workers, &jobs));
+            let jobs = budget.admit(jobs);
+            outcomes.extend(run_wave(
+                harness, config, &cancel, &telem, &ctx, workers, &jobs,
+            ));
         }
     }
 
     // Aggregate. Without keep_going, statistics and counterexamples are
     // restricted to jobs at or below the winning key — exactly the set a
     // canonical-order sequential run would have executed — which makes
-    // the whole report worker-count independent.
-    let mut counterexamples: Vec<Counterexample> =
-        outcomes.iter().filter_map(|o| o.cx.clone()).collect();
+    // the whole report worker-count independent. Sharded runs count only
+    // owned outcomes (spine jobs executed for derivation are excluded),
+    // so summing shard reports reproduces the unsharded totals.
+    let mut counterexamples: Vec<Counterexample> = outcomes
+        .iter()
+        .filter(|o| o.counted)
+        .filter_map(|o| o.cx.clone())
+        .collect();
     counterexamples.sort_by_key(|cx| cx.key());
-    let cutoff = if config.keep_going {
+    let cutoff = if keep_going {
         None
     } else {
         counterexamples.first().map(|cx| cx.key())
@@ -1570,7 +2066,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     let mut crash_point_set: BTreeSet<u64> = BTreeSet::new();
     let mut trace_set: BTreeSet<u64> = BTreeSet::new();
     for out in &outcomes {
-        if cutoff.is_some_and(|cut| out.key > cut) {
+        if !out.counted || cutoff.is_some_and(|cut| out.key > cut) {
             continue;
         }
         report.executions += 1;
@@ -1607,6 +2103,8 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     }
     coverage.crash_points_exercised = crash_point_set.len() as u64;
     coverage.distinct_traces = trace_set.len() as u64;
+    report.crash_point_set = crash_point_set;
+    report.trace_fps = trace_set;
     report.per_pass = per_pass.into_values().collect();
     report.coverage = coverage;
     report.strategy = config.strategy.name().to_string();
@@ -1622,6 +2120,18 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     }
     report.counterexample = counterexamples.first().cloned();
     report.counterexamples = counterexamples;
+    report.shard = config.shard;
+    report.replayed = ctx.replayed.load(Ordering::Relaxed);
+    if !budget.open() {
+        incomplete.push(format!(
+            "execution budget of {} exhausted; later jobs were skipped",
+            config.exec_budget
+        ));
+    }
+    if let Some(e) = telem.stream_error() {
+        incomplete.push(format!("telemetry stream error: {e}"));
+    }
+    report.incomplete = incomplete;
     report.wall_time = start.elapsed();
     report.execs_per_sec = report.executions as f64 / report.wall_time.as_secs_f64().max(1e-9);
     telem.emit(&telemetry::ev_run_end(&report));

@@ -106,3 +106,158 @@ pub trait Harness<S: SpecTS>: Sync {
         FaultSurface::none()
     }
 }
+
+/// Harness-fault mutant: wraps any scenario so that `crash_reset`
+/// panics. Scenario code — not the code under test — failing this way
+/// must not abort a campaign: the explorer isolates the panic and
+/// records the execution as [`crate::ExecOutcome::HarnessPanic`].
+pub struct PanicOnReset<H> {
+    pub inner: H,
+    pub name: String,
+}
+
+impl<H> PanicOnReset<H> {
+    pub fn new(name: impl Into<String>, inner: H) -> Self {
+        PanicOnReset {
+            inner,
+            name: name.into(),
+        }
+    }
+}
+
+struct PanicOnResetExec<S: SpecTS> {
+    inner: Box<dyn Execution<S>>,
+}
+
+impl<S: SpecTS> Execution<S> for PanicOnResetExec<S> {
+    fn boot(&mut self, w: &World<S>) {
+        self.inner.boot(w);
+    }
+
+    fn threads(&mut self, w: &World<S>) -> Vec<(String, ThreadBody)> {
+        self.inner.threads(w)
+    }
+
+    fn crash_reset(&mut self, _w: &World<S>) {
+        panic!("injected harness fault: crash_reset panics");
+    }
+
+    fn recovery(&mut self, w: &World<S>) -> ThreadBody {
+        self.inner.recovery(w)
+    }
+
+    fn after_recovery(&mut self, w: &World<S>) -> Vec<(String, ThreadBody)> {
+        self.inner.after_recovery(w)
+    }
+
+    fn final_check(&self, w: &World<S>) -> Result<(), String> {
+        self.inner.final_check(w)
+    }
+
+    fn inject_disk_failure(&mut self, w: &World<S>, disk: u8) {
+        self.inner.inject_disk_failure(w, disk);
+    }
+}
+
+impl<S: SpecTS, H: Harness<S>> Harness<S> for PanicOnReset<H> {
+    fn spec(&self) -> S {
+        self.inner.spec()
+    }
+
+    fn make(&self, w: &World<S>) -> Box<dyn Execution<S>> {
+        Box::new(PanicOnResetExec {
+            inner: self.inner.make(w),
+        })
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fault_surface(&self) -> FaultSurface {
+        self.inner.fault_surface()
+    }
+}
+
+/// Liveness mutant: wraps any scenario and adds one workload thread
+/// that spins on a lock forever. Every explored execution exhausts
+/// [`crate::CheckConfig::max_steps`] and is classified
+/// [`crate::ExecOutcome::Wedged`] — never a checker hang. Use with a
+/// small step budget: each wedged execution costs the full budget.
+pub struct SpinForever<H> {
+    pub inner: H,
+    pub name: String,
+}
+
+impl<H> SpinForever<H> {
+    pub fn new(name: impl Into<String>, inner: H) -> Self {
+        SpinForever {
+            inner,
+            name: name.into(),
+        }
+    }
+}
+
+struct SpinForeverExec<S: SpecTS> {
+    inner: Box<dyn Execution<S>>,
+}
+
+impl<S: SpecTS> Execution<S> for SpinForeverExec<S> {
+    fn boot(&mut self, w: &World<S>) {
+        self.inner.boot(w);
+    }
+
+    fn threads(&mut self, w: &World<S>) -> Vec<(String, ThreadBody)> {
+        use goose_rt::runtime::ModelRtExt;
+        let mut out = self.inner.threads(w);
+        let lock = w.rt.new_glock();
+        out.push((
+            "spinner".into(),
+            Box::new(move || loop {
+                lock.acquire();
+                lock.release();
+            }),
+        ));
+        out
+    }
+
+    fn crash_reset(&mut self, w: &World<S>) {
+        self.inner.crash_reset(w);
+    }
+
+    fn recovery(&mut self, w: &World<S>) -> ThreadBody {
+        self.inner.recovery(w)
+    }
+
+    fn after_recovery(&mut self, w: &World<S>) -> Vec<(String, ThreadBody)> {
+        self.inner.after_recovery(w)
+    }
+
+    fn final_check(&self, w: &World<S>) -> Result<(), String> {
+        self.inner.final_check(w)
+    }
+
+    fn inject_disk_failure(&mut self, w: &World<S>, disk: u8) {
+        self.inner.inject_disk_failure(w, disk);
+    }
+}
+
+impl<S: SpecTS, H: Harness<S>> Harness<S> for SpinForever<H> {
+    fn spec(&self) -> S {
+        self.inner.spec()
+    }
+
+    fn make(&self, w: &World<S>) -> Box<dyn Execution<S>> {
+        Box::new(SpinForeverExec {
+            inner: self.inner.make(w),
+        })
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fault_surface(&self) -> FaultSurface {
+        self.inner.fault_surface()
+    }
+}

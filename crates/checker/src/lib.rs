@@ -21,6 +21,7 @@
 //! observable events alone, as an independent cross-check of the
 //! commit-point instrumentation.
 
+pub mod campaign;
 pub mod explore;
 pub mod harness;
 pub mod linearize;
@@ -32,12 +33,15 @@ pub mod scenario;
 pub mod strategy;
 pub mod telemetry;
 
+pub use campaign::{
+    merge_reports, parse_shard, report_fingerprint, report_from_json, report_to_json,
+};
 pub use explore::{
-    check, replay, run_scenario, CheckConfig, CheckConfigBuilder, CheckReport, Counterexample,
-    ExecOutcome,
+    check, replay, run_scenario, shard_of, CheckConfig, CheckConfigBuilder, CheckReport,
+    Counterexample, ExecOutcome,
 };
 pub use goose_rt::fault::{FaultPlan, FaultSurface, IoError, IoResult, NetFault, TornMode};
-pub use harness::{Execution, Harness, ThreadBody, World};
+pub use harness::{Execution, Harness, PanicOnReset, SpinForever, ThreadBody, World};
 pub use linearize::{check_linearizable, HistOp, Verdict};
 pub use metrics::{
     trace_fingerprint, Coverage, Histogram, OutcomeCounts, OutcomeKind, PassMetrics,

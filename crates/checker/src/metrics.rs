@@ -14,7 +14,7 @@ use crate::pass::Pass;
 use std::fmt::Write as _;
 use std::time::Duration;
 
-/// The six ways an explored execution can end, as a flat tag (the
+/// The eight ways an explored execution can end, as a flat tag (the
 /// histogram key; [`ExecOutcome`] carries the full payload).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum OutcomeKind {
@@ -24,6 +24,8 @@ pub enum OutcomeKind {
     Bug,
     Deadlock,
     FinalCheckFailed,
+    Wedged,
+    HarnessPanic,
 }
 
 impl OutcomeKind {
@@ -36,6 +38,8 @@ impl OutcomeKind {
             ExecOutcome::Bug(_) => OutcomeKind::Bug,
             ExecOutcome::Deadlock => OutcomeKind::Deadlock,
             ExecOutcome::FinalCheckFailed(_) => OutcomeKind::FinalCheckFailed,
+            ExecOutcome::Wedged(_) => OutcomeKind::Wedged,
+            ExecOutcome::HarnessPanic(_) => OutcomeKind::HarnessPanic,
         }
     }
 
@@ -48,6 +52,8 @@ impl OutcomeKind {
             OutcomeKind::Bug => "bug",
             OutcomeKind::Deadlock => "deadlock",
             OutcomeKind::FinalCheckFailed => "final_check_failed",
+            OutcomeKind::Wedged => "wedged",
+            OutcomeKind::HarnessPanic => "harness_panic",
         }
     }
 }
@@ -61,6 +67,8 @@ pub struct OutcomeCounts {
     pub bug: u64,
     pub deadlock: u64,
     pub final_check_failed: u64,
+    pub wedged: u64,
+    pub harness_panic: u64,
 }
 
 impl OutcomeCounts {
@@ -72,7 +80,21 @@ impl OutcomeCounts {
             OutcomeKind::Bug => self.bug += 1,
             OutcomeKind::Deadlock => self.deadlock += 1,
             OutcomeKind::FinalCheckFailed => self.final_check_failed += 1,
+            OutcomeKind::Wedged => self.wedged += 1,
+            OutcomeKind::HarnessPanic => self.harness_panic += 1,
         }
+    }
+
+    /// Adds another tally into this one (shard-report merging).
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.ok += other.ok;
+        self.violation += other.violation;
+        self.ub += other.ub;
+        self.bug += other.bug;
+        self.deadlock += other.deadlock;
+        self.final_check_failed += other.final_check_failed;
+        self.wedged += other.wedged;
+        self.harness_panic += other.harness_panic;
     }
 
     pub fn total(&self) -> u64 {
@@ -81,11 +103,17 @@ impl OutcomeCounts {
 
     /// Executions that ended in any non-Ok outcome.
     pub fn failures(&self) -> u64 {
-        self.violation + self.ub + self.bug + self.deadlock + self.final_check_failed
+        self.violation
+            + self.ub
+            + self.bug
+            + self.deadlock
+            + self.final_check_failed
+            + self.wedged
+            + self.harness_panic
     }
 
     /// `(name, count)` pairs in canonical order, zeros included.
-    pub fn entries(&self) -> [(&'static str, u64); 6] {
+    pub fn entries(&self) -> [(&'static str, u64); 8] {
         [
             ("ok", self.ok),
             ("violation", self.violation),
@@ -93,6 +121,8 @@ impl OutcomeCounts {
             ("bug", self.bug),
             ("deadlock", self.deadlock),
             ("final_check_failed", self.final_check_failed),
+            ("wedged", self.wedged),
+            ("harness_panic", self.harness_panic),
         ]
     }
 
@@ -135,6 +165,36 @@ impl Histogram {
         self.count += 1;
         self.sum += v;
         self.max = self.max.max(v);
+    }
+
+    /// Merges another histogram into this one — bucket-wise addition,
+    /// so merging shard histograms equals the unsharded histogram
+    /// (shard-report merging, DESIGN.md §13).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Raw bucket counts (index = log2 bucket), for serialization.
+    pub fn raw_buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from its serialized parts.
+    pub fn from_parts(buckets: Vec<u64>, count: u64, sum: u64, max: u64) -> Self {
+        Histogram {
+            buckets,
+            count,
+            sum,
+            max,
+        }
     }
 
     pub fn count(&self) -> u64 {

@@ -83,6 +83,19 @@ pub fn render_summary(report: &CheckReport) -> String {
         }
         let _ = writeln!(out, "Strategy        : {}{}", report.strategy, extras);
     }
+    if report.is_incomplete() {
+        let _ = writeln!(out, "INCOMPLETE      : {}", report.incomplete.join("; "));
+    }
+    if let Some((i, n)) = report.shard {
+        let _ = writeln!(out, "Shard           : {i}/{n}");
+    }
+    if report.replayed > 0 {
+        let _ = writeln!(
+            out,
+            "Resumed         : {} executions replayed from the WAL",
+            report.replayed
+        );
+    }
     let _ = writeln!(out, "Outcomes        : {}", report.outcomes.render());
     let _ = writeln!(out, "Steps/exec      : {}", report.steps_hist.render());
     let _ = writeln!(out, "Schedule depth  : {}", report.depth_hist.render());
@@ -180,6 +193,16 @@ pub fn describe_outcome(outcome: &ExecOutcome) -> String {
             "Final-state predicate failed: {msg}\n\
              (the abstraction relation between physical state and\n\
              source(σ) does not hold at quiescence)"
+        ),
+        ExecOutcome::Wedged(budget) => format!(
+            "Wedged: the execution exhausted its step budget of {budget}\n\
+             (no progress toward quiescence — a livelock, an unbounded\n\
+             retry loop, or a budget set too low for the scenario)"
+        ),
+        ExecOutcome::HarnessPanic(msg) => format!(
+            "Harness panicked outside the modelled execution: {msg}\n\
+             (a bug in the scenario's boot/recovery/final-check code, not\n\
+             in the code under test; the campaign records it and goes on)"
         ),
     }
 }
@@ -349,6 +372,8 @@ mod tests {
             ExecOutcome::Bug("assert failed".into()),
             ExecOutcome::Deadlock,
             ExecOutcome::FinalCheckFailed("AbsR".into()),
+            ExecOutcome::Wedged(200_000),
+            ExecOutcome::HarnessPanic("boot failed".into()),
         ];
         let descs: Vec<String> = outcomes.iter().map(describe_outcome).collect();
         for (i, a) in descs.iter().enumerate() {

@@ -36,6 +36,10 @@ use std::time::{Duration, Instant};
 #[derive(Clone)]
 pub struct TelemetrySink {
     writer: Arc<Mutex<Box<dyn Write + Send>>>,
+    /// First write error, if any. Telemetry never aborts a check, but a
+    /// campaign resuming from this stream would silently lose progress,
+    /// so the error surfaces in `CheckReport::incomplete`.
+    error: Arc<Mutex<Option<String>>>,
 }
 
 impl std::fmt::Debug for TelemetrySink {
@@ -49,12 +53,23 @@ impl TelemetrySink {
     pub fn to_writer(w: impl Write + Send + 'static) -> Self {
         TelemetrySink {
             writer: Arc::new(Mutex::new(Box::new(w))),
+            error: Arc::new(Mutex::new(None)),
         }
     }
 
     /// Creates (truncates) a JSONL file at `path`.
     pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let f = std::fs::File::create(path)?;
+        Ok(Self::to_writer(std::io::BufWriter::new(f)))
+    }
+
+    /// Opens `path` for appending, creating it if absent — the WAL mode
+    /// used when a resumed run checkpoints into the stream it replayed.
+    pub fn append_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
         Ok(Self::to_writer(std::io::BufWriter::new(f)))
     }
 
@@ -65,16 +80,27 @@ impl TelemetrySink {
         (TelemetrySink::to_writer(SharedBuf(Arc::clone(&buf))), buf)
     }
 
-    /// Appends one event as a compact JSON line. Write errors are
-    /// swallowed after the first report: telemetry must never abort a
-    /// check that would otherwise complete.
+    /// Appends one event as a compact JSON line. Write errors never
+    /// abort the check; the first one is recorded and surfaced via
+    /// [`TelemetrySink::last_error`].
     pub fn emit(&self, event: &Value) {
         let line = serde_json::to_string(event).expect("shim serialization is infallible");
         let mut w = self.writer.lock();
-        if w.write_all(line.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
-            return;
+        let r = w
+            .write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .and_then(|()| w.flush());
+        if let Err(e) = r {
+            let mut slot = self.error.lock();
+            if slot.is_none() {
+                *slot = Some(e.to_string());
+            }
         }
-        let _ = w.flush();
+    }
+
+    /// The first write error this sink hit, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.error.lock().clone()
     }
 }
 
@@ -145,14 +171,34 @@ pub struct RunTelemetry {
     pub progress_every: u64,
     pub start: Instant,
     pub name: String,
+    /// Set when the configured telemetry file could not be opened: the
+    /// run degrades to in-memory metrics instead of aborting, and the
+    /// report is marked incomplete (no checkpoint was written).
+    pub open_error: Option<String>,
 }
 
 impl RunTelemetry {
     pub fn new(name: &str, config: &CheckConfig) -> Self {
+        let mut open_error = None;
         let stream = config.telemetry.clone().or_else(|| {
-            config.telemetry_path.as_ref().map(|p| {
-                TelemetrySink::to_file(p)
-                    .unwrap_or_else(|e| panic!("opening telemetry file {}: {e}", p.display()))
+            config.telemetry_path.as_ref().and_then(|p| {
+                // Resuming into the same file the WAL was replayed from
+                // must append; every other open truncates as before.
+                let same = config.resume_from.as_deref() == Some(p.as_path());
+                let opened = if same {
+                    TelemetrySink::append_file(p)
+                } else {
+                    TelemetrySink::to_file(p)
+                };
+                match opened {
+                    Ok(sink) => Some(sink),
+                    Err(e) => {
+                        let msg = format!("telemetry file {}: {e}", p.display());
+                        eprintln!("[checker] {name}: {msg}; continuing without a stream");
+                        open_error = Some(msg);
+                        None
+                    }
+                }
             })
         });
         RunTelemetry {
@@ -161,7 +207,13 @@ impl RunTelemetry {
             progress_every: config.progress_every,
             start: Instant::now(),
             name: name.to_string(),
+            open_error,
         }
+    }
+
+    /// The first write error the stream hit, if any.
+    pub fn stream_error(&self) -> Option<String> {
+        self.stream.as_ref().and_then(|s| s.last_error())
     }
 
     pub fn emit(&self, event: &Value) {
@@ -211,6 +263,8 @@ pub fn ev_run_start(name: &str, config: &CheckConfig, workers: usize) -> Value {
         "passes": config.passes.iter().map(Pass::name).collect::<Vec<_>>(),
         "strategy": config.strategy.name(),
         "keep_going": config.keep_going,
+        "shard": config.shard.map(|(i, n)| format!("{i}/{n}")),
+        "exec_budget": config.exec_budget,
     })
 }
 
@@ -222,33 +276,45 @@ pub fn ev_pass_start(pass: Pass) -> Value {
     })
 }
 
-#[allow(clippy::too_many_arguments)]
-pub fn ev_exec_done(
-    pass: Pass,
-    index: u64,
-    seed: u64,
-    outcome: OutcomeKind,
-    steps: u64,
-    depth: u64,
-    crashes: u64,
-    lock_blocks: u64,
-    trace_fp: u64,
-    faults: &str,
-    duration: Duration,
-) -> Value {
+/// One finished execution, as recorded in the JSONL stream. The record
+/// doubles as the campaign WAL entry: it carries every deterministic
+/// statistic a resumed run needs to reconstruct the execution's
+/// [`crate::JobOutcome`] without re-running it.
+#[derive(Debug, Clone)]
+pub struct ExecEvent<'a> {
+    pub pass: Pass,
+    pub index: u64,
+    pub seed: u64,
+    pub outcome: OutcomeKind,
+    pub steps: u64,
+    pub depth: u64,
+    pub crashes: u64,
+    pub helped: u64,
+    pub lock_blocks: u64,
+    pub disk_ops: u64,
+    pub net_msgs: u64,
+    pub trace_fp: u64,
+    pub faults: &'a str,
+    pub duration: Duration,
+}
+
+pub fn ev_exec_done(e: &ExecEvent<'_>) -> Value {
     json!({
         "type": "exec_done",
-        "pass": pass.name(),
-        "index": index,
-        "seed": hex64(seed),
-        "outcome": outcome.name(),
-        "steps": steps,
-        "depth": depth,
-        "crashes": crashes,
-        "lock_blocks": lock_blocks,
-        "trace_fp": hex64(trace_fp),
-        "faults": faults,
-        "duration_us": (duration.as_micros() as u64),
+        "pass": e.pass.name(),
+        "index": e.index,
+        "seed": hex64(e.seed),
+        "outcome": e.outcome.name(),
+        "steps": e.steps,
+        "depth": e.depth,
+        "crashes": e.crashes,
+        "helped": e.helped,
+        "lock_blocks": e.lock_blocks,
+        "disk_ops": e.disk_ops,
+        "net_msgs": e.net_msgs,
+        "trace_fp": hex64(e.trace_fp),
+        "faults": e.faults,
+        "duration_us": (e.duration.as_micros() as u64),
     })
 }
 
@@ -289,6 +355,9 @@ pub fn ev_run_end(report: &CheckReport) -> Value {
         "strategy": report.strategy,
         "pruned": report.pruned,
         "coverage_guided": report.coverage_guided,
+        "shard": report.shard.map(|(i, n)| format!("{i}/{n}")),
+        "replayed": report.replayed,
+        "incomplete": report.incomplete,
         "workers": report.workers,
         "wall_time_s": report.wall_time.as_secs_f64(),
         "execs_per_sec": report.execs_per_sec,
@@ -310,6 +379,130 @@ pub fn validate_json_line(line: &str) -> Result<String, String> {
         Some(Value::String(t)) => Ok(t.clone()),
         _ => Err("telemetry line has no string \"type\" field".to_string()),
     }
+}
+
+/// Deterministic statistics of one completed execution, recovered from
+/// an `exec_done` WAL record. Everything a resumed run needs to
+/// synthesize the execution's outcome without re-running it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalExec {
+    pub steps: u64,
+    pub crashes: u64,
+    pub helped: u64,
+    pub depth: u64,
+    pub disk_ops: u64,
+    pub net_msgs: u64,
+    pub trace_fp: u64,
+}
+
+/// The recovered state of an interrupted (or completed) run: which
+/// executions finished, plus enough metadata to sanity-check that the
+/// WAL belongs to the configuration about to resume.
+#[derive(Debug, Clone, Default)]
+pub struct WalReplay {
+    /// Successfully completed executions by job key `(pass rank, index)`.
+    /// Only `ok` outcomes are recorded: failures are cheap to re-run and
+    /// must be, to regenerate their counterexample payloads.
+    pub completed: std::collections::BTreeMap<(u8, u64), WalExec>,
+    /// Number of `run_start` records seen (1 = first resume of a clean
+    /// run; more = the WAL has been resumed into before).
+    pub runs_started: u64,
+    /// Lines that failed to parse — a SIGKILL mid-write leaves at most
+    /// one torn final line, which replay tolerates and drops.
+    pub torn_lines: u64,
+    /// The last `run_start` record, for the config guard.
+    pub run_start: Option<Value>,
+}
+
+fn field_u64(map: &serde_json::Map, key: &str) -> Option<u64> {
+    match map.get(key) {
+        Some(Value::Number(n)) if *n >= 0.0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn field_hex(map: &serde_json::Map, key: &str) -> Option<u64> {
+    match map.get(key) {
+        Some(Value::String(s)) => u64::from_str_radix(s.trim_start_matches("0x"), 16).ok(),
+        _ => None,
+    }
+}
+
+/// Parses a JSONL telemetry stream as a write-ahead log for `scenario`.
+///
+/// Tolerant by construction: unparseable lines (torn tails from a
+/// mid-write kill) are counted and dropped, records for other scenarios
+/// are skipped, and `exec_done` records missing required fields are
+/// ignored rather than trusted.
+pub fn parse_wal(text: &str, scenario: &str) -> WalReplay {
+    let mut wal = WalReplay::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(Value::Object(map)) = serde_json::from_str(line) else {
+            wal.torn_lines += 1;
+            continue;
+        };
+        let ty = match map.get("type") {
+            Some(Value::String(t)) => t.clone(),
+            _ => {
+                wal.torn_lines += 1;
+                continue;
+            }
+        };
+        // Streams can hold several scenarios (scenario_smoke appends
+        // all of them to one file); replay only this scenario's lines.
+        match map.get("scenario") {
+            Some(Value::String(s)) if s != scenario => continue,
+            _ => {}
+        }
+        match ty.as_str() {
+            "run_start" => {
+                wal.runs_started += 1;
+                wal.run_start = Some(Value::Object(map));
+            }
+            "exec_done" => {
+                let Some(Value::String(pass)) = map.get("pass") else {
+                    continue;
+                };
+                let Ok(pass) = pass.parse::<Pass>() else {
+                    continue;
+                };
+                if !matches!(map.get("outcome"), Some(Value::String(o)) if o == "ok") {
+                    continue;
+                }
+                let (Some(index), Some(steps), Some(trace_fp)) = (
+                    field_u64(&map, "index"),
+                    field_u64(&map, "steps"),
+                    field_hex(&map, "trace_fp"),
+                ) else {
+                    continue;
+                };
+                wal.completed.insert(
+                    (pass.rank(), index),
+                    WalExec {
+                        steps,
+                        crashes: field_u64(&map, "crashes").unwrap_or(0),
+                        helped: field_u64(&map, "helped").unwrap_or(0),
+                        depth: field_u64(&map, "depth").unwrap_or(0),
+                        disk_ops: field_u64(&map, "disk_ops").unwrap_or(0),
+                        net_msgs: field_u64(&map, "net_msgs").unwrap_or(0),
+                        trace_fp,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    wal
+}
+
+/// Reads `path` and parses it as a WAL for `scenario`. Invalid UTF-8 is
+/// replaced rather than fatal — the log survives arbitrary torn tails.
+pub fn read_wal(path: impl AsRef<Path>, scenario: &str) -> std::io::Result<WalReplay> {
+    let bytes = std::fs::read(path)?;
+    Ok(parse_wal(&String::from_utf8_lossy(&bytes), scenario))
 }
 
 /// Rebuilds a parsed event without its [`TIMING_KEYS`] (recursively) —
@@ -392,24 +585,110 @@ mod tests {
         assert!(validate_json_line("{\"no_type\": 1}").is_err());
     }
 
+    fn exec_event(seed: u64, outcome: OutcomeKind) -> Value {
+        ev_exec_done(&ExecEvent {
+            pass: Pass::Dfs,
+            index: 0,
+            seed,
+            outcome,
+            steps: 7,
+            depth: 3,
+            crashes: 1,
+            helped: 2,
+            lock_blocks: 0,
+            disk_ops: 4,
+            net_msgs: 5,
+            trace_fp: 0xdead_beef,
+            faults: "-",
+            duration: Duration::ZERO,
+        })
+    }
+
     #[test]
     fn big_seeds_survive_as_hex() {
         let seed = u64::MAX - 12345;
-        let v = ev_exec_done(
-            Pass::Dfs,
-            0,
-            seed,
-            OutcomeKind::Ok,
-            1,
-            1,
-            0,
-            0,
-            0xdead_beef,
-            "-",
-            Duration::ZERO,
-        );
-        let text = serde_json::to_string(&v).unwrap();
+        let text = serde_json::to_string(&exec_event(seed, OutcomeKind::Ok)).unwrap();
         assert!(text.contains(&format!("{seed:#x}")), "{text}");
         assert!(text.contains("0xdeadbeef"), "{text}");
+    }
+
+    #[test]
+    fn wal_round_trips_ok_executions_and_skips_failures() {
+        let mut text = String::new();
+        let mut ok = exec_event(42, OutcomeKind::Ok);
+        if let Value::Object(m) = &mut ok {
+            m.insert("scenario".into(), Value::String("s".into()));
+        }
+        text.push_str(&serde_json::to_string(&ok).unwrap());
+        text.push('\n');
+        let mut bad = exec_event(43, OutcomeKind::Violation);
+        if let Value::Object(m) = &mut bad {
+            m.insert("index".into(), Value::Number(9.0));
+            m.insert("scenario".into(), Value::String("s".into()));
+        }
+        text.push_str(&serde_json::to_string(&bad).unwrap());
+        text.push('\n');
+        let wal = parse_wal(&text, "s");
+        assert_eq!(wal.completed.len(), 1, "violations must not be replayed");
+        let w = &wal.completed[&(Pass::Dfs.rank(), 0)];
+        assert_eq!(
+            *w,
+            WalExec {
+                steps: 7,
+                crashes: 1,
+                helped: 2,
+                depth: 3,
+                disk_ops: 4,
+                net_msgs: 5,
+                trace_fp: 0xdead_beef,
+            }
+        );
+        assert_eq!(wal.torn_lines, 0);
+    }
+
+    #[test]
+    fn wal_filters_by_scenario_and_tracks_run_starts() {
+        let text = concat!(
+            "{\"type\": \"run_start\", \"scenario\": \"a\", \"seed\": \"0x7\"}\n",
+            "{\"type\": \"run_start\", \"scenario\": \"b\", \"seed\": \"0x8\"}\n",
+        );
+        let wal = parse_wal(text, "a");
+        assert_eq!(wal.runs_started, 1);
+        let Some(Value::Object(m)) = &wal.run_start else {
+            panic!("missing run_start");
+        };
+        assert_eq!(m.get("seed"), Some(&Value::String("0x7".into())));
+    }
+
+    #[test]
+    fn wal_survives_any_tail_truncation() {
+        // A SIGKILL can land mid-write: replay must cope with the file
+        // cut at *every* byte boundary, never panicking and never
+        // inventing records.
+        let mut text = String::new();
+        for i in 0..3u64 {
+            let mut ev = exec_event(i, OutcomeKind::Ok);
+            if let Value::Object(m) = &mut ev {
+                m.insert("index".into(), Value::Number(i as f64));
+            }
+            text.push_str(&serde_json::to_string(&ev).unwrap());
+            text.push('\n');
+        }
+        let full = parse_wal(&text, "s").completed.len();
+        assert_eq!(full, 3);
+        for cut in 0..text.len() {
+            let wal = parse_wal(&text[..cut], "s");
+            assert!(wal.completed.len() <= full);
+            assert!(
+                wal.torn_lines <= 1,
+                "cut at {cut}: {} torn lines",
+                wal.torn_lines
+            );
+            // Every surviving record must be one of the originals.
+            for (k, w) in &wal.completed {
+                assert_eq!(k.0, Pass::Dfs.rank());
+                assert_eq!(w.steps, 7, "cut at {cut} corrupted a record");
+            }
+        }
     }
 }

@@ -104,6 +104,13 @@ pub enum GhostError {
         /// Description of the unmet obligation.
         msg: String,
     },
+    /// A violation reconstructed from a serialized report (shard-merge
+    /// and campaign tooling): only the rendered message survives the
+    /// round-trip, so it is carried verbatim.
+    Imported {
+        /// The original violation's rendered message.
+        msg: String,
+    },
 }
 
 impl fmt::Display for GhostError {
@@ -152,6 +159,7 @@ impl fmt::Display for GhostError {
                 write!(f, "durable set {id}: deleting a non-member")
             }
             GhostError::Validation { msg } => write!(f, "validation failed: {msg}"),
+            GhostError::Imported { msg } => write!(f, "{msg}"),
         }
     }
 }

@@ -36,5 +36,6 @@ pub use heap::{HVal, Heap, Ptr, Slice};
 pub use net::ModelNet;
 pub use runtime::{GLock, ModelRtExt, ModelRuntime, NativeRt, Runtime};
 pub use sched::{
-    res, CrashSignal, LockId, ModelRt, PanicKind, SchedStats, StepAccess, StepResult, Tid, UbSignal,
+    quiet_worker_panics, res, CrashSignal, LockId, ModelRt, PanicKind, SchedStats, StepAccess,
+    StepBudgetSignal, StepResult, Tid, UbSignal,
 };

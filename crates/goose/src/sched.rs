@@ -43,6 +43,13 @@ pub struct CrashSignal;
 #[derive(Debug, Clone)]
 pub struct UbSignal(pub String);
 
+/// Unwind payload raised when an execution exhausts its per-execution
+/// step budget (`max_steps`): the model is wedged in a livelock or a
+/// runaway loop. The checker maps this to a wedged-execution outcome
+/// instead of hanging the campaign. Carries the exhausted budget.
+#[derive(Debug, Clone, Copy)]
+pub struct StepBudgetSignal(pub u64);
+
 /// How a granted step ended.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StepResult {
@@ -68,6 +75,9 @@ pub enum PanicKind {
     Other(String),
     /// The thread was unwound by an injected crash (not a failure).
     CrashUnwind,
+    /// The execution exceeded its step budget (livelock backstop); the
+    /// payload is the exhausted budget.
+    StepBudget(u64),
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -257,12 +267,35 @@ fn install_quiet_hook() {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             let p = info.payload();
-            if p.is::<CrashSignal>() || p.is::<GhostPanic>() || p.is::<UbSignal>() {
+            if p.is::<CrashSignal>()
+                || p.is::<GhostPanic>()
+                || p.is::<UbSignal>()
+                || p.is::<StepBudgetSignal>()
+                || QUIET_PANICS.with(|q| q.get())
+            {
                 return;
             }
             prev(info);
         }));
     });
+}
+
+thread_local! {
+    /// Set while a checker worker runs a harness under `catch_unwind`:
+    /// any panic on this thread is an *isolated* execution outcome, not
+    /// a process failure, so the default backtrace spew is suppressed.
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with panics on the *current* thread silenced in the quiet
+/// hook. The checker wraps each isolated execution in this so that a
+/// panicking harness is recorded as an outcome without flooding stderr;
+/// panics on other (virtual) threads are unaffected.
+pub fn quiet_worker_panics<R>(f: impl FnOnce() -> R) -> R {
+    QUIET_PANICS.with(|q| q.set(true));
+    let out = f();
+    QUIET_PANICS.with(|q| q.set(false));
+    out
 }
 
 impl ModelRt {
@@ -486,10 +519,9 @@ impl ModelRt {
         s.steps += 1;
         if s.steps > self.max_steps {
             drop(s);
-            panic!(
-                "model execution exceeded {} steps (livelock?)",
-                self.max_steps
-            );
+            // Typed payload so the checker can classify the stall as a
+            // wedged execution rather than a generic bug.
+            std::panic::panic_any(StepBudgetSignal(self.max_steps));
         }
         s.threads[tid].state = TState::Paused;
         self.cv.notify_all();
@@ -760,6 +792,9 @@ fn classify_panic(payload: Box<dyn std::any::Any + Send>) -> PanicKind {
     if payload.is::<CrashSignal>() {
         return PanicKind::CrashUnwind;
     }
+    if let Some(sb) = payload.downcast_ref::<StepBudgetSignal>() {
+        return PanicKind::StepBudget(sb.0);
+    }
     match payload.downcast::<GhostPanic>() {
         Ok(gp) => PanicKind::Ghost(gp.0),
         Err(payload) => match payload.downcast::<UbSignal>() {
@@ -978,6 +1013,29 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(rt.failures().len(), 1);
+        rt.join_all();
+    }
+
+    #[test]
+    fn step_budget_exhaustion_is_classified_as_wedged() {
+        let rt = ModelRt::new(0, 16);
+        let rt2 = Arc::clone(&rt);
+        rt.spawn("spin", move || loop {
+            rt2.yield_point();
+        });
+        let mut wedged = false;
+        for _ in 0..64 {
+            match rt.grant(0) {
+                StepResult::Yielded => {}
+                StepResult::Panicked(PanicKind::StepBudget(budget)) => {
+                    assert_eq!(budget, 16);
+                    wedged = true;
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(wedged, "spinner never hit the step budget");
         rt.join_all();
     }
 

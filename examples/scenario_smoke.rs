@@ -12,10 +12,16 @@
 //! appends every scenario's JSONL event stream to one file (the CI
 //! artifact), `--summary` prints the full per-scenario metrics block
 //! instead of just the verdict line.
+//!
+//! Campaign robustness flags (DESIGN.md §13): `--shard I/N` runs only
+//! this process's deterministic slice of every scenario's job space;
+//! `--resume PATH` replays completed executions from a previous run's
+//! telemetry stream (pass the same file to `--telemetry` to also
+//! extend it, making the run resumable in turn).
 
 use perennial_checker::{
-    render_summary, verdict_line, CheckConfig, CoverageGuided, Exhaustive, Pass, SleepSetDpor,
-    TelemetrySink,
+    parse_shard, render_summary, verdict_line, CheckConfig, CoverageGuided, Exhaustive, Pass,
+    SleepSetDpor, TelemetrySink,
 };
 use perennial_suite::all_scenarios;
 
@@ -25,6 +31,8 @@ fn main() {
     let mut summary = false;
     let mut telemetry_path: Option<String> = None;
     let mut strategy = String::from("exhaustive");
+    let mut shard = None;
+    let mut resume: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,6 +44,13 @@ fn main() {
             "--strategy" => {
                 strategy = args.next().expect("--strategy needs a name");
             }
+            "--shard" => {
+                let spec = args.next().expect("--shard needs I/N");
+                shard = Some(parse_shard(&spec).unwrap_or_else(|e| panic!("{e}")));
+            }
+            "--resume" => {
+                resume = Some(args.next().expect("--resume needs a file path"));
+            }
             _ => filter = arg,
         }
     }
@@ -44,7 +59,11 @@ fn main() {
         .dfs_max_executions(200)
         .random_samples(10)
         .random_crash_samples(20)
-        .without_passes([Pass::NestedCrash]);
+        .without_passes([Pass::NestedCrash])
+        .shard_opt(shard);
+    if let Some(path) = &resume {
+        builder = builder.resume_from(path);
+    }
     builder = match strategy.as_str() {
         "exhaustive" => builder.strategy(Exhaustive),
         "dpor" | "sleep-set-dpor" => builder.strategy(SleepSetDpor),
@@ -57,8 +76,14 @@ fn main() {
     if let Some(path) = &telemetry_path {
         // One shared sink: every scenario appends to the same JSONL
         // stream, distinguished by the `scenario` field on each record.
-        let sink = TelemetrySink::to_file(path)
-            .unwrap_or_else(|e| panic!("cannot open telemetry file {path}: {e}"));
+        // When resuming from this same file, append instead of
+        // truncating — the existing records are the WAL being replayed.
+        let sink = if resume.as_deref() == Some(path.as_str()) {
+            TelemetrySink::append_file(path)
+        } else {
+            TelemetrySink::to_file(path)
+        }
+        .unwrap_or_else(|e| panic!("cannot open telemetry file {path}: {e}"));
         builder = builder.telemetry(sink);
     }
     let cfg = builder.build();
@@ -72,11 +97,13 @@ fn main() {
     );
 
     let mut failed = 0usize;
+    let mut replayed = 0u64;
     for scenario in &registry {
         if !scenario.name().contains(&filter) {
             continue;
         }
         let report = scenario.run(&cfg);
+        replayed += report.replayed;
         if summary {
             println!("{}", render_summary(&report));
         } else {
@@ -90,6 +117,9 @@ fn main() {
         }
     }
 
+    if replayed > 0 {
+        println!("({replayed} executions replayed from the resume WAL)");
+    }
     if failed > 0 {
         eprintln!("{failed} scenario(s) failed");
         std::process::exit(1);

@@ -35,6 +35,10 @@ impl Map {
         self.entries.insert(key, value)
     }
 
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.entries.remove(key)
+    }
+
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.entries.get(key)
     }
