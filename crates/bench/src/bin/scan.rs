@@ -5,7 +5,9 @@
 //! scan [--filter SUBSTR] [--shard I/N] [--wal DIR] [--resume]
 //!      [--out FILE] [--faults] [--strategy exhaustive|dpor|coverage]
 //!      [--workers N] [--budget N] [--seed N]
+//!      [--trace-out DIR] [--explain]
 //! scan --merge FILE... [--out FILE]
+//! scan --dashboard PATH...
 //! ```
 //!
 //! A campaign runs scenarios × mutants × passes. `--shard I/N` hands
@@ -17,6 +19,16 @@
 //! instead of re-run, so a SIGKILLed campaign picks up where it died
 //! and still lands on the same fingerprint.
 //!
+//! Failing scenarios carry a causal execution trace (DESIGN.md §14):
+//! `--explain` prints each counterexample's per-thread explain timeline
+//! between `=== explain NAME ===` / `=== end explain ===` markers (pure
+//! function of the trace — identical across worker counts, which CI
+//! diffs), and `--trace-out DIR` writes one Chrome trace-event JSON per
+//! failing scenario, loadable at <https://ui.perfetto.dev>.
+//! `--dashboard PATH...` is an offline mode like `--merge`: it folds
+//! telemetry/WAL JSONL streams (files, or directories of `*.jsonl`)
+//! into one merged campaign dashboard and exits.
+//!
 //! The final line is always `campaign fingerprint: 0x…` — a hash of the
 //! per-scenario report fingerprints (timing and worker-count excluded),
 //! which is the equality oracle CI uses for kill/resume and shard/merge.
@@ -25,8 +37,9 @@
 //! INCOMPLETE partial report, 2 on usage errors.
 
 use perennial_checker::{
-    merge_reports, parse_shard, report_fingerprint, report_from_json, report_to_json,
-    trace_fingerprint, CheckConfig, CheckReport, CoverageGuided, Pass, ScenarioSet, SleepSetDpor,
+    chrome_trace_json, merge_reports, parse_shard, render_dashboard, render_explain,
+    report_fingerprint, report_from_json, report_to_json, trace_fingerprint, CheckConfig,
+    CheckReport, CoverageGuided, Dashboard, Pass, ScenarioSet, SleepSetDpor,
 };
 use std::path::{Path, PathBuf};
 
@@ -129,6 +142,49 @@ fn merge_mode(files: &[String], out: Option<&str>) -> i32 {
     i32::from(incomplete)
 }
 
+/// Dashboard mode: fold telemetry/WAL JSONL streams into one merged
+/// campaign dashboard. Each path is a `.jsonl` file or a directory
+/// scanned for them; the scenario key is the file stem with the
+/// `wal_path` mangling undone, so mutant WALs (whose `run_end` records
+/// carry the shared human name) stay distinct.
+fn dashboard_mode(paths: &[String]) -> i32 {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        let path = PathBuf::from(p);
+        if path.is_dir() {
+            let mut found: Vec<PathBuf> = std::fs::read_dir(&path)
+                .unwrap_or_else(|e| die(&format!("reading {path:?}: {e}")))
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+                .collect();
+            found.sort();
+            files.extend(found);
+        } else {
+            files.push(path);
+        }
+    }
+    if files.is_empty() {
+        die("--dashboard found no .jsonl streams");
+    }
+    let mut dash = Dashboard::default();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| die(&format!("reading {file:?}: {e}")));
+        let scenario = file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(|s| s.replace("__", "/"));
+        dash.ingest(scenario.as_deref(), &text);
+    }
+    print!("{}", render_dashboard(&dash));
+    0
+}
+
+/// `"kv/cross-bucket"` → `DIR/kv__cross-bucket.trace.json`.
+fn trace_path(dir: &Path, scenario: &str) -> PathBuf {
+    dir.join(format!("{}.trace.json", scenario.replace('/', "__")))
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("scan: {msg}");
     std::process::exit(2);
@@ -147,6 +203,9 @@ fn main() {
     let mut budget = 0u64;
     let mut seed = 7u64;
     let mut merge_files: Vec<String> = Vec::new();
+    let mut dashboard_paths: Vec<String> = Vec::new();
+    let mut trace_out: Option<PathBuf> = None;
+    let mut explain = false;
 
     fn val(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
         it.next()
@@ -183,16 +242,28 @@ fn main() {
                 merge_files.push(val(&mut it, "--merge"));
                 merge_files.extend(it.by_ref());
             }
+            "--dashboard" => {
+                dashboard_paths.push(val(&mut it, "--dashboard"));
+                dashboard_paths.extend(it.by_ref());
+            }
+            "--trace-out" => trace_out = Some(PathBuf::from(val(&mut it, "--trace-out"))),
+            "--explain" => explain = true,
             other => die(&format!("unknown argument {other:?} (see the doc comment)")),
         }
     }
     if !merge_files.is_empty() {
         std::process::exit(merge_mode(&merge_files, out.as_deref()));
     }
+    if !dashboard_paths.is_empty() {
+        std::process::exit(dashboard_mode(&dashboard_paths));
+    }
     if resume && wal_dir.is_none() {
         die("--resume needs --wal DIR (the logs to resume from)");
     }
     if let Some(dir) = &wal_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("creating {dir:?}: {e}")));
+    }
+    if let Some(dir) = &trace_out {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("creating {dir:?}: {e}")));
     }
 
@@ -243,6 +314,25 @@ fn main() {
         // registry name so shard merging can group correctly.
         report.name = scenario.name().to_string();
         println!("{}", report.summary());
+        if let Some(timeline) = report
+            .counterexample
+            .as_ref()
+            .and_then(|cx| cx.timeline.as_ref())
+        {
+            if let Some(dir) = &trace_out {
+                let path = trace_path(dir, &report.name);
+                let json = chrome_trace_json(timeline, &report.name);
+                let text = serde_json::to_string_pretty(&json).unwrap();
+                std::fs::write(&path, text)
+                    .unwrap_or_else(|e| die(&format!("writing {path:?}: {e}")));
+                println!("(chrome trace written to {})", path.display());
+            }
+            if explain {
+                println!("=== explain {} ===", report.name);
+                print!("{}", render_explain(timeline));
+                println!("=== end explain ===");
+            }
+        }
         reports.push(report);
     }
 

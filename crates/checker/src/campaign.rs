@@ -47,9 +47,10 @@ pub fn parse_shard(s: &str) -> Result<(u32, u32), String> {
 }
 
 /// 64-bit values go through JSON as hex strings (the shim's numbers are
-/// f64; see `telemetry::hex64`).
+/// f64; see `telemetry::hex64`). Zero-padded to a fixed 16 hex digits,
+/// same invariant as the telemetry stream.
 fn hex64(v: u64) -> String {
-    format!("{v:#x}")
+    format!("{v:#018x}")
 }
 
 fn faults_to_json(f: &FaultPlan) -> Value {
@@ -101,6 +102,10 @@ fn cx_to_json(cx: &Counterexample) -> Value {
         "clamped": cx.clamped.iter().map(|v| *v as u64).collect::<Vec<u64>>(),
         "faults": faults_to_json(&cx.faults),
         "trace": cx.trace.clone(),
+        // `cx.timeline` is deliberately NOT serialized: it is a debug
+        // payload (re-derivable by replaying the counterexample) and
+        // keeping it out of campaign JSON keeps report fingerprints
+        // identical whether trace capture was on or off.
     })
 }
 
@@ -128,6 +133,11 @@ pub fn report_to_json(r: &CheckReport) -> Value {
         "crash_points": r.crash_points as u64,
         "fault_plans": r.fault_plans as u64,
         "helped_ops": r.helped_ops,
+        "disk_reads": r.disk_reads,
+        "disk_writes": r.disk_writes,
+        "disk_flushes": r.disk_flushes,
+        "net_sends": r.net_sends,
+        "net_recvs": r.net_recvs,
         "strategy": r.strategy.clone(),
         "pruned": r.pruned,
         "coverage_guided": r.coverage_guided,
@@ -309,6 +319,7 @@ fn cx_from_json(v: &Value) -> Result<Counterexample, String> {
             .collect(),
         faults: faults_from_json(get_obj(m, "faults")?)?,
         trace: get_str(m, "trace")?,
+        timeline: None,
     })
 }
 
@@ -334,6 +345,11 @@ pub fn report_from_json(v: &Value) -> Result<CheckReport, String> {
         crash_points: get_u64(m, "crash_points")? as usize,
         fault_plans: get_u64(m, "fault_plans")? as usize,
         helped_ops: get_u64(m, "helped_ops")?,
+        disk_reads: get_u64(m, "disk_reads")?,
+        disk_writes: get_u64(m, "disk_writes")?,
+        disk_flushes: get_u64(m, "disk_flushes")?,
+        net_sends: get_u64(m, "net_sends")?,
+        net_recvs: get_u64(m, "net_recvs")?,
         strategy: get_str(m, "strategy")?,
         pruned: get_u64(m, "pruned")?,
         coverage_guided: get_u64(m, "coverage_guided")?,
@@ -510,6 +526,11 @@ pub fn merge_reports(mut reports: Vec<CheckReport>) -> Result<CheckReport, Strin
         out.crash_points += r.crash_points;
         out.fault_plans += r.fault_plans;
         out.helped_ops += r.helped_ops;
+        out.disk_reads += r.disk_reads;
+        out.disk_writes += r.disk_writes;
+        out.disk_flushes += r.disk_flushes;
+        out.net_sends += r.net_sends;
+        out.net_recvs += r.net_recvs;
         out.wall_time += r.wall_time;
         out.workers = out.workers.max(r.workers);
         out.replayed += r.replayed;
@@ -632,6 +653,7 @@ mod tests {
             clamped: vec![1],
             faults,
             trace: "t0 op begin\nt1 crash".into(),
+            timeline: None,
         };
         r.counterexample = Some(cx.clone());
         r.counterexamples = vec![cx];

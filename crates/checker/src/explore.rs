@@ -47,6 +47,7 @@ use crate::strategy::{DepTrace, Exhaustive, ObservedExec, ScheduleSpec, Strategy
 use crate::telemetry::{self, RunTelemetry, TelemetrySink};
 use goose_rt::fault::{FaultPlan, NetFault, TornMode};
 use goose_rt::sched::{quiet_worker_panics, res, ModelRt, PanicKind, StepAccess, StepResult, Tid};
+use goose_rt::trace::{ExecTrace, TraceKind};
 use parking_lot::Mutex;
 use perennial::{Ghost, GhostError};
 use perennial_spec::SpecTS;
@@ -128,6 +129,12 @@ pub struct CheckConfig {
     /// degrades to a partial report with an `incomplete` marker rather
     /// than a panic.
     pub exec_budget: u64,
+    /// Re-run the winning counterexample with the causal trace recorder
+    /// on and attach the resulting [`goose_rt::ExecTrace`] as
+    /// [`Counterexample::timeline`] (default on). Pure side channel: the
+    /// exploration itself always runs untraced, the re-run emits no
+    /// telemetry, and report fingerprints are identical either way.
+    pub trace_capture: bool,
 }
 
 impl Default for CheckConfig {
@@ -148,6 +155,7 @@ impl Default for CheckConfig {
             shard: None,
             resume_from: None,
             exec_budget: 0,
+            trace_capture: true,
         }
     }
 }
@@ -259,48 +267,6 @@ impl CheckConfigBuilder {
         self
     }
 
-    fn set_pass(mut self, p: Pass, on: bool) -> Self {
-        if on {
-            self.config.passes.insert(p);
-        } else {
-            self.config.passes.remove(p);
-        }
-        self
-    }
-
-    #[deprecated(note = "use passes()/with_passes()/without_passes() with Pass::CrashSweep")]
-    pub fn crash_sweep(self, on: bool) -> Self {
-        self.set_pass(Pass::CrashSweep, on)
-    }
-
-    #[deprecated(note = "use passes()/with_passes()/without_passes() with Pass::NestedCrash")]
-    pub fn nested_crash_sweep(self, on: bool) -> Self {
-        self.set_pass(Pass::NestedCrash, on)
-    }
-
-    #[deprecated(note = "use passes()/with_passes()/without_passes() with Pass::DiskFault")]
-    pub fn disk_fault_sweep(self, on: bool) -> Self {
-        self.set_pass(Pass::DiskFault, on)
-    }
-
-    #[deprecated(note = "use passes()/with_passes()/without_passes() with Pass::TornWrite")]
-    pub fn torn_write_sweep(self, on: bool) -> Self {
-        self.set_pass(Pass::TornWrite, on)
-    }
-
-    #[deprecated(note = "use passes()/with_passes()/without_passes() with Pass::NetFault")]
-    pub fn net_fault_sweep(self, on: bool) -> Self {
-        self.set_pass(Pass::NetFault, on)
-    }
-
-    /// Enables (or disables) all three fault sweeps at once.
-    #[deprecated(note = "use with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault])")]
-    pub fn fault_sweeps(self, on: bool) -> Self {
-        self.set_pass(Pass::DiskFault, on)
-            .set_pass(Pass::TornWrite, on)
-            .set_pass(Pass::NetFault, on)
-    }
-
     pub fn workers(mut self, workers: usize) -> Self {
         self.config.workers = workers;
         self
@@ -365,6 +331,13 @@ impl CheckConfigBuilder {
     /// [`CheckConfig::exec_budget`].
     pub fn exec_budget(mut self, n: u64) -> Self {
         self.config.exec_budget = n;
+        self
+    }
+
+    /// Enables (or disables) counterexample trace capture; see
+    /// [`CheckConfig::trace_capture`].
+    pub fn trace_capture(mut self, on: bool) -> Self {
+        self.config.trace_capture = on;
         self
     }
 
@@ -440,6 +413,12 @@ pub struct Counterexample {
     pub faults: FaultPlan,
     /// Rendered ghost trace at failure.
     pub trace: String,
+    /// Causal execution trace of the failing run, recorded by re-running
+    /// it with the [`goose_rt::trace`] recorder on (see
+    /// [`CheckConfig::trace_capture`]). Debug-only payload: excluded
+    /// from campaign JSON and from every fingerprint, so reports are
+    /// byte-identical with capture on or off.
+    pub timeline: Option<goose_rt::ExecTrace>,
 }
 
 impl Counterexample {
@@ -468,6 +447,16 @@ pub struct CheckReport {
     pub fault_plans: usize,
     /// Operations helped by recovery across executions.
     pub helped_ops: u64,
+    /// Disk block reads across executions (model-op accounting).
+    pub disk_reads: u64,
+    /// Disk block writes (buffered + write-through) across executions.
+    pub disk_writes: u64,
+    /// Disk flush barriers across executions.
+    pub disk_flushes: u64,
+    /// Network sends across executions.
+    pub net_sends: u64,
+    /// Network receives that dequeued a message, across executions.
+    pub net_recvs: u64,
     /// Wall-clock time the check took.
     pub wall_time: Duration,
     /// Worker threads the pool actually used.
@@ -669,17 +658,29 @@ struct RunResult {
     /// FNV-1a fingerprint of the rendered ghost trace (behavioural
     /// coverage proxy).
     trace_fp: u64,
+    /// Model-op accounting from [`SchedStats`]: block reads, block
+    /// writes, flush barriers, net sends, net receives.
+    disk_reads: u64,
+    disk_writes: u64,
+    disk_flushes: u64,
+    net_sends: u64,
+    net_recvs: u64,
     /// Wall time of this single execution (telemetry only).
     duration: Duration,
     trace: String,
     /// Per-grant dependency observations (schedule-phase DPOR runs).
     deps: Option<DepTrace>,
+    /// Causal execution trace (capture-trace runs only).
+    exec_trace: Option<ExecTrace>,
 }
 
 /// Runs one execution under `policy`, injecting crashes at the given
 /// absolute grant counts and faults per `faults`. With `track_deps`, the
 /// runtime records each grant's dependency footprint and the result
-/// carries a [`DepTrace`] for partial-order reduction.
+/// carries a [`DepTrace`] for partial-order reduction. With
+/// `capture_trace`, the runtime's causal recorder is on and the result
+/// carries an [`ExecTrace`] — a pure observer that changes no counter,
+/// schedule, or fault index.
 ///
 /// The execution is **isolated**: the harness body runs under
 /// `catch_unwind`, so a panicking harness hook becomes an
@@ -687,6 +688,7 @@ struct RunResult {
 /// and any virtual threads a failed or panicked execution left parked
 /// are unwound and joined before returning (no OS-thread leaks across a
 /// long keep-going campaign).
+#[allow(clippy::too_many_arguments)]
 fn run_one<S: SpecTS, H: Harness<S>>(
     harness: &H,
     policy: Policy,
@@ -695,12 +697,21 @@ fn run_one<S: SpecTS, H: Harness<S>>(
     seed: u64,
     max_steps: u64,
     track_deps: bool,
+    capture_trace: bool,
 ) -> RunResult {
     let rt = ModelRt::with_faults(seed, max_steps, faults.clone());
     let run_started = Instant::now();
     let result = quiet_worker_panics(|| {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_one_inner(harness, &rt, policy, crash_points, faults, track_deps)
+            run_one_inner(
+                harness,
+                &rt,
+                policy,
+                crash_points,
+                faults,
+                track_deps,
+                capture_trace,
+            )
         }))
     });
     match result {
@@ -728,9 +739,15 @@ fn run_one<S: SpecTS, H: Harness<S>>(
                 net_msgs: stats.net_msgs,
                 lock_blocks: stats.lock_blocks,
                 trace_fp: trace_fingerprint(""),
+                disk_reads: stats.disk_reads,
+                disk_writes: stats.disk_writes,
+                disk_flushes: stats.disk_flushes,
+                net_sends: stats.net_sends,
+                net_recvs: stats.net_recvs,
                 duration: run_started.elapsed(),
                 trace: String::new(),
                 deps: None,
+                exec_trace: capture_trace.then(|| rt.take_trace()),
             }
         }
     }
@@ -754,9 +771,11 @@ fn run_one_inner<S: SpecTS, H: Harness<S>>(
     crash_points: &[u64],
     faults: &FaultPlan,
     track_deps: bool,
+    capture_trace: bool,
 ) -> RunResult {
     let rt = Arc::clone(rt);
     rt.set_track_deps(track_deps);
+    rt.set_tracing(capture_trace);
     let ghost = Ghost::new(harness.spec());
     let w = World {
         rt: Arc::clone(&rt),
@@ -783,6 +802,29 @@ fn run_one_inner<S: SpecTS, H: Harness<S>>(
         rt.take_step_accesses();
     }
 
+    // Spec-visible ghost events stream into the causal trace as they
+    // appear: a watermark over the ghost trace is drained after every
+    // grant (attributed to the granted thread) and around controller
+    // transitions (attributed to the controller).
+    let spec_mark = std::cell::Cell::new(0usize);
+    let drain_spec = |tid: Option<Tid>| {
+        if !capture_trace {
+            return;
+        }
+        let snapshot = ghost.trace();
+        let events = snapshot.events();
+        for ev in &events[spec_mark.get()..] {
+            rt.trace_event_for(
+                tid,
+                TraceKind::Spec {
+                    event: format!("{ev:?}"),
+                },
+            );
+        }
+        spec_mark.set(events.len());
+    };
+    drain_spec(None);
+
     let run_started = Instant::now();
     let finish = |outcome: ExecOutcome,
                   sched: &ScheduleState,
@@ -804,9 +846,15 @@ fn run_one_inner<S: SpecTS, H: Harness<S>>(
             net_msgs: stats.net_msgs,
             lock_blocks: stats.lock_blocks,
             trace_fp: trace_fingerprint(&trace),
+            disk_reads: stats.disk_reads,
+            disk_writes: stats.disk_writes,
+            disk_flushes: stats.disk_flushes,
+            net_sends: stats.net_sends,
+            net_recvs: stats.net_recvs,
             duration: run_started.elapsed(),
             trace,
             deps,
+            exec_trace: capture_trace.then(|| rt.take_trace()),
         }
     };
 
@@ -832,6 +880,7 @@ fn run_one_inner<S: SpecTS, H: Harness<S>>(
             let body = exec.recovery(&w);
             recovery_tid = Some(rt.spawn("recovery", body));
             phase = Phase::Recovering;
+            drain_spec(None);
             if track_deps {
                 // Crash unwinding and re-boot are controller transitions,
                 // not granted steps; drop any footprint they left behind.
@@ -866,6 +915,7 @@ fn run_one_inner<S: SpecTS, H: Harness<S>>(
         let ghost_ops = if track_deps { ghost.op_count() } else { 0 };
         let step = rt.grant(tid);
         steps += 1;
+        drain_spec(Some(tid));
         if let Some(dep) = dep.as_mut() {
             let mut acc = rt.take_step_accesses();
             if ghost.op_count() != ghost_ops {
@@ -962,6 +1012,7 @@ fn run_one_inner<S: SpecTS, H: Harness<S>>(
         }
         Err(e) => (ExecOutcome::Violation(e), 0),
     };
+    drain_spec(None);
     let mut r = finish(outcome, &sched, steps, crashes, &rt, &ghost, dep.take());
     r.helped = helped;
     r
@@ -1083,6 +1134,13 @@ struct JobOutcome {
     /// Disk ops / net messages of the execution (probe horizons).
     disk_ops: u64,
     net_msgs: u64,
+    /// Model-op accounting (report totals; recorded in the WAL so
+    /// resumed totals match cold ones).
+    disk_reads: u64,
+    disk_writes: u64,
+    disk_flushes: u64,
+    net_sends: u64,
+    net_recvs: u64,
     /// How the execution ended (outcome histogram feed).
     kind: OutcomeKind,
     /// Schedule decisions taken (depth histogram feed).
@@ -1207,6 +1265,7 @@ fn make_counterexample(
         clamped: r.clamped.clone(),
         faults,
         trace: r.trace.clone(),
+        timeline: None,
     }
 }
 
@@ -1241,6 +1300,11 @@ fn finish_execution(
         lock_blocks: r.lock_blocks,
         disk_ops: r.disk_ops,
         net_msgs: r.net_msgs,
+        disk_reads: r.disk_reads,
+        disk_writes: r.disk_writes,
+        disk_flushes: r.disk_flushes,
+        net_sends: r.net_sends,
+        net_recvs: r.net_recvs,
         trace_fp: r.trace_fp,
         faults: &faults.compact(),
         duration: r.duration,
@@ -1257,6 +1321,11 @@ fn finish_execution(
         family: FaultFamily::of(faults),
         disk_ops: r.disk_ops,
         net_msgs: r.net_msgs,
+        disk_reads: r.disk_reads,
+        disk_writes: r.disk_writes,
+        disk_flushes: r.disk_flushes,
+        net_sends: r.net_sends,
+        net_recvs: r.net_recvs,
         kind,
         depth: r.decisions.len() as u64,
         crash_points,
@@ -1299,6 +1368,11 @@ fn replayed_outcome(
         family: FaultFamily::of(faults),
         disk_ops: w.disk_ops,
         net_msgs: w.net_msgs,
+        disk_reads: w.disk_reads,
+        disk_writes: w.disk_writes,
+        disk_flushes: w.disk_flushes,
+        net_sends: w.net_sends,
+        net_recvs: w.net_recvs,
         kind: OutcomeKind::Ok,
         depth: w.depth,
         crash_points,
@@ -1386,6 +1460,7 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
             seed,
             config.max_steps,
             track,
+            false,
         );
         let mut out = finish_execution(
             &r,
@@ -1459,6 +1534,7 @@ fn execute_job<S: SpecTS, H: Harness<S>>(
                 &job.faults,
                 seed,
                 config.max_steps,
+                false,
                 false,
             );
             let mut out2 = finish_execution(
@@ -1673,7 +1749,17 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     // Enumerable sweep spaces, recorded as each pass derives its job
     // list (deterministic: job derivation is probe-driven, not timed).
     let mut coverage = Coverage::default();
+    // Per-pass wall-time profile: each `pass_start` closes the previous
+    // pass with a timed `pass_end` record, and the run tail closes the
+    // last one. Emitted from the coordinating thread only, so the event
+    // order is deterministic for a fixed config.
+    let pass_timer: Mutex<Option<(Pass, Instant)>> = Mutex::new(None);
     let pass_start = |pass: Pass| {
+        let mut cur = pass_timer.lock();
+        if let Some((prev, started)) = cur.take() {
+            telem.emit(&telemetry::ev_pass_end(prev, started.elapsed()));
+        }
+        *cur = Some((pass, Instant::now()));
         telem.emit(&telemetry::ev_pass_start(pass));
     };
 
@@ -2057,6 +2143,27 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
         counterexamples.retain(|cx| cx.key() <= cut);
     }
 
+    // Attach a causal timeline to the winning counterexample by
+    // re-running it with the trace recorder on. The re-run is a pure
+    // side channel: it emits no telemetry, counts toward no statistic,
+    // and the timeline is excluded from campaign JSON and fingerprints,
+    // so the report is byte-identical with capture on or off.
+    if config.trace_capture {
+        if let Some(first) = counterexamples.first_mut() {
+            let r = run_one(
+                harness,
+                cx_policy(first),
+                &first.crash_points,
+                &first.faults,
+                first.seed,
+                config.max_steps,
+                false,
+                true,
+            );
+            first.timeline = r.exec_trace;
+        }
+    }
+
     let mut report = CheckReport {
         name: harness.name().to_string(),
         workers,
@@ -2075,6 +2182,11 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
         report.helped_ops += out.helped;
         report.crash_points += out.swept;
         report.fault_plans += out.plans;
+        report.disk_reads += out.disk_reads;
+        report.disk_writes += out.disk_writes;
+        report.disk_flushes += out.disk_flushes;
+        report.net_sends += out.net_sends;
+        report.net_recvs += out.net_recvs;
 
         report.outcomes.record(out.kind);
         report.steps_hist.record(out.steps);
@@ -2134,6 +2246,9 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     report.incomplete = incomplete;
     report.wall_time = start.elapsed();
     report.execs_per_sec = report.executions as f64 / report.wall_time.as_secs_f64().max(1e-9);
+    if let Some((prev, started)) = pass_timer.lock().take() {
+        telem.emit(&telemetry::ev_pass_end(prev, started.elapsed()));
+    }
     telem.emit(&telemetry::ev_run_end(&report));
     report
 }
@@ -2154,8 +2269,28 @@ pub fn run_scenario<S: SpecTS, H: Harness<S>>(
         config.seed,
         config.max_steps,
         false,
+        false,
     );
     (r.outcome, r.trace)
+}
+
+/// The schedule policy that reproduces a counterexample: DFS prefixes
+/// for the DFS pass, the recorded seed (plus corpus prefix) for the
+/// random passes, round-robin for the sweep passes.
+fn cx_policy(cx: &Counterexample) -> Policy {
+    match cx.pass {
+        Pass::Random | Pass::RandomCrash | Pass::RandomCrashProbe => Policy::Random {
+            seed: cx.seed,
+            prefix: cx.schedule_prefix.clone(),
+        },
+        Pass::CrashSweepBase
+        | Pass::CrashSweep
+        | Pass::NestedCrash
+        | Pass::DiskFault
+        | Pass::TornWrite
+        | Pass::NetFault => Policy::RoundRobin,
+        Pass::Dfs => Policy::DfsPrefix(cx.schedule_prefix.clone()),
+    }
 }
 
 /// Replays a counterexample: reruns the execution with the recorded
@@ -2172,26 +2307,14 @@ pub fn replay<S: SpecTS, H: Harness<S>>(
     cx: &Counterexample,
     config: &CheckConfig,
 ) -> (ExecOutcome, String) {
-    let policy = match cx.pass {
-        Pass::Random | Pass::RandomCrash | Pass::RandomCrashProbe => Policy::Random {
-            seed: cx.seed,
-            prefix: cx.schedule_prefix.clone(),
-        },
-        Pass::CrashSweepBase
-        | Pass::CrashSweep
-        | Pass::NestedCrash
-        | Pass::DiskFault
-        | Pass::TornWrite
-        | Pass::NetFault => Policy::RoundRobin,
-        Pass::Dfs => Policy::DfsPrefix(cx.schedule_prefix.clone()),
-    };
     let r = run_one(
         harness,
-        policy,
+        cx_policy(cx),
         &cx.crash_points,
         &cx.faults,
         cx.seed,
         config.max_steps,
+        false,
         false,
     );
     (r.outcome, r.trace)

@@ -22,6 +22,7 @@
 //! commit-point instrumentation.
 
 pub mod campaign;
+pub mod dashboard;
 pub mod explore;
 pub mod harness;
 pub mod linearize;
@@ -32,10 +33,12 @@ pub mod report;
 pub mod scenario;
 pub mod strategy;
 pub mod telemetry;
+pub mod timeline;
 
 pub use campaign::{
     merge_reports, parse_shard, report_fingerprint, report_from_json, report_to_json,
 };
+pub use dashboard::{render_dashboard, Dashboard, ScenarioDash, ShardRun};
 pub use explore::{
     check, replay, run_scenario, shard_of, CheckConfig, CheckConfigBuilder, CheckReport,
     Counterexample, ExecOutcome,
@@ -46,14 +49,13 @@ pub use linearize::{check_linearizable, HistOp, Verdict};
 pub use metrics::{
     trace_fingerprint, Coverage, Histogram, OutcomeCounts, OutcomeKind, PassMetrics,
 };
-#[allow(deprecated)]
-pub use pass::pass_rank;
 pub use pass::{Pass, PassSet};
 pub use recorder::{Recorder, DROPPED};
 pub use report::{describe_outcome, render_failure, render_summary, verdict_line};
 pub use scenario::{Scenario, ScenarioSet};
 pub use strategy::{CoverageGuided, Exhaustive, Random, SleepSetDpor, Strategy, StrategySession};
 pub use telemetry::{validate_json_line, TelemetrySink, TIMING_KEYS};
+pub use timeline::{chrome_trace_json, render_explain};
 
 /// One-stop imports for writing and running harnesses:
 /// `use perennial_checker::prelude::*;`.

@@ -196,12 +196,6 @@ impl fmt::Debug for PassSet {
     }
 }
 
-/// Rank of a pass name (legacy string API).
-#[deprecated(note = "use Pass::rank via pass.parse::<Pass>()")]
-pub fn pass_rank(pass: &str) -> u8 {
-    pass.parse::<Pass>().map(Pass::rank).unwrap_or(u8::MAX)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

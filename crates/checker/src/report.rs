@@ -99,6 +99,19 @@ pub fn render_summary(report: &CheckReport) -> String {
     let _ = writeln!(out, "Outcomes        : {}", report.outcomes.render());
     let _ = writeln!(out, "Steps/exec      : {}", report.steps_hist.render());
     let _ = writeln!(out, "Schedule depth  : {}", report.depth_hist.render());
+    if report.disk_reads + report.disk_writes + report.disk_flushes > 0
+        || report.net_sends + report.net_recvs > 0
+    {
+        let _ = writeln!(
+            out,
+            "Model ops       : disk {}r/{}w/{}f, net {}s/{}r",
+            report.disk_reads,
+            report.disk_writes,
+            report.disk_flushes,
+            report.net_sends,
+            report.net_recvs
+        );
+    }
     out.push_str(&render_pass_breakdown(report));
     let _ = writeln!(out, "Coverage        :");
     out.push_str(&report.coverage.render());
@@ -156,6 +169,11 @@ pub fn render_failure(report: &CheckReport) -> Option<String> {
         let _ = writeln!(out, "  (no ghost events recorded)");
     } else {
         out.push_str(&cx.trace);
+    }
+    if let Some(timeline) = &cx.timeline {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "Causal explain timeline:");
+        out.push_str(&crate::timeline::render_explain(timeline));
     }
     let _ = writeln!(out);
     let _ = writeln!(
@@ -252,6 +270,7 @@ mod tests {
                 clamped: vec![],
                 faults: goose_rt::fault::FaultPlan::default(),
                 trace: "  [  0] Invoke { jid: j0, op: Write(3, 9) }\n".into(),
+                timeline: None,
             }),
             ..CheckReport::default()
         }
@@ -351,6 +370,53 @@ mod tests {
         assert!(text.contains("2/10 exercised (20%)"), "{text}");
         assert!(text.contains("3 distinct fingerprints"), "{text}");
         assert!(text.contains("execs/s"), "{text}");
+    }
+
+    #[test]
+    fn failure_report_embeds_the_explain_timeline_when_captured() {
+        use goose_rt::trace::{ExecTrace, TraceEvent, TraceKind};
+        let mut r = failing_report();
+        r.counterexample.as_mut().unwrap().timeline = Some(ExecTrace {
+            events: vec![TraceEvent {
+                seq: 0,
+                tid: Some(0),
+                kind: TraceKind::DiskWrite { tag: 0, block: 3 },
+                happens_after: None,
+            }],
+            threads: vec!["writer".into()],
+            truncated: false,
+        });
+        let text = render_failure(&r).expect("has counterexample");
+        assert!(text.contains("Causal explain timeline:"), "{text}");
+        assert!(text.contains("disk write b3"), "{text}");
+
+        // And the section is absent entirely when capture was off.
+        let plain = render_failure(&failing_report()).unwrap();
+        assert!(!plain.contains("Causal explain timeline"), "{plain}");
+    }
+
+    #[test]
+    fn summary_shows_model_op_counters_only_when_nonzero() {
+        let quiet = CheckReport {
+            name: "quiet".into(),
+            ..CheckReport::default()
+        };
+        assert!(!render_summary(&quiet).contains("Model ops"));
+
+        let busy = CheckReport {
+            name: "busy".into(),
+            disk_reads: 4,
+            disk_writes: 9,
+            disk_flushes: 2,
+            net_sends: 5,
+            net_recvs: 5,
+            ..CheckReport::default()
+        };
+        let text = render_summary(&busy);
+        assert!(
+            text.contains("Model ops       : disk 4r/9w/2f, net 5s/5r"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -245,9 +245,12 @@ impl RunTelemetry {
 }
 
 /// 64-bit values (seeds, fingerprints) go into JSON as hex strings: the
-/// shim's numbers are f64 and would silently round above 2^53.
+/// shim's numbers are f64 and would silently round above 2^53. Always
+/// zero-padded to 16 hex digits (18 chars with the `0x` prefix) so hex
+/// fields are fixed-width, lexicographically ordered, and trivially
+/// greppable across a campaign's worth of streams.
 fn hex64(v: u64) -> String {
-    format!("{v:#x}")
+    format!("{v:#018x}")
 }
 
 pub fn ev_run_start(name: &str, config: &CheckConfig, workers: usize) -> Value {
@@ -276,6 +279,18 @@ pub fn ev_pass_start(pass: Pass) -> Value {
     })
 }
 
+/// Closes a pass with its wall-time profile. `duration_us` is a
+/// [`TIMING_KEYS`] member, so byte-stability comparisons see a stable
+/// record while dashboards get a per-pass wall profile.
+pub fn ev_pass_end(pass: Pass, duration: Duration) -> Value {
+    json!({
+        "type": "pass_end",
+        "pass": pass.name(),
+        "rank": pass.rank(),
+        "duration_us": (duration.as_micros() as u64),
+    })
+}
+
 /// One finished execution, as recorded in the JSONL stream. The record
 /// doubles as the campaign WAL entry: it carries every deterministic
 /// statistic a resumed run needs to reconstruct the execution's
@@ -293,6 +308,11 @@ pub struct ExecEvent<'a> {
     pub lock_blocks: u64,
     pub disk_ops: u64,
     pub net_msgs: u64,
+    pub disk_reads: u64,
+    pub disk_writes: u64,
+    pub disk_flushes: u64,
+    pub net_sends: u64,
+    pub net_recvs: u64,
     pub trace_fp: u64,
     pub faults: &'a str,
     pub duration: Duration,
@@ -312,6 +332,11 @@ pub fn ev_exec_done(e: &ExecEvent<'_>) -> Value {
         "lock_blocks": e.lock_blocks,
         "disk_ops": e.disk_ops,
         "net_msgs": e.net_msgs,
+        "disk_reads": e.disk_reads,
+        "disk_writes": e.disk_writes,
+        "disk_flushes": e.disk_flushes,
+        "net_sends": e.net_sends,
+        "net_recvs": e.net_recvs,
         "trace_fp": hex64(e.trace_fp),
         "faults": e.faults,
         "duration_us": (e.duration.as_micros() as u64),
@@ -345,6 +370,11 @@ pub fn ev_run_end(report: &CheckReport) -> Value {
         "crashes_injected": report.crashes_injected,
         "crash_points": report.crash_points,
         "fault_plans": report.fault_plans,
+        "disk_reads": report.disk_reads,
+        "disk_writes": report.disk_writes,
+        "disk_flushes": report.disk_flushes,
+        "net_sends": report.net_sends,
+        "net_recvs": report.net_recvs,
         "counterexamples": report.counterexamples.len(),
         "outcomes": Value::Object(outcomes),
         "crash_points_exercised": report.coverage.crash_points_exercised,
@@ -392,6 +422,11 @@ pub struct WalExec {
     pub depth: u64,
     pub disk_ops: u64,
     pub net_msgs: u64,
+    pub disk_reads: u64,
+    pub disk_writes: u64,
+    pub disk_flushes: u64,
+    pub net_sends: u64,
+    pub net_recvs: u64,
     pub trace_fp: u64,
 }
 
@@ -488,6 +523,11 @@ pub fn parse_wal(text: &str, scenario: &str) -> WalReplay {
                         depth: field_u64(&map, "depth").unwrap_or(0),
                         disk_ops: field_u64(&map, "disk_ops").unwrap_or(0),
                         net_msgs: field_u64(&map, "net_msgs").unwrap_or(0),
+                        disk_reads: field_u64(&map, "disk_reads").unwrap_or(0),
+                        disk_writes: field_u64(&map, "disk_writes").unwrap_or(0),
+                        disk_flushes: field_u64(&map, "disk_flushes").unwrap_or(0),
+                        net_sends: field_u64(&map, "net_sends").unwrap_or(0),
+                        net_recvs: field_u64(&map, "net_recvs").unwrap_or(0),
                         trace_fp,
                     },
                 );
@@ -598,6 +638,11 @@ mod tests {
             lock_blocks: 0,
             disk_ops: 4,
             net_msgs: 5,
+            disk_reads: 11,
+            disk_writes: 12,
+            disk_flushes: 13,
+            net_sends: 14,
+            net_recvs: 15,
             trace_fp: 0xdead_beef,
             faults: "-",
             duration: Duration::ZERO,
@@ -608,8 +653,87 @@ mod tests {
     fn big_seeds_survive_as_hex() {
         let seed = u64::MAX - 12345;
         let text = serde_json::to_string(&exec_event(seed, OutcomeKind::Ok)).unwrap();
-        assert!(text.contains(&format!("{seed:#x}")), "{text}");
-        assert!(text.contains("0xdeadbeef"), "{text}");
+        assert!(text.contains(&format!("{seed:#018x}")), "{text}");
+        assert!(text.contains("0x00000000deadbeef"), "{text}");
+    }
+
+    /// Every hex-encoded 64-bit field in every event type is exactly 18
+    /// characters: `0x` plus 16 zero-padded hex digits. Fixed width
+    /// keeps the fields greppable and lexicographically ordered across a
+    /// campaign's worth of streams.
+    #[test]
+    fn hex_fields_are_zero_padded_to_16_digits_in_every_event() {
+        fn assert_hex_fields(v: &Value, keys: &[&str]) {
+            let Value::Object(m) = v else {
+                panic!("event is not an object");
+            };
+            for key in keys {
+                let Some(Value::String(s)) = m.get(key) else {
+                    panic!("missing hex field {key} in {v:?}");
+                };
+                assert_eq!(s.len(), 18, "{key}={s} is not 18 chars");
+                assert!(s.starts_with("0x"), "{key}={s}");
+                assert!(
+                    s[2..].chars().all(|c| c.is_ascii_hexdigit()),
+                    "{key}={s} has non-hex digits"
+                );
+                // Round-trips through the WAL parser's decoding.
+                assert!(u64::from_str_radix(&s[2..], 16).is_ok(), "{key}={s}");
+            }
+        }
+        let config = CheckConfig {
+            seed: 0x1,
+            ..CheckConfig::default()
+        };
+        assert_hex_fields(&ev_run_start("s", &config, 1), &["seed"]);
+        assert_hex_fields(&exec_event(7, OutcomeKind::Ok), &["seed", "trace_fp"]);
+        let cx = crate::Counterexample {
+            outcome: crate::ExecOutcome::Deadlock,
+            pass: Pass::CrashSweep,
+            index: 3,
+            seed: 0xbeef,
+            schedule_prefix: vec![],
+            crash_points: vec![2],
+            clamped: vec![],
+            faults: goose_rt::fault::FaultPlan::default(),
+            trace: String::new(),
+            timeline: None,
+        };
+        assert_hex_fields(&ev_counterexample(&cx), &["seed"]);
+    }
+
+    /// `strip_timing` is shape-preserving: an event with no timing keys
+    /// anywhere — including nested objects and arrays — round-trips
+    /// byte-identically.
+    #[test]
+    fn strip_timing_round_trips_nested_events_unchanged() {
+        let v = json!({
+            "type": "run_end",
+            "outcomes": { "ok": 5, "deadlock": 0 },
+            "incomplete": ["a", "b"],
+            "nested": { "deep": [ json!({ "seed": "0x00000000000000ff" }) ] },
+        });
+        assert_eq!(strip_timing(&v), v);
+        let text_before = serde_json::to_string(&v).unwrap();
+        let text_after = serde_json::to_string(&strip_timing(&v)).unwrap();
+        assert_eq!(text_before, text_after);
+    }
+
+    #[test]
+    fn pass_end_carries_its_duration_as_a_timing_key() {
+        let v = ev_pass_end(Pass::CrashSweep, Duration::from_micros(250));
+        let Value::Object(m) = &v else {
+            panic!("not an object")
+        };
+        assert_eq!(m.get("type"), Some(&Value::String("pass_end".into())));
+        assert_eq!(m.get("duration_us"), Some(&Value::Number(250.0)));
+        // The duration is stripped for byte-stability comparisons.
+        let stripped = strip_timing(&v);
+        let Value::Object(sm) = &stripped else {
+            panic!("not an object")
+        };
+        assert!(sm.get("duration_us").is_none());
+        assert_eq!(sm.get("pass"), Some(&Value::String("crash-sweep".into())));
     }
 
     #[test]
@@ -640,6 +764,11 @@ mod tests {
                 depth: 3,
                 disk_ops: 4,
                 net_msgs: 5,
+                disk_reads: 11,
+                disk_writes: 12,
+                disk_flushes: 13,
+                net_sends: 14,
+                net_recvs: 15,
                 trace_fp: 0xdead_beef,
             }
         );

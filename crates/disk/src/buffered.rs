@@ -72,6 +72,7 @@ impl BufferedDisk {
         self.rt.yield_point();
         self.rt.note_access(res::instance(self.tag), true);
         let mut pending = self.pending.lock();
+        self.rt.note_disk_flush(self.tag, pending.len() as u64);
         for (a, v) in pending.drain(..) {
             self.inner.poke(a, &v);
         }
@@ -100,6 +101,7 @@ impl BufferedDisk {
         if self.rt.next_disk_op_faulty() {
             return Err(IoError::Transient);
         }
+        self.rt.note_disk_write_through(self.tag, a);
         self.pending.lock().retain(|(b, _)| *b != a);
         self.inner.poke(a, v);
         Ok(())
@@ -111,6 +113,24 @@ impl BufferedDisk {
     pub fn crash_torn(&self) {
         let mut pending = self.pending.lock();
         let keep = self.rt.torn_keep(pending.len());
+        if self.rt.tracing_enabled() && !pending.is_empty() {
+            let (mut kept_blocks, mut dropped_blocks) = (Vec::new(), Vec::new());
+            for ((a, _), kept) in pending.iter().zip(&keep) {
+                if *kept {
+                    kept_blocks.push(*a);
+                } else {
+                    dropped_blocks.push(*a);
+                }
+            }
+            self.rt.trace_event_for(
+                None,
+                goose_rt::trace::TraceKind::CrashTorn {
+                    tag: self.tag,
+                    kept: kept_blocks,
+                    dropped: dropped_blocks,
+                },
+            );
+        }
         for ((a, v), kept) in pending.drain(..).zip(keep) {
             if kept {
                 self.inner.poke(a, &v);
@@ -162,6 +182,7 @@ impl SingleDisk for BufferedDisk {
     fn try_read(&self, a: u64) -> IoResult<Block> {
         self.rt.yield_point();
         self.rt.note_access(res::instance(self.tag), false);
+        self.rt.note_disk_read(self.tag, a);
         if a >= self.inner.size() {
             oob_ub("read", a, self.inner.size());
         }
@@ -181,6 +202,7 @@ impl SingleDisk for BufferedDisk {
         assert_eq!(v.len(), self.block_size(), "partial block write");
         self.rt.yield_point();
         self.rt.note_access(res::instance(self.tag), true);
+        self.rt.note_disk_write(self.tag, a);
         if a >= self.inner.size() {
             oob_ub("write", a, self.inner.size());
         }

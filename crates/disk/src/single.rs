@@ -131,6 +131,7 @@ impl SingleDisk for ModelDisk {
     fn try_read(&self, a: u64) -> IoResult<Block> {
         self.rt.yield_point();
         self.rt.note_access(res::disk_block(self.tag, a), false);
+        self.rt.note_disk_read(self.tag, a);
         *self.ops.lock() += 1;
         let blocks = self.blocks.lock();
         if a as usize >= blocks.len() {
@@ -146,6 +147,7 @@ impl SingleDisk for ModelDisk {
         assert_eq!(v.len(), self.block_size, "partial block write");
         self.rt.yield_point();
         self.rt.note_access(res::disk_block(self.tag, a), true);
+        self.rt.note_disk_write(self.tag, a);
         *self.ops.lock() += 1;
         let mut blocks = self.blocks.lock();
         if a as usize >= blocks.len() {

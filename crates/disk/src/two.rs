@@ -91,6 +91,13 @@ impl ModelTwoDisks {
     /// scheduled thread body, so it carries a dependency footprint).
     pub fn fail(&self, d: DiskId) {
         self.rt.note_access(res::instance(self.tag), true);
+        self.rt
+            .trace_event(goose_rt::trace::TraceKind::FaultDiskFail {
+                disk: match d {
+                    DiskId::D1 => 1,
+                    DiskId::D2 => 2,
+                },
+            });
         let mut s = self.state.lock();
         match d {
             DiskId::D1 => s.failed1 = true,
@@ -170,6 +177,7 @@ impl TwoDisks for ModelTwoDisks {
         self.rt.yield_point();
         self.rt
             .note_access(res::disk_block(self.tag, Self::addr(d, a)), false);
+        self.rt.note_disk_read(self.tag, Self::addr(d, a));
         // Reads consult the failure flags, which `fail` can flip from a
         // scheduled thread.
         self.rt.note_access(res::instance(self.tag), false);
@@ -194,6 +202,7 @@ impl TwoDisks for ModelTwoDisks {
         self.rt.yield_point();
         self.rt
             .note_access(res::disk_block(self.tag, Self::addr(d, a)), true);
+        self.rt.note_disk_write(self.tag, Self::addr(d, a));
         self.rt.note_access(res::instance(self.tag), false);
         let mut s = self.state.lock();
         s.ops += 1;

@@ -109,9 +109,10 @@ impl BufferedFs {
         })
     }
 
-    fn step(&self, write: bool) -> parking_lot::MutexGuard<'_, BufState> {
+    fn step(&self, write: bool, op: &'static str) -> parking_lot::MutexGuard<'_, BufState> {
         self.rt.yield_point();
         self.rt.note_access(res::instance(self.tag), write);
+        self.rt.note_fs_op(self.tag, op, write);
         let mut s = self.state.lock();
         s.ops += 1;
         s
@@ -120,7 +121,7 @@ impl BufferedFs {
     /// Flushes one file's contents to the durable image (POSIX
     /// `fsync(fd)`: data only, not the directory entry naming it).
     pub fn fsync(&self, fd: Fd) -> FsResult<()> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "fsync");
         let ino = s.fds.get(&fd).ok_or(FsError::BadFd)?.inode;
         let data = s.vol.inodes.get(&ino).cloned().ok_or(FsError::BadFd)?;
         s.dur.inodes.insert(ino, data);
@@ -131,7 +132,7 @@ impl BufferedFs {
     /// pointing at never-fsynced inodes persist with empty contents
     /// (metadata before data — the realistic hazard).
     pub fn dir_sync(&self, dir: DirH) -> FsResult<()> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "dir_sync");
         let table = s.vol.dirs.get(dir).cloned().ok_or(FsError::NotFound)?;
         for ino in table.values() {
             s.dur.inodes.entry(*ino).or_default();
@@ -145,7 +146,7 @@ impl BufferedFs {
 
     /// Flushes everything (like `sync(2)`).
     pub fn sync_all(&self) -> FsResult<()> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "sync_all");
         s.dur = s.vol.clone();
         Ok(())
     }
@@ -182,12 +183,12 @@ impl BufferedFs {
 
 impl FileSys for BufferedFs {
     fn resolve(&self, dir: &str) -> FsResult<DirH> {
-        let s = self.step(false);
+        let s = self.step(false, "resolve");
         s.dir_names.get(dir).copied().ok_or(FsError::NotFound)
     }
 
     fn create(&self, dir: DirH, name: &str) -> FsResult<Option<Fd>> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "create");
         if dir >= s.vol.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -211,7 +212,7 @@ impl FileSys for BufferedFs {
     }
 
     fn open(&self, dir: DirH, name: &str) -> FsResult<Fd> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "open");
         if dir >= s.vol.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -229,7 +230,7 @@ impl FileSys for BufferedFs {
     }
 
     fn append(&self, fd: Fd, data: &[u8]) -> FsResult<()> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "append");
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         if entry.mode != Mode::Append {
             return Err(FsError::BadMode);
@@ -244,7 +245,7 @@ impl FileSys for BufferedFs {
     }
 
     fn read_at(&self, fd: Fd, off: u64, len: u64) -> FsResult<Vec<u8>> {
-        let s = self.step(false);
+        let s = self.step(false, "read_at");
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         if entry.mode != Mode::Read {
             return Err(FsError::BadMode);
@@ -256,13 +257,13 @@ impl FileSys for BufferedFs {
     }
 
     fn size(&self, fd: Fd) -> FsResult<u64> {
-        let s = self.step(false);
+        let s = self.step(false, "size");
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         Ok(s.vol.inodes.get(&entry.inode).ok_or(FsError::BadFd)?.len() as u64)
     }
 
     fn close(&self, fd: Fd) -> FsResult<()> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "close");
         s.fds.remove(&fd).ok_or(FsError::BadFd)?;
         let live = fd_inodes(&s.fds);
         s.vol.gc(&live);
@@ -270,7 +271,7 @@ impl FileSys for BufferedFs {
     }
 
     fn delete(&self, dir: DirH, name: &str) -> FsResult<()> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "delete");
         if dir >= s.vol.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -281,7 +282,7 @@ impl FileSys for BufferedFs {
     }
 
     fn link(&self, src: DirH, src_name: &str, dst: DirH, dst_name: &str) -> FsResult<bool> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "link");
         if src >= s.vol.dirs.len() || dst >= s.vol.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -294,7 +295,7 @@ impl FileSys for BufferedFs {
     }
 
     fn list(&self, dir: DirH) -> FsResult<Vec<String>> {
-        let s = self.step(false);
+        let s = self.step(false, "list");
         if dir >= s.vol.dirs.len() {
             return Err(FsError::NotFound);
         }

@@ -91,9 +91,10 @@ impl ModelFs {
         Some(s.dirs[d].keys().cloned().collect())
     }
 
-    fn step(&self, write: bool) -> parking_lot::MutexGuard<'_, FsState> {
+    fn step(&self, write: bool, op: &'static str) -> parking_lot::MutexGuard<'_, FsState> {
         self.rt.yield_point();
         self.rt.note_access(res::instance(self.tag), write);
+        self.rt.note_fs_op(self.tag, op, write);
         let mut s = self.state.lock();
         s.ops += 1;
         s
@@ -114,12 +115,12 @@ impl ModelFs {
 
 impl FileSys for ModelFs {
     fn resolve(&self, dir: &str) -> FsResult<DirH> {
-        let s = self.step(false);
+        let s = self.step(false, "resolve");
         s.dir_names.get(dir).copied().ok_or(FsError::NotFound)
     }
 
     fn create(&self, dir: DirH, name: &str) -> FsResult<Option<Fd>> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "create");
         if dir >= s.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -149,7 +150,7 @@ impl FileSys for ModelFs {
     }
 
     fn open(&self, dir: DirH, name: &str) -> FsResult<Fd> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "open");
         if dir >= s.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -167,7 +168,7 @@ impl FileSys for ModelFs {
     }
 
     fn append(&self, fd: Fd, data: &[u8]) -> FsResult<()> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "append");
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         if entry.mode != Mode::Append {
             return Err(FsError::BadMode);
@@ -182,7 +183,7 @@ impl FileSys for ModelFs {
     }
 
     fn read_at(&self, fd: Fd, off: u64, len: u64) -> FsResult<Vec<u8>> {
-        let s = self.step(false);
+        let s = self.step(false, "read_at");
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         if entry.mode != Mode::Read {
             return Err(FsError::BadMode);
@@ -194,20 +195,20 @@ impl FileSys for ModelFs {
     }
 
     fn size(&self, fd: Fd) -> FsResult<u64> {
-        let s = self.step(false);
+        let s = self.step(false, "size");
         let entry = s.fds.get(&fd).ok_or(FsError::BadFd)?;
         Ok(s.inodes.get(&entry.inode).ok_or(FsError::BadFd)?.data.len() as u64)
     }
 
     fn close(&self, fd: Fd) -> FsResult<()> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "close");
         let entry = s.fds.remove(&fd).ok_or(FsError::BadFd)?;
         ModelFs::free_if_unlinked(&mut s, entry.inode);
         Ok(())
     }
 
     fn delete(&self, dir: DirH, name: &str) -> FsResult<()> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "delete");
         if dir >= s.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -220,7 +221,7 @@ impl FileSys for ModelFs {
     }
 
     fn link(&self, src: DirH, src_name: &str, dst: DirH, dst_name: &str) -> FsResult<bool> {
-        let mut s = self.step(true);
+        let mut s = self.step(true, "link");
         if src >= s.dirs.len() || dst >= s.dirs.len() {
             return Err(FsError::NotFound);
         }
@@ -236,7 +237,7 @@ impl FileSys for ModelFs {
     }
 
     fn list(&self, dir: DirH) -> FsResult<Vec<String>> {
-        let s = self.step(false);
+        let s = self.step(false, "list");
         if dir >= s.dirs.len() {
             return Err(FsError::NotFound);
         }

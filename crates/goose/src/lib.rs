@@ -26,6 +26,7 @@ pub mod heap;
 pub mod net;
 pub mod runtime;
 pub mod sched;
+pub mod trace;
 
 pub use fault::{
     retry_with_backoff, FaultPlan, FaultSurface, IoError, IoResult, NetFault, TornMode,
@@ -39,3 +40,4 @@ pub use sched::{
     quiet_worker_panics, res, CrashSignal, LockId, ModelRt, PanicKind, SchedStats, StepAccess,
     StepBudgetSignal, StepResult, Tid, UbSignal,
 };
+pub use trace::{ExecTrace, TraceEvent, TraceKind};

@@ -55,6 +55,7 @@ impl ModelNet {
     pub fn send(&self, msg: &[u8]) {
         self.rt.yield_point();
         self.rt.note_access(res::instance(self.tag), true);
+        self.rt.note_net_send(self.tag, msg.len() as u64);
         let fault = self.rt.next_net_fault();
         let mut s = self.state.lock();
         match fault {
@@ -86,11 +87,17 @@ impl ModelNet {
     pub fn recv(&self) -> Option<Vec<u8>> {
         self.rt.yield_point();
         self.rt.note_access(res::instance(self.tag), true);
-        let mut s = self.state.lock();
-        if let Some(m) = s.queue.pop_front() {
-            return Some(m);
+        let msg = {
+            let mut s = self.state.lock();
+            match s.queue.pop_front() {
+                Some(m) => Some(m),
+                None => s.delayed.take(),
+            }
+        };
+        if let Some(m) = &msg {
+            self.rt.note_net_recv(self.tag, m.len() as u64);
         }
-        s.delayed.take()
+        msg
     }
 
     /// Marks the sender side finished; receivers can stop polling once

@@ -15,6 +15,7 @@
 //! checker explores.
 
 use crate::fault::{FaultPlan, NetFault, TornMode};
+use crate::trace::{ExecTrace, TraceBuf, TraceKind};
 use parking_lot::{Condvar, Mutex};
 use perennial::GhostPanic;
 use std::cell::Cell;
@@ -117,6 +118,16 @@ struct RtState {
     lock_acquires: u64,
     /// Times a thread found its lock held and parked (contention).
     lock_blocks: u64,
+    /// Disk block reads (all disk models).
+    disk_reads: u64,
+    /// Disk block writes, buffered or direct (all disk models).
+    disk_writes: u64,
+    /// Disk flush barriers (including write-throughs).
+    disk_flushes: u64,
+    /// Network sends that reached a channel.
+    net_sends: u64,
+    /// Network receives that dequeued a message.
+    net_recvs: u64,
 }
 
 /// Snapshot of the runtime's step counters, the scheduler-level raw
@@ -139,6 +150,16 @@ pub struct SchedStats {
     pub lock_blocks: u64,
     /// Deterministic random draws consumed.
     pub rand_draws: u64,
+    /// Disk block reads (all disk models).
+    pub disk_reads: u64,
+    /// Disk block writes, buffered or direct (all disk models).
+    pub disk_writes: u64,
+    /// Disk flush barriers, including write-throughs.
+    pub disk_flushes: u64,
+    /// Network sends that reached a channel.
+    pub net_sends: u64,
+    /// Network receives that dequeued a message.
+    pub net_recvs: u64,
 }
 
 thread_local! {
@@ -255,6 +276,13 @@ pub struct ModelRt {
     cur_accesses: Mutex<Vec<StepAccess>>,
     /// Next instance tag for [`ModelRt::alloc_resource_tag`].
     next_tag: AtomicU64,
+    /// Whether the causal trace recorder is on (off by default; the
+    /// checker enables it when re-running a counterexample for explain
+    /// output). Checked lock-free so untraced runs pay one relaxed load
+    /// per event site.
+    tracing: AtomicBool,
+    /// The trace recording buffer (drained via [`ModelRt::take_trace`]).
+    trace_buf: Mutex<TraceBuf>,
 }
 
 /// Installs a process-wide panic hook (once) that silences the expected
@@ -321,6 +349,11 @@ impl ModelRt {
                 net_msgs: 0,
                 lock_acquires: 0,
                 lock_blocks: 0,
+                disk_reads: 0,
+                disk_writes: 0,
+                disk_flushes: 0,
+                net_sends: 0,
+                net_recvs: 0,
             }),
             cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
@@ -330,7 +363,50 @@ impl ModelRt {
             track_deps: AtomicBool::new(false),
             cur_accesses: Mutex::new(Vec::new()),
             next_tag: AtomicU64::new(0),
+            tracing: AtomicBool::new(false),
+            trace_buf: Mutex::new(TraceBuf::default()),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Causal trace recording (explain / trace-export support).
+    // ------------------------------------------------------------------
+
+    /// Enables (or disables) the causal trace recorder. A pure side
+    /// channel: no counter, schedule, or fault index observes it.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the trace recorder is currently on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Records one trace event attributed to the calling virtual thread
+    /// (or the controller, outside any). No-op when tracing is off.
+    pub fn trace_event(&self, kind: TraceKind) {
+        self.trace_event_for(Self::current_tid(), kind);
+    }
+
+    /// Records one trace event attributed to an explicit thread — the
+    /// controller uses this to attribute grants and spec events to the
+    /// thread it just granted. No-op when tracing is off.
+    pub fn trace_event_for(&self, tid: Option<Tid>, kind: TraceKind) {
+        if !self.tracing.load(Ordering::Relaxed) {
+            return;
+        }
+        self.trace_buf.lock().push(tid, kind);
+    }
+
+    /// Drains the recorded trace (with the thread-name table) and resets
+    /// the recorder.
+    pub fn take_trace(&self) -> ExecTrace {
+        let threads = {
+            let s = self.state.lock();
+            s.threads.iter().map(|m| m.name.clone()).collect()
+        };
+        self.trace_buf.lock().take(threads)
     }
 
     // ------------------------------------------------------------------
@@ -390,10 +466,17 @@ impl ModelRt {
         if !self.faults.transient_io.is_empty() {
             self.note_access(res::DISK_FAULT_CTR, true);
         }
-        let mut s = self.state.lock();
-        let i = s.disk_ops;
-        s.disk_ops += 1;
-        self.faults.transient_io.contains(&i)
+        let faulty = {
+            let mut s = self.state.lock();
+            let i = s.disk_ops;
+            s.disk_ops += 1;
+            self.faults.transient_io.contains(&i).then_some(i)
+        };
+        if let Some(op) = faulty {
+            self.trace_event(TraceKind::FaultDiskTransient { op });
+            return true;
+        }
+        false
     }
 
     /// Disk operations consulted so far (fault-sweep probes use this to
@@ -408,10 +491,73 @@ impl ModelRt {
         if !self.faults.net.is_empty() {
             self.note_access(res::NET_FAULT_CTR, true);
         }
-        let mut s = self.state.lock();
-        let i = s.net_msgs;
-        s.net_msgs += 1;
-        self.faults.net.get(&i).copied()
+        let (i, fault) = {
+            let mut s = self.state.lock();
+            let i = s.net_msgs;
+            s.net_msgs += 1;
+            (i, self.faults.net.get(&i).copied())
+        };
+        if let Some(f) = fault {
+            self.trace_event(TraceKind::FaultNet { msg: i, fault: f });
+        }
+        fault
+    }
+
+    // ------------------------------------------------------------------
+    // Model-operation accounting (disk / fs / net hooks).
+    //
+    // The storage and network models call these once per operation; each
+    // bumps the matching `SchedStats` counter and, when tracing is on,
+    // records the structured trace event. Counters are unconditional —
+    // they are deterministic schedule functions the checker reports —
+    // while trace events are the opt-in side channel.
+    // ------------------------------------------------------------------
+
+    /// Accounts one disk block read.
+    pub fn note_disk_read(&self, tag: u64, block: u64) {
+        self.state.lock().disk_reads += 1;
+        self.trace_event(TraceKind::DiskRead { tag, block });
+    }
+
+    /// Accounts one buffered or direct disk block write.
+    pub fn note_disk_write(&self, tag: u64, block: u64) {
+        self.state.lock().disk_writes += 1;
+        self.trace_event(TraceKind::DiskWrite { tag, block });
+    }
+
+    /// Accounts one write-through (a write plus an immediate barrier).
+    pub fn note_disk_write_through(&self, tag: u64, block: u64) {
+        {
+            let mut s = self.state.lock();
+            s.disk_writes += 1;
+            s.disk_flushes += 1;
+        }
+        self.trace_event(TraceKind::DiskWriteThrough { tag, block });
+    }
+
+    /// Accounts one flush barrier that applied `applied` buffered writes.
+    pub fn note_disk_flush(&self, tag: u64, applied: u64) {
+        self.state.lock().disk_flushes += 1;
+        self.trace_event(TraceKind::DiskFlush { tag, applied });
+    }
+
+    /// Accounts one file-system operation (traced, not counted: fs ops
+    /// are not disk ops — `BufferedFs` durability is modelled at the
+    /// image level, not per block).
+    pub fn note_fs_op(&self, tag: u64, op: &'static str, write: bool) {
+        self.trace_event(TraceKind::FsOp { tag, op, write });
+    }
+
+    /// Accounts one network send.
+    pub fn note_net_send(&self, tag: u64, bytes: u64) {
+        self.state.lock().net_sends += 1;
+        self.trace_event(TraceKind::NetSend { tag, bytes });
+    }
+
+    /// Accounts one network receive that dequeued a message.
+    pub fn note_net_recv(&self, tag: u64, bytes: u64) {
+        self.state.lock().net_recvs += 1;
+        self.trace_event(TraceKind::NetRecv { tag, bytes });
     }
 
     /// Network sends consulted so far (net-fault-sweep probes use this
@@ -456,6 +602,7 @@ impl ModelRt {
             });
             s.threads.len() - 1
         };
+        self.trace_event_for(Some(tid), TraceKind::Spawn { name: name.clone() });
         let rt = Arc::clone(self);
         let handle = std::thread::Builder::new()
             .name(name)
@@ -590,6 +737,8 @@ impl ModelRt {
             if s.locks[lock].held_by.is_none() {
                 s.locks[lock].held_by = Some(tid);
                 s.lock_acquires += 1;
+                drop(s);
+                self.trace_event(TraceKind::LockAcquire { lock });
                 return;
             }
             assert_ne!(
@@ -599,6 +748,7 @@ impl ModelRt {
             );
             s.threads[tid].state = TState::Blocked(lock);
             s.lock_blocks += 1;
+            self.trace_event_for(Some(tid), TraceKind::LockBlock { lock });
             self.cv.notify_all();
             loop {
                 if s.poisoned {
@@ -643,6 +793,7 @@ impl ModelRt {
                 meta.state = TState::Paused;
             }
         }
+        self.trace_event_for(Some(tid), TraceKind::LockRelease { lock });
         self.cv.notify_all();
     }
 
@@ -694,6 +845,7 @@ impl ModelRt {
                 s.threads[tid].name, other
             ),
         }
+        self.trace_event_for(Some(tid), TraceKind::Grant { step: s.steps });
         s.threads[tid].state = TState::Granted;
         self.cv.notify_all();
         loop {
@@ -720,7 +872,9 @@ impl ModelRt {
     pub fn crash_all(&self) {
         {
             let mut s = self.state.lock();
+            let step = s.steps;
             s.poisoned = true;
+            self.trace_event_for(None, TraceKind::Crash { step });
             self.cv.notify_all();
         }
         let handles: Vec<JoinHandle<()>> = {
@@ -769,6 +923,11 @@ impl ModelRt {
             lock_acquires: s.lock_acquires,
             lock_blocks: s.lock_blocks,
             rand_draws: s.rand_ctr,
+            disk_reads: s.disk_reads,
+            disk_writes: s.disk_writes,
+            disk_flushes: s.disk_flushes,
+            net_sends: s.net_sends,
+            net_recvs: s.net_recvs,
         }
     }
 
@@ -1065,6 +1224,80 @@ mod tests {
         assert!(stats.steps > 0);
         assert_eq!(stats.disk_ops, 0);
         assert_eq!(stats.net_msgs, 0);
+        assert_eq!(stats.disk_reads, 0);
+        assert_eq!(stats.disk_writes, 0);
+        assert_eq!(stats.disk_flushes, 0);
+        assert_eq!(stats.net_sends, 0);
+        assert_eq!(stats.net_recvs, 0);
+    }
+
+    #[test]
+    fn model_op_hooks_feed_the_new_counters() {
+        let rt = ModelRt::new(0, 10_000);
+        rt.note_disk_read(0, 3);
+        rt.note_disk_write(0, 3);
+        rt.note_disk_write_through(0, 4);
+        rt.note_disk_flush(0, 2);
+        rt.note_net_send(1, 16);
+        rt.note_net_send(1, 16);
+        rt.note_net_recv(1, 16);
+        let stats = rt.sched_stats();
+        assert_eq!(stats.disk_reads, 1);
+        assert_eq!(stats.disk_writes, 2, "write-through counts as a write");
+        assert_eq!(stats.disk_flushes, 2, "write-through counts as a flush");
+        assert_eq!(stats.net_sends, 2);
+        assert_eq!(stats.net_recvs, 1);
+    }
+
+    #[test]
+    fn tracing_is_a_pure_side_channel() {
+        let run = |traced: bool| {
+            let rt = ModelRt::new(5, 10_000);
+            rt.set_tracing(traced);
+            let lock = rt.new_lock();
+            for label in ["a", "b"] {
+                let rt2 = Arc::clone(&rt);
+                rt.spawn(label, move || {
+                    rt2.lock_acquire(lock);
+                    rt2.yield_point();
+                    rt2.lock_release(lock);
+                });
+            }
+            run_round_robin(&rt);
+            (rt.sched_stats(), rt.take_trace())
+        };
+        let (stats_off, trace_off) = run(false);
+        let (stats_on, trace_on) = run(true);
+        assert_eq!(stats_off, stats_on, "tracing must not perturb counters");
+        assert!(trace_off.events.is_empty());
+        assert!(!trace_on.events.is_empty());
+        assert_eq!(trace_on.threads, vec!["a".to_string(), "b".to_string()]);
+        // The hand-off: some acquire carries a causal edge to a release.
+        let handoff = trace_on
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::LockAcquire { .. }) && e.happens_after.is_some());
+        assert!(handoff, "no lock hand-off edge in {:#?}", trace_on.events);
+    }
+
+    #[test]
+    fn crash_is_traced_with_its_step() {
+        let rt = ModelRt::new(0, 10_000);
+        rt.set_tracing(true);
+        let rt2 = Arc::clone(&rt);
+        rt.spawn("w", move || {
+            rt2.yield_point();
+            rt2.yield_point();
+        });
+        assert_eq!(rt.grant(0), StepResult::Yielded);
+        rt.crash_all();
+        let trace = rt.take_trace();
+        let crash = trace
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::Crash { .. }))
+            .expect("crash event recorded");
+        assert_eq!(crash.tid, None, "crashes are controller events");
     }
 
     #[test]

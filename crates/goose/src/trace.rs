@@ -1,0 +1,397 @@
+//! Per-execution causal trace recording.
+//!
+//! When tracing is enabled on a [`ModelRt`](crate::sched::ModelRt), every
+//! scheduler-visible event — grants, lock transitions, disk and network
+//! operations, fault injections, crash points, spec-visible ghost events —
+//! is appended to a side buffer as a [`TraceEvent`]. The stream is a pure
+//! observer: recording changes no counters, no schedules, no fault
+//! indices, so a traced re-run of an execution is step-for-step identical
+//! to the untraced original.
+//!
+//! Causality is lamport-style: events on one thread are ordered by their
+//! global sequence number (the virtual clock), and cross-thread edges are
+//! attached where the model runtime knows two steps synchronise —
+//! a lock hand-off (release → next acquire by another thread) and a
+//! network message (send → the receive that dequeues it). The checker's
+//! explain renderer and the Chrome-trace exporter both consume this
+//! structure.
+
+use crate::fault::NetFault;
+use crate::sched::Tid;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Position in the global trace order (the virtual clock).
+pub type Seq = u64;
+
+/// Hard cap on recorded events per execution, a memory backstop for
+/// wedged or runaway executions (`max_steps` already bounds the schedule,
+/// but one step can emit several events).
+pub const MAX_TRACE_EVENTS: usize = 1 << 20;
+
+/// What happened at one traced instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind {
+    /// A virtual thread was registered (its id is the event's `tid`).
+    Spawn {
+        /// Human name given at spawn.
+        name: String,
+    },
+    /// The controller granted this thread its `step`-th scheduler step.
+    Grant {
+        /// Global step count at grant time.
+        step: u64,
+    },
+    /// A model lock was acquired.
+    LockAcquire {
+        /// Lock id.
+        lock: usize,
+    },
+    /// The thread found the lock held and parked.
+    LockBlock {
+        /// Lock id.
+        lock: usize,
+    },
+    /// A model lock was released (waiters wake).
+    LockRelease {
+        /// Lock id.
+        lock: usize,
+    },
+    /// A disk block read.
+    DiskRead {
+        /// Instance tag of the disk model.
+        tag: u64,
+        /// Block address (two-disk models fold the disk bit in).
+        block: u64,
+    },
+    /// A buffered or direct disk block write.
+    DiskWrite {
+        /// Instance tag of the disk model.
+        tag: u64,
+        /// Block address.
+        block: u64,
+    },
+    /// A write-through (write + immediate durability, a barrier).
+    DiskWriteThrough {
+        /// Instance tag of the disk model.
+        tag: u64,
+        /// Block address.
+        block: u64,
+    },
+    /// A flush barrier: buffered writes became durable.
+    DiskFlush {
+        /// Instance tag of the disk model.
+        tag: u64,
+        /// Number of buffered writes applied by the barrier.
+        applied: u64,
+    },
+    /// Crash with a torn write buffer: which buffered block writes
+    /// survived and which were dropped (the unflushed-at-crash set).
+    CrashTorn {
+        /// Instance tag of the disk model.
+        tag: u64,
+        /// Block addresses whose buffered writes survived the tear.
+        kept: Vec<u64>,
+        /// Block addresses whose buffered writes were lost.
+        dropped: Vec<u64>,
+    },
+    /// A file-system operation (model fs and buffered fs).
+    FsOp {
+        /// Instance tag of the file-system model.
+        tag: u64,
+        /// Operation name (`create`, `append`, `fsync`, …).
+        op: &'static str,
+        /// Whether the operation mutates the file system.
+        write: bool,
+    },
+    /// A network send.
+    NetSend {
+        /// Instance tag of the channel.
+        tag: u64,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// A network receive that dequeued a message.
+    NetRecv {
+        /// Instance tag of the channel.
+        tag: u64,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// The fault plan injected a transient I/O error on this disk op.
+    FaultDiskTransient {
+        /// Global disk-op index that faulted.
+        op: u64,
+    },
+    /// The fault plan injected a network fault on this send.
+    FaultNet {
+        /// Global send index that faulted.
+        msg: u64,
+        /// The injected fault.
+        fault: NetFault,
+    },
+    /// A whole disk was failed permanently (two-disk model).
+    FaultDiskFail {
+        /// Which disk (1 or 2).
+        disk: u8,
+    },
+    /// The controller injected a crash: all threads unwound here.
+    Crash {
+        /// Global step count at the crash point.
+        step: u64,
+    },
+    /// A spec-visible ghost event (the checker records these per grant).
+    Spec {
+        /// Rendered ghost event.
+        event: String,
+    },
+}
+
+impl TraceKind {
+    /// Coarse category tag (the Chrome-trace `cat` field).
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceKind::Spawn { .. } | TraceKind::Grant { .. } => "sched",
+            TraceKind::LockAcquire { .. }
+            | TraceKind::LockBlock { .. }
+            | TraceKind::LockRelease { .. } => "lock",
+            TraceKind::DiskRead { .. }
+            | TraceKind::DiskWrite { .. }
+            | TraceKind::DiskWriteThrough { .. }
+            | TraceKind::DiskFlush { .. } => "disk",
+            TraceKind::FsOp { .. } => "fs",
+            TraceKind::NetSend { .. } | TraceKind::NetRecv { .. } => "net",
+            TraceKind::FaultDiskTransient { .. }
+            | TraceKind::FaultNet { .. }
+            | TraceKind::FaultDiskFail { .. } => "fault",
+            TraceKind::Crash { .. } | TraceKind::CrashTorn { .. } => "crash",
+            TraceKind::Spec { .. } => "spec",
+        }
+    }
+
+    /// Short human-readable label (explain timelines, Chrome `name`).
+    pub fn label(&self) -> String {
+        match self {
+            TraceKind::Spawn { name } => format!("spawn {name}"),
+            TraceKind::Grant { step } => format!("step {step}"),
+            TraceKind::LockAcquire { lock } => format!("lock {lock} acquired"),
+            TraceKind::LockBlock { lock } => format!("lock {lock} busy, parked"),
+            TraceKind::LockRelease { lock } => format!("lock {lock} released"),
+            TraceKind::DiskRead { block, .. } => format!("disk read b{block}"),
+            TraceKind::DiskWrite { block, .. } => format!("disk write b{block}"),
+            TraceKind::DiskWriteThrough { block, .. } => {
+                format!("disk write-through b{block}")
+            }
+            TraceKind::DiskFlush { applied, .. } => format!("disk flush ({applied} applied)"),
+            TraceKind::CrashTorn { kept, dropped, .. } => {
+                format!("torn buffer: kept b{kept:?}, lost b{dropped:?}")
+            }
+            TraceKind::FsOp { op, .. } => format!("fs {op}"),
+            TraceKind::NetSend { bytes, .. } => format!("net send {bytes}B"),
+            TraceKind::NetRecv { bytes, .. } => format!("net recv {bytes}B"),
+            TraceKind::FaultDiskTransient { op } => {
+                format!("FAULT: transient I/O error (disk op {op})")
+            }
+            TraceKind::FaultNet { msg, fault } => {
+                format!("FAULT: {fault:?} (net send {msg})")
+            }
+            TraceKind::FaultDiskFail { disk } => format!("FAULT: disk {disk} failed"),
+            TraceKind::Crash { step } => format!("CRASH at step {step}"),
+            TraceKind::Spec { event } => format!("spec {event}"),
+        }
+    }
+}
+
+/// One traced instant: global position, acting thread, payload, and an
+/// optional cross-thread causal edge (the `seq` of the event this one
+/// synchronises with — a lock release or a matching network send).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Global trace order (the virtual clock; dense from 0).
+    pub seq: Seq,
+    /// Acting virtual thread; `None` for controller actions (crashes).
+    pub tid: Option<Tid>,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Cross-thread causal predecessor, when the runtime knows one.
+    pub happens_after: Option<Seq>,
+}
+
+/// A complete per-execution trace: the event stream plus the thread-name
+/// table events index into.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecTrace {
+    /// Events in global (virtual-clock) order.
+    pub events: Vec<TraceEvent>,
+    /// Thread names by tid (spawn order).
+    pub threads: Vec<String>,
+    /// Whether the recorder hit [`MAX_TRACE_EVENTS`] and dropped the tail.
+    pub truncated: bool,
+}
+
+/// The recording buffer behind [`ModelRt`](crate::sched::ModelRt):
+/// assigns sequence numbers and computes cross-thread causal edges as
+/// events arrive.
+#[derive(Default)]
+pub struct TraceBuf {
+    events: Vec<TraceEvent>,
+    /// Last release per lock: (releasing tid, seq).
+    last_release: BTreeMap<usize, (Option<Tid>, Seq)>,
+    /// FIFO of unmatched send seqs per channel tag.
+    sends: BTreeMap<u64, VecDeque<Seq>>,
+    truncated: bool,
+}
+
+impl TraceBuf {
+    /// Appends one event, assigning its seq and causal edge.
+    pub fn push(&mut self, tid: Option<Tid>, kind: TraceKind) {
+        if self.events.len() >= MAX_TRACE_EVENTS {
+            self.truncated = true;
+            return;
+        }
+        let seq = self.events.len() as Seq;
+        let happens_after = match &kind {
+            // A lock hand-off: the acquire follows the latest release by
+            // another thread (same-thread release→acquire is program
+            // order already).
+            TraceKind::LockAcquire { lock } => self
+                .last_release
+                .get(lock)
+                .filter(|(rel_tid, _)| *rel_tid != tid)
+                .map(|(_, s)| *s),
+            // A message arrival follows the send that enqueued it
+            // (FIFO-matched; fault-reordered deliveries are approximate).
+            TraceKind::NetRecv { tag, .. } => self.sends.get_mut(tag).and_then(|q| q.pop_front()),
+            _ => None,
+        };
+        match &kind {
+            TraceKind::LockRelease { lock } => {
+                self.last_release.insert(*lock, (tid, seq));
+            }
+            TraceKind::NetSend { tag, .. } => {
+                self.sends.entry(*tag).or_default().push_back(seq);
+            }
+            _ => {}
+        }
+        self.events.push(TraceEvent {
+            seq,
+            tid,
+            kind,
+            happens_after,
+        });
+    }
+
+    /// Whether any event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drains the buffer into an [`ExecTrace`] with the given thread
+    /// names, resetting all matching state.
+    pub fn take(&mut self, threads: Vec<String>) -> ExecTrace {
+        let events = std::mem::take(&mut self.events);
+        let truncated = std::mem::replace(&mut self.truncated, false);
+        self.last_release.clear();
+        self.sends.clear();
+        ExecTrace {
+            events,
+            threads,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_handoff_edge_links_release_to_next_acquire() {
+        let mut buf = TraceBuf::default();
+        buf.push(Some(0), TraceKind::LockAcquire { lock: 3 });
+        buf.push(Some(0), TraceKind::LockRelease { lock: 3 });
+        buf.push(Some(1), TraceKind::LockAcquire { lock: 3 });
+        let t = buf.take(vec!["a".into(), "b".into()]);
+        assert_eq!(t.events[0].happens_after, None, "no prior release");
+        assert_eq!(
+            t.events[2].happens_after,
+            Some(1),
+            "acquire by t1 follows release at seq 1"
+        );
+    }
+
+    #[test]
+    fn same_thread_reacquire_carries_no_edge() {
+        let mut buf = TraceBuf::default();
+        buf.push(Some(0), TraceKind::LockRelease { lock: 0 });
+        buf.push(Some(0), TraceKind::LockAcquire { lock: 0 });
+        let t = buf.take(vec!["a".into()]);
+        assert_eq!(t.events[1].happens_after, None);
+    }
+
+    #[test]
+    fn net_edges_match_sends_to_recvs_fifo() {
+        let mut buf = TraceBuf::default();
+        buf.push(Some(0), TraceKind::NetSend { tag: 9, bytes: 4 });
+        buf.push(Some(0), TraceKind::NetSend { tag: 9, bytes: 5 });
+        buf.push(Some(1), TraceKind::NetRecv { tag: 9, bytes: 4 });
+        buf.push(Some(1), TraceKind::NetRecv { tag: 9, bytes: 5 });
+        buf.push(Some(1), TraceKind::NetRecv { tag: 9, bytes: 0 });
+        let t = buf.take(vec!["s".into(), "r".into()]);
+        assert_eq!(t.events[2].happens_after, Some(0));
+        assert_eq!(t.events[3].happens_after, Some(1));
+        assert_eq!(t.events[4].happens_after, None, "no unmatched send left");
+    }
+
+    #[test]
+    fn take_resets_state_and_reports_truncation_flag() {
+        let mut buf = TraceBuf::default();
+        buf.push(None, TraceKind::Crash { step: 7 });
+        let t = buf.take(vec![]);
+        assert_eq!(t.events.len(), 1);
+        assert!(!t.truncated);
+        assert!(buf.is_empty());
+        let t2 = buf.take(vec![]);
+        assert!(t2.events.is_empty());
+    }
+
+    #[test]
+    fn labels_and_categories_cover_every_kind() {
+        let kinds = [
+            TraceKind::Spawn { name: "w".into() },
+            TraceKind::Grant { step: 1 },
+            TraceKind::LockAcquire { lock: 0 },
+            TraceKind::LockBlock { lock: 0 },
+            TraceKind::LockRelease { lock: 0 },
+            TraceKind::DiskRead { tag: 0, block: 1 },
+            TraceKind::DiskWrite { tag: 0, block: 1 },
+            TraceKind::DiskWriteThrough { tag: 0, block: 1 },
+            TraceKind::DiskFlush { tag: 0, applied: 2 },
+            TraceKind::CrashTorn {
+                tag: 0,
+                kept: vec![1],
+                dropped: vec![2],
+            },
+            TraceKind::FsOp {
+                tag: 0,
+                op: "append",
+                write: true,
+            },
+            TraceKind::NetSend { tag: 0, bytes: 3 },
+            TraceKind::NetRecv { tag: 0, bytes: 3 },
+            TraceKind::FaultDiskTransient { op: 5 },
+            TraceKind::FaultNet {
+                msg: 2,
+                fault: NetFault::Drop,
+            },
+            TraceKind::FaultDiskFail { disk: 1 },
+            TraceKind::Crash { step: 9 },
+            TraceKind::Spec {
+                event: "Invoke".into(),
+            },
+        ];
+        for k in kinds {
+            assert!(!k.label().is_empty());
+            assert!(!k.category().is_empty());
+        }
+    }
+}

@@ -11,7 +11,9 @@
 //! strategy, DESIGN.md §12). Observability flags: `--telemetry PATH`
 //! appends every scenario's JSONL event stream to one file (the CI
 //! artifact), `--summary` prints the full per-scenario metrics block
-//! instead of just the verdict line.
+//! instead of just the verdict line, and `--trace-out DIR` writes a
+//! Chrome trace-event JSON (Perfetto-loadable, DESIGN.md §14) for each
+//! failing scenario's counterexample.
 //!
 //! Campaign robustness flags (DESIGN.md §13): `--shard I/N` runs only
 //! this process's deterministic slice of every scenario's job space;
@@ -20,8 +22,8 @@
 //! extend it, making the run resumable in turn).
 
 use perennial_checker::{
-    parse_shard, render_summary, verdict_line, CheckConfig, CoverageGuided, Exhaustive, Pass,
-    SleepSetDpor, TelemetrySink,
+    chrome_trace_json, parse_shard, render_summary, verdict_line, CheckConfig, CoverageGuided,
+    Exhaustive, Pass, SleepSetDpor, TelemetrySink,
 };
 use perennial_suite::all_scenarios;
 
@@ -33,6 +35,7 @@ fn main() {
     let mut strategy = String::from("exhaustive");
     let mut shard = None;
     let mut resume: Option<String> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,6 +53,12 @@ fn main() {
             }
             "--resume" => {
                 resume = Some(args.next().expect("--resume needs a file path"));
+            }
+            "--trace-out" => {
+                let dir = std::path::PathBuf::from(args.next().expect("--trace-out needs a dir"));
+                std::fs::create_dir_all(&dir)
+                    .unwrap_or_else(|e| panic!("cannot create {dir:?}: {e}"));
+                trace_out = Some(dir);
             }
             _ => filter = arg,
         }
@@ -113,6 +122,19 @@ fn main() {
             failed += 1;
             if let Some(text) = perennial_checker::render_failure(&report) {
                 eprintln!("{text}");
+            }
+            if let (Some(dir), Some(timeline)) = (
+                &trace_out,
+                report
+                    .counterexample
+                    .as_ref()
+                    .and_then(|cx| cx.timeline.as_ref()),
+            ) {
+                let path = dir.join(format!("{}.trace.json", scenario.name().replace('/', "__")));
+                let json = chrome_trace_json(timeline, scenario.name());
+                std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap())
+                    .unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+                println!("  (chrome trace written to {})", path.display());
             }
         }
     }
