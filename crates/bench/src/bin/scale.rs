@@ -2,7 +2,8 @@
 //!
 //! Usage: `cargo run --release -p perennial-bench --bin scale -- \
 //!           [scenario-name] [worker counts…] [--json FILE] \
-//!           [--shard I/N] [--resume WAL]`
+//!           [--shard I/N] [--resume WAL] \
+//!           [--baseline BENCH_scale.json [--diff]]`
 //!
 //! Defaults to `patterns/wal` over pool sizes 1 2 4 8, measuring two
 //! passes per pool size: pure schedule exploration (crash sweeps) and
@@ -11,14 +12,21 @@
 //! the telemetry WAL (`--resume` overrides the log path). `--shard I/N`
 //! scopes the scaling series to one deterministic campaign slice
 //! (DESIGN.md §13). `--json` writes a `BENCH_*.json`-style record with
-//! every series. The acceptance targets on an 8-core machine: ≥3x
-//! execs/sec at 8 workers vs 1, and WAL overhead < 5% of a cold run.
+//! every series, stamped with a schema version and an environment block
+//! (rustc, crate version, workers, strategy). `--baseline FILE` diffs
+//! this run against a committed record (rows matched by worker count,
+//! so a 1/2-worker CI run can diff against a full 1/2/4/8 baseline);
+//! with `--diff` the exit code is 1 when a regression is flagged. The
+//! acceptance targets on an 8-core machine: ≥3x execs/sec at 8 workers
+//! vs 1, and WAL overhead < 5% of a cold run.
 
+use perennial_bench::args::{flag, parse_args, value};
+use perennial_bench::perf::{diff_scale, render_diff, Thresholds, SCALE_SCHEMA_VERSION};
 use perennial_bench::scale::{
     median_ratio, render_reduction, render_resume, render_scale, run_reduction, run_resume,
     run_scale, ReductionRow, ResumeRow, ScaleRow,
 };
-use perennial_checker::{parse_shard, CheckConfig, Pass, ScenarioSet};
+use perennial_checker::{parse_shard, CheckConfig, EnvStamp, Pass, ScenarioSet};
 
 fn registry() -> ScenarioSet {
     let mut set = ScenarioSet::new();
@@ -100,33 +108,36 @@ fn resume_json(row: &ResumeRow) -> serde_json::Value {
     })
 }
 
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // `--flag VALUE` extractor: removes the pair from `args`.
-    let mut take = |flag: &str| -> Option<String> {
-        let i = args.iter().position(|a| a == flag)?;
-        if i + 1 >= args.len() {
-            eprintln!("{flag} needs a value");
-            std::process::exit(2);
-        }
-        args.remove(i);
-        Some(args.remove(i))
-    };
-    let json_path = take("--json");
+    let spec = [
+        value("--json"),
+        value("--shard"),
+        value("--resume"),
+        value("--baseline"),
+        flag("--diff"),
+    ];
+    let args = parse_args(std::env::args().skip(1), &spec).unwrap_or_else(|e| die(&e));
+    let json_path = args.value("--json").map(String::from);
     // `--shard I/N`: measure one deterministic slice of the job space
     // (applied to both scaling configs; the reduction table stays
     // unsharded — executions-to-counterexample is a whole-space metric).
-    let shard = take("--shard").map(|s| match parse_shard(&s) {
-        Ok(sh) => sh,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    });
+    let shard = args
+        .value("--shard")
+        .map(|s| parse_shard(s).unwrap_or_else(|e| die(&e)));
     // `--resume PATH`: use PATH as the WAL for the checkpoint/resume
     // cost measurement (default: a file in the system temp dir).
-    let resume_wal = take("--resume").map(std::path::PathBuf::from);
-    let mut positional = args.iter();
+    let resume_wal = args.value("--resume").map(std::path::PathBuf::from);
+    let baseline_path = args.value("--baseline").map(String::from);
+    let strict_diff = args.flag("--diff");
+    if strict_diff && baseline_path.is_none() {
+        die("--diff needs --baseline FILE");
+    }
+    let mut positional = args.positionals().iter();
     let name = positional
         .next()
         .cloned()
@@ -212,16 +223,38 @@ fn main() {
     println!();
     print!("{}", render_resume(scenario.name(), &resume));
 
-    if let Some(path) = json_path {
-        let record = serde_json::json!({
-            "scenario": scenario.name(),
-            "schedule_exploration": rows_json(&rows),
-            "fault_exploration": rows_json(&fault_rows),
-            "strategy_reduction": reduction_json(&reduction),
-            "resume_overhead": resume_json(&resume),
-        });
-        std::fs::write(&path, serde_json::to_string_pretty(&record).unwrap())
+    // The environment stamp records the conditions the numbers were
+    // measured under; the differ warns when they changed.
+    let env = EnvStamp::current(
+        counts.iter().copied().max().unwrap_or(1) as u64,
+        "exhaustive",
+    );
+    let record = serde_json::json!({
+        "schema_version": SCALE_SCHEMA_VERSION,
+        "scenario": scenario.name(),
+        "env": env.to_json(),
+        "schedule_exploration": rows_json(&rows),
+        "fault_exploration": rows_json(&fault_rows),
+        "strategy_reduction": reduction_json(&reduction),
+        "resume_overhead": resume_json(&resume),
+    });
+    if let Some(path) = &json_path {
+        std::fs::write(path, serde_json::to_string_pretty(&record).unwrap())
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("\n(machine-readable record written to {path})");
+    }
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("reading baseline {path}: {e}")));
+        let baseline = serde_json::from_str(&text)
+            .unwrap_or_else(|e| die(&format!("parsing baseline {path}: {e}")));
+        let diff = diff_scale(&baseline, &record, &Thresholds::default())
+            .unwrap_or_else(|e| die(&format!("diffing against {path}: {e}")));
+        println!();
+        print!("{}", render_diff(&diff));
+        if strict_diff && diff.regressed() {
+            std::process::exit(1);
+        }
     }
 }

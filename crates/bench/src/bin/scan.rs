@@ -5,7 +5,7 @@
 //! scan [--filter SUBSTR] [--shard I/N] [--wal DIR] [--resume]
 //!      [--out FILE] [--faults] [--strategy exhaustive|dpor|coverage]
 //!      [--workers N] [--budget N] [--seed N]
-//!      [--trace-out DIR] [--explain]
+//!      [--trace-out DIR] [--explain] [--profile FILE]
 //! scan --merge FILE... [--out FILE]
 //! scan --dashboard PATH...
 //! ```
@@ -27,7 +27,14 @@
 //! failing scenario, loadable at <https://ui.perfetto.dev>.
 //! `--dashboard PATH...` is an offline mode like `--merge`: it folds
 //! telemetry/WAL JSONL streams (files, or directories of `*.jsonl`)
-//! into one merged campaign dashboard and exits.
+//! into one merged campaign dashboard and exits; with no data yet it
+//! prints `no campaign data` and exits 0 (not a usage error).
+//! `--profile FILE` turns on the checker's cost profiler (DESIGN.md
+//! §15): each scenario prints a hotspot view (per-pass cost, contended
+//! resources, strategy introspection, worker utilization) and FILE gets
+//! a JSON array of `{scenario, profile}` records. Profiling is a pure
+//! side channel — fingerprints and WAL contents are unchanged, and all
+//! counts are worker-count independent.
 //!
 //! The final line is always `campaign fingerprint: 0x…` — a hash of the
 //! per-scenario report fingerprints (timing and worker-count excluded),
@@ -36,10 +43,11 @@
 //! expected findings, not campaign errors), 1 when a run degraded to an
 //! INCOMPLETE partial report, 2 on usage errors.
 
+use perennial_bench::args::{apply_strategy, flag, parse_args, rest, value};
 use perennial_checker::{
-    chrome_trace_json, merge_reports, parse_shard, render_dashboard, render_explain,
-    report_fingerprint, report_from_json, report_to_json, trace_fingerprint, CheckConfig,
-    CheckReport, CoverageGuided, Dashboard, Pass, ScenarioSet, SleepSetDpor,
+    chrome_trace_json, merge_reports, parse_shard, profile_to_json, render_dashboard,
+    render_explain, render_profile, report_fingerprint, report_from_json, report_to_json,
+    trace_fingerprint, CheckConfig, CheckReport, Dashboard, Pass, ScenarioSet,
 };
 use std::path::{Path, PathBuf};
 
@@ -163,8 +171,12 @@ fn dashboard_mode(paths: &[String]) -> i32 {
             files.push(path);
         }
     }
+    // An empty or not-yet-populated WAL directory is not a usage error
+    // — a fresh campaign simply has nothing to show yet. Say so and
+    // exit cleanly so scripted dashboards don't fail before first data.
     if files.is_empty() {
-        die("--dashboard found no .jsonl streams");
+        println!("no campaign data: no .jsonl streams under the given paths");
+        return 0;
     }
     let mut dash = Dashboard::default();
     for file in &files {
@@ -175,6 +187,10 @@ fn dashboard_mode(paths: &[String]) -> i32 {
             .and_then(|s| s.to_str())
             .map(|s| s.replace("__", "/"));
         dash.ingest(scenario.as_deref(), &text);
+    }
+    if dash.scenarios.is_empty() {
+        println!("no campaign data: the streams held no campaign records");
+        return 0;
     }
     print!("{}", render_dashboard(&dash));
     0
@@ -191,71 +207,59 @@ fn die(msg: &str) -> ! {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut filter = None;
-    let mut shard = None;
-    let mut wal_dir: Option<PathBuf> = None;
-    let mut resume = false;
-    let mut out = None;
-    let mut faults = false;
-    let mut strategy = "exhaustive".to_string();
-    let mut workers = 0usize; // 0 = builder default
-    let mut budget = 0u64;
-    let mut seed = 7u64;
-    let mut merge_files: Vec<String> = Vec::new();
-    let mut dashboard_paths: Vec<String> = Vec::new();
-    let mut trace_out: Option<PathBuf> = None;
-    let mut explain = false;
+    let spec = [
+        value("--filter"),
+        value("--shard"),
+        value("--wal"),
+        flag("--resume"),
+        value("--out"),
+        flag("--faults"),
+        value("--strategy"),
+        value("--workers"),
+        value("--budget"),
+        value("--seed"),
+        rest("--merge"),
+        rest("--dashboard"),
+        value("--trace-out"),
+        flag("--explain"),
+        value("--profile"),
+    ];
+    let args = parse_args(std::env::args().skip(1), &spec).unwrap_or_else(|e| die(&e));
+    if let [stray, ..] = args.positionals() {
+        die(&format!(
+            "unexpected argument {stray:?} (see the doc comment)"
+        ));
+    }
+    let filter = args.value("--filter");
+    let shard = args
+        .value("--shard")
+        .map(|s| parse_shard(s).unwrap_or_else(|e| die(&e)));
+    let wal_dir = args.value("--wal").map(PathBuf::from);
+    let resume = args.flag("--resume");
+    let out = args.value("--out");
+    let faults = args.flag("--faults");
+    let strategy = args.value("--strategy").unwrap_or("exhaustive");
+    let workers: usize = args // 0 = builder default
+        .parse_value("--workers")
+        .unwrap_or_else(|e| die(&e))
+        .unwrap_or(0);
+    let budget: u64 = args
+        .parse_value("--budget")
+        .unwrap_or_else(|e| die(&e))
+        .unwrap_or(0);
+    let seed: u64 = args
+        .parse_value("--seed")
+        .unwrap_or_else(|e| die(&e))
+        .unwrap_or(7);
+    let trace_out = args.value("--trace-out").map(PathBuf::from);
+    let explain = args.flag("--explain");
+    let profile_out = args.value("--profile");
 
-    fn val(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
-        it.next()
-            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    if !args.tail("--merge").is_empty() {
+        std::process::exit(merge_mode(args.tail("--merge"), out));
     }
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--filter" => filter = Some(val(&mut it, "--filter")),
-            "--shard" => {
-                shard = Some(parse_shard(&val(&mut it, "--shard")).unwrap_or_else(|e| die(&e)));
-            }
-            "--wal" => wal_dir = Some(PathBuf::from(val(&mut it, "--wal"))),
-            "--resume" => resume = true,
-            "--out" => out = Some(val(&mut it, "--out")),
-            "--faults" => faults = true,
-            "--strategy" => strategy = val(&mut it, "--strategy"),
-            "--workers" => {
-                workers = val(&mut it, "--workers")
-                    .parse()
-                    .unwrap_or_else(|_| die("bad --workers"));
-            }
-            "--budget" => {
-                budget = val(&mut it, "--budget")
-                    .parse()
-                    .unwrap_or_else(|_| die("bad --budget"));
-            }
-            "--seed" => {
-                seed = val(&mut it, "--seed")
-                    .parse()
-                    .unwrap_or_else(|_| die("bad --seed"));
-            }
-            "--merge" => {
-                merge_files.push(val(&mut it, "--merge"));
-                merge_files.extend(it.by_ref());
-            }
-            "--dashboard" => {
-                dashboard_paths.push(val(&mut it, "--dashboard"));
-                dashboard_paths.extend(it.by_ref());
-            }
-            "--trace-out" => trace_out = Some(PathBuf::from(val(&mut it, "--trace-out"))),
-            "--explain" => explain = true,
-            other => die(&format!("unknown argument {other:?} (see the doc comment)")),
-        }
-    }
-    if !merge_files.is_empty() {
-        std::process::exit(merge_mode(&merge_files, out.as_deref()));
-    }
-    if !dashboard_paths.is_empty() {
-        std::process::exit(dashboard_mode(&dashboard_paths));
+    if !args.tail("--dashboard").is_empty() {
+        std::process::exit(dashboard_mode(args.tail("--dashboard")));
     }
     if resume && wal_dir.is_none() {
         die("--resume needs --wal DIR (the logs to resume from)");
@@ -270,13 +274,14 @@ fn main() {
     let registry = registry();
     let selected: Vec<_> = registry
         .iter()
-        .filter(|s| filter.as_deref().is_none_or(|f| s.name().contains(f)))
+        .filter(|s| filter.is_none_or(|f| s.name().contains(f)))
         .collect();
     if selected.is_empty() {
         die("no scenario matches the filter; run without --filter to sweep everything");
     }
 
     let mut reports = Vec::new();
+    let mut profiles = Vec::new();
     for scenario in selected {
         let mut cfg = CheckConfig::builder()
             .seed(seed)
@@ -285,16 +290,12 @@ fn main() {
             .random_crash_samples(25)
             .max_steps(200_000)
             .shard_opt(shard)
-            .keep_going(true);
+            .keep_going(true)
+            .profile(profile_out.is_some());
         if faults {
             cfg = cfg.with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault]);
         }
-        match strategy.as_str() {
-            "exhaustive" => {}
-            "dpor" => cfg = cfg.strategy(SleepSetDpor),
-            "coverage" => cfg = cfg.strategy(CoverageGuided),
-            other => die(&format!("unknown strategy {other:?}")),
-        }
+        cfg = apply_strategy(cfg, strategy).unwrap_or_else(|e| die(&e));
         if workers > 0 {
             cfg = cfg.workers(workers);
         }
@@ -333,6 +334,16 @@ fn main() {
                 println!("=== end explain ===");
             }
         }
+        if let Some(profile) = report.profile.take() {
+            print!("{}", render_profile(&profile));
+            let mut entry = serde_json::Map::new();
+            entry.insert(
+                "scenario".into(),
+                serde_json::Value::String(report.name.clone()),
+            );
+            entry.insert("profile".into(), profile_to_json(&profile));
+            profiles.push(serde_json::Value::Object(entry));
+        }
         reports.push(report);
     }
 
@@ -341,7 +352,12 @@ fn main() {
     if replayed > 0 {
         println!("(resume: {replayed} executions replayed from the WAL)");
     }
-    if let Some(path) = &out {
+    if let Some(path) = profile_out {
+        let text = serde_json::to_string_pretty(&serde_json::Value::Array(profiles)).unwrap();
+        std::fs::write(path, text).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("(profile written to {path})");
+    }
+    if let Some(path) = out {
         write_out(path, shard, &reports);
     }
     println!(

@@ -10,14 +10,19 @@
 //!
 //! [`ablation`] additionally re-checks every mutant under each
 //! exploration pass in isolation, demonstrating which passes are
-//! load-bearing.
+//! load-bearing. [`args`] is the shared CLI flag parser for the bench
+//! binaries and examples, and [`perf`] diffs a fresh `scale` record
+//! against the committed `BENCH_scale.json` baseline to flag
+//! performance regressions.
 //!
 //! The `harness` binary regenerates every table and figure:
 //! `cargo run -p perennial-bench --release --bin harness -- all`.
 
 pub mod ablation;
+pub mod args;
 pub mod fig11;
 pub mod loc;
+pub mod perf;
 pub mod scale;
 pub mod sim;
 pub mod tables;

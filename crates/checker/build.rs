@@ -1,0 +1,18 @@
+//! Captures `rustc --version` at build time so [`EnvStamp`] can stamp
+//! telemetry streams and perf baselines with the toolchain that
+//! produced them (std-only; no network, no extra deps).
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .unwrap_or_else(|| "rustc unknown".to_string());
+    println!("cargo:rustc-env=CHECKER_RUSTC_VERSION={version}");
+    println!("cargo:rerun-if-env-changed=RUSTC");
+}

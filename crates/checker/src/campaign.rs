@@ -177,6 +177,14 @@ pub fn report_to_json(r: &CheckReport) -> Value {
         "replayed": r.replayed,
         "incomplete": r.incomplete.clone(),
         "workers": r.workers as u64,
+        // The environment stamp is volatile (it names the machine's
+        // toolchain and pool size), but serialized so baselines and
+        // archived campaign reports say where they came from.
+        // `r.profile` is deliberately NOT serialized, like
+        // `cx.timeline`: both are debug/observability side channels,
+        // and excluding them keeps report fingerprints identical
+        // whether profiling (or trace capture) was on or off.
+        "env": r.env.to_json(),
         "wall_time_s": r.wall_time.as_secs_f64(),
         "execs_per_sec": r.execs_per_sec,
     })
@@ -432,13 +440,19 @@ pub fn report_from_json(v: &Value) -> Result<CheckReport, String> {
         Value::Number(n) => *n,
         v => return Err(format!("execs_per_sec: expected number, got {v:?}")),
     };
+    // Lenient: reports serialized before the env stamp existed (or
+    // hand-stripped ones) deserialize with an empty stamp.
+    r.env = m
+        .get("env")
+        .and_then(crate::telemetry::EnvStamp::from_json)
+        .unwrap_or_default();
     Ok(r)
 }
 
 /// Keys excluded from [`report_fingerprint`]: wall-clock timing, pool
 /// size, shard assignment, and the resume diagnostic — everything that
 /// may differ between two runs that checked the same executions.
-pub const VOLATILE_KEYS: [&str; 7] = [
+pub const VOLATILE_KEYS: [&str; 8] = [
     "wall_time_s",
     "execs_per_sec",
     "busy_time_us",
@@ -446,6 +460,7 @@ pub const VOLATILE_KEYS: [&str; 7] = [
     "shard",
     "replayed",
     "duration_us",
+    "env",
 ];
 
 fn strip_volatile(v: &Value) -> Value {
@@ -516,6 +531,10 @@ pub fn merge_reports(mut reports: Vec<CheckReport>) -> Result<CheckReport, Strin
     let mut out = CheckReport {
         name,
         strategy: reports[0].strategy.clone(),
+        // The stamp survives the merge: shards of one campaign share a
+        // toolchain, so the first shard's block speaks for all (the
+        // worker count is re-pointed at the merged pool size below).
+        env: reports[0].env.clone(),
         ..CheckReport::default()
     };
     let mut per_pass: BTreeMap<u8, PassMetrics> = BTreeMap::new();
@@ -595,6 +614,7 @@ pub fn merge_reports(mut reports: Vec<CheckReport>) -> Result<CheckReport, Strin
     out.counterexamples.sort_by_key(|cx| cx.key());
     out.counterexample = out.counterexamples.first().cloned();
     out.execs_per_sec = out.executions as f64 / out.wall_time.as_secs_f64().max(1e-9);
+    out.env.workers = out.workers as u64;
     Ok(out)
 }
 

@@ -41,6 +41,17 @@ pub struct ShardRun {
     pub wall_time_s: f64,
 }
 
+/// One `exec_done` record's deterministic cost (dashboard profile feed).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecCostRow {
+    pub pass: String,
+    pub steps: u64,
+    pub crashes: u64,
+    pub lock_blocks: u64,
+    pub disk_ops: u64,
+    pub net_msgs: u64,
+}
+
 /// One scenario's view across every ingested stream.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioDash {
@@ -48,6 +59,11 @@ pub struct ScenarioDash {
     pub shards: BTreeMap<String, ShardRun>,
     /// Summed `pass_end` wall time per `(rank, pass name)`.
     pub pass_wall_us: BTreeMap<(u64, String), u64>,
+    /// `exec_done` costs keyed by canonical job key `(rank, index)`.
+    /// Keying dedupes derivation-spine executions, which appear in every
+    /// shard's stream with identical deterministic statistics — so the
+    /// per-pass cost profile matches what an unsharded run would report.
+    pub exec_costs: BTreeMap<(u64, u64), ExecCostRow>,
 }
 
 impl ScenarioDash {
@@ -213,6 +229,30 @@ impl Dashboard {
                         .entry((rank, pass))
                         .or_insert(0) += f_u64(&map, "duration_us");
                 }
+                "exec_done" => {
+                    let Some(pass) = f_str(&map, "pass") else {
+                        continue;
+                    };
+                    let Ok(p) = pass.parse::<crate::Pass>() else {
+                        continue;
+                    };
+                    let key = (p.rank() as u64, f_u64(&map, "index"));
+                    self.scenarios
+                        .entry(scenario)
+                        .or_default()
+                        .exec_costs
+                        .insert(
+                            key,
+                            ExecCostRow {
+                                pass,
+                                steps: f_u64(&map, "steps"),
+                                crashes: f_u64(&map, "crashes"),
+                                lock_blocks: f_u64(&map, "lock_blocks"),
+                                disk_ops: f_u64(&map, "disk_ops"),
+                                net_msgs: f_u64(&map, "net_msgs"),
+                            },
+                        );
+                }
                 _ => {}
             }
         }
@@ -240,6 +280,28 @@ impl Dashboard {
             }
         }
         acc.into_iter().map(|((_, p), us)| (p, us)).collect()
+    }
+
+    /// Per-pass deterministic cost profile summed over every scenario's
+    /// deduplicated `exec_done` records, rank order:
+    /// `(pass, executions, steps, crashes, lock_blocks, disk_ops, net_msgs)`.
+    #[allow(clippy::type_complexity)]
+    pub fn cost_profile(&self) -> Vec<(String, u64, u64, u64, u64, u64, u64)> {
+        let mut acc: BTreeMap<(u64, String), (u64, u64, u64, u64, u64, u64)> = BTreeMap::new();
+        for s in self.scenarios.values() {
+            for ((rank, _), c) in &s.exec_costs {
+                let e = acc.entry((*rank, c.pass.clone())).or_default();
+                e.0 += 1;
+                e.1 += c.steps;
+                e.2 += c.crashes;
+                e.3 += c.lock_blocks;
+                e.4 += c.disk_ops;
+                e.5 += c.net_msgs;
+            }
+        }
+        acc.into_iter()
+            .map(|((_, p), (e, st, cr, lb, d, n))| (p, e, st, cr, lb, d, n))
+            .collect()
     }
 }
 
@@ -339,6 +401,22 @@ pub fn render_dashboard(d: &Dashboard) -> String {
         out.push('\n');
     }
 
+    let costs = d.cost_profile();
+    let cost_steps: u64 = costs.iter().map(|r| r.2).sum();
+    if cost_steps > 0 {
+        writeln!(out, "  profile (deterministic cost per pass):").unwrap();
+        for (pass, execs, steps, crashes, lock_blocks, disk_ops, net_msgs) in &costs {
+            writeln!(
+                out,
+                "    {pass:<18} {execs:>7} execs {steps:>10} steps  {} {}  ({crashes} crashes, {lock_blocks} blocks, {disk_ops} disk ops, {net_msgs} net msgs)",
+                pct(*steps, cost_steps),
+                bar(*steps, cost_steps, 24),
+            )
+            .unwrap();
+        }
+        out.push('\n');
+    }
+
     let mut slowest: Vec<(&String, f64)> = d
         .scenarios
         .iter()
@@ -426,6 +504,46 @@ mod tests {
         let s = &d.scenarios["mutant/skip-flush"];
         assert_eq!(s.pass_wall_us[&(0, "dfs".to_string())], 150);
         assert_eq!(d.pass_profile(), vec![("dfs".to_string(), 150)]);
+    }
+
+    fn exec_done_line(scenario: &str, pass: &str, index: u64, steps: u64) -> String {
+        format!(
+            concat!(
+                "{{\"type\": \"exec_done\", \"scenario\": {s:?}, \"pass\": {p:?}, ",
+                "\"index\": {i}, \"outcome\": \"ok\", \"steps\": {st}, \"crashes\": 1, ",
+                "\"lock_blocks\": 2, \"disk_ops\": 3, \"net_msgs\": 4}}"
+            ),
+            s = scenario,
+            p = pass,
+            i = index,
+            st = steps,
+        )
+    }
+
+    #[test]
+    fn cost_profile_dedupes_spine_executions_across_shards() {
+        let mut d = Dashboard::default();
+        // The same dfs execution appears in both shard streams (spine);
+        // a second distinct execution appears once.
+        let text = format!(
+            "{}\n{}\n{}\n",
+            exec_done_line("s", "dfs", 0, 10),
+            exec_done_line("s", "dfs", 0, 10),
+            exec_done_line("s", "dfs", 1, 20),
+        );
+        d.ingest(None, &text);
+        let costs = d.cost_profile();
+        assert_eq!(costs.len(), 1);
+        let (ref pass, execs, steps, crashes, lock_blocks, disk_ops, net_msgs) = costs[0];
+        assert_eq!(pass, "dfs");
+        assert_eq!(execs, 2, "duplicate (rank, index) must collapse");
+        assert_eq!(steps, 30);
+        assert_eq!((crashes, lock_blocks, disk_ops, net_msgs), (2, 4, 6, 8));
+        let text = render_dashboard(&d);
+        assert!(
+            text.contains("profile (deterministic cost per pass)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -135,6 +135,14 @@ pub struct CheckConfig {
     /// exploration itself always runs untraced, the re-run emits no
     /// telemetry, and report fingerprints are identical either way.
     pub trace_capture: bool,
+    /// Build a [`Profile`] (per-pass cost attribution, resource
+    /// contention, strategy introspection, worker utilization) and
+    /// attach it as [`CheckReport::profile`] (default off). Pure side
+    /// channel: the profile is aggregated from counters the check
+    /// collects anyway, is excluded from campaign JSON and report
+    /// fingerprints, and its deterministic counts are identical at
+    /// every worker count (DESIGN.md §15).
+    pub profile: bool,
 }
 
 impl Default for CheckConfig {
@@ -156,6 +164,7 @@ impl Default for CheckConfig {
             resume_from: None,
             exec_budget: 0,
             trace_capture: true,
+            profile: false,
         }
     }
 }
@@ -341,6 +350,13 @@ impl CheckConfigBuilder {
         self
     }
 
+    /// Enables (or disables) the cost profiler; see
+    /// [`CheckConfig::profile`].
+    pub fn profile(mut self, on: bool) -> Self {
+        self.config.profile = on;
+        self
+    }
+
     pub fn build(self) -> CheckConfig {
         self.config
     }
@@ -506,6 +522,14 @@ pub struct CheckReport {
     /// The distinct ghost-trace fingerprints behind
     /// [`Coverage::distinct_traces`], kept for the same reason.
     pub trace_fps: BTreeSet<u64>,
+    /// Cost profile, present when [`CheckConfig::profile`] was on.
+    /// Debug/observability payload: excluded from campaign JSON and
+    /// report fingerprints exactly like a counterexample's timeline.
+    pub profile: Option<crate::profile::Profile>,
+    /// Environment stamp (rustc, crate version, workers, strategy) for
+    /// cross-machine comparability of serialized reports. Volatile:
+    /// stripped by [`crate::report_fingerprint`].
+    pub env: crate::telemetry::EnvStamp,
 }
 
 impl CheckReport {
@@ -655,6 +679,9 @@ struct RunResult {
     net_msgs: u64,
     /// Times a thread parked on a held lock (sched contention counter).
     lock_blocks: u64,
+    /// Per-lock share of `lock_blocks` (`ModelRt::lock_block_profile`),
+    /// consumed by the profiler's resource-contention table.
+    lock_profile: Vec<(u64, u64)>,
     /// FNV-1a fingerprint of the rendered ghost trace (behavioural
     /// coverage proxy).
     trace_fp: u64,
@@ -738,6 +765,7 @@ fn run_one<S: SpecTS, H: Harness<S>>(
                 disk_ops: stats.disk_ops,
                 net_msgs: stats.net_msgs,
                 lock_blocks: stats.lock_blocks,
+                lock_profile: rt.lock_block_profile(),
                 trace_fp: trace_fingerprint(""),
                 disk_reads: stats.disk_reads,
                 disk_writes: stats.disk_writes,
@@ -845,6 +873,7 @@ fn run_one_inner<S: SpecTS, H: Harness<S>>(
             disk_ops: stats.disk_ops,
             net_msgs: stats.net_msgs,
             lock_blocks: stats.lock_blocks,
+            lock_profile: rt.lock_block_profile(),
             trace_fp: trace_fingerprint(&trace),
             disk_reads: stats.disk_reads,
             disk_writes: stats.disk_writes,
@@ -1134,6 +1163,10 @@ struct JobOutcome {
     /// Disk ops / net messages of the execution (probe horizons).
     disk_ops: u64,
     net_msgs: u64,
+    /// Lock contention: total parks and the per-lock split (profiler
+    /// feed; the split is empty for WAL-replayed outcomes).
+    lock_blocks: u64,
+    lock_profile: Vec<(u64, u64)>,
     /// Model-op accounting (report totals; recorded in the WAL so
     /// resumed totals match cold ones).
     disk_reads: u64,
@@ -1321,6 +1354,8 @@ fn finish_execution(
         family: FaultFamily::of(faults),
         disk_ops: r.disk_ops,
         net_msgs: r.net_msgs,
+        lock_blocks: r.lock_blocks,
+        lock_profile: r.lock_profile.clone(),
         disk_reads: r.disk_reads,
         disk_writes: r.disk_writes,
         disk_flushes: r.disk_flushes,
@@ -1368,6 +1403,8 @@ fn replayed_outcome(
         family: FaultFamily::of(faults),
         disk_ops: w.disk_ops,
         net_msgs: w.net_msgs,
+        lock_blocks: w.lock_blocks,
+        lock_profile: Vec::new(),
         disk_reads: w.disk_reads,
         disk_writes: w.disk_writes,
         disk_flushes: w.disk_flushes,
@@ -1667,6 +1704,10 @@ fn wal_matches_config(stored: &Value, name: &str, config: &CheckConfig) -> bool 
     for v in [&mut want, &mut got] {
         if let Value::Object(m) = v {
             m.remove("workers");
+            // The env stamp carries the worker count and toolchain; a
+            // WAL from a different machine is still replayable because
+            // every replayed statistic is deterministic.
+            m.remove("env");
         }
     }
     want == got
@@ -2172,6 +2213,10 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     let mut per_pass: BTreeMap<Pass, PassMetrics> = BTreeMap::new();
     let mut crash_point_set: BTreeSet<u64> = BTreeSet::new();
     let mut trace_set: BTreeSet<u64> = BTreeSet::new();
+    // The profiler folds the same cutoff-filtered outcomes the report
+    // statistics come from, so its counts inherit the worker-count
+    // independence argument instead of needing their own.
+    let mut prof = config.profile.then(crate::profile::ProfileBuilder::default);
     for out in &outcomes {
         if !out.counted || cutoff.is_some_and(|cut| out.key > cut) {
             continue;
@@ -2212,6 +2257,27 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
         pm.fault_plans += out.plans as u64;
         pm.failures += u64::from(out.kind != OutcomeKind::Ok);
         pm.busy_time += out.duration;
+        if let Some(p) = prof.as_mut() {
+            p.record_exec(&crate::profile::ExecCost {
+                pass: out.pass,
+                rank: out.key.0,
+                steps: out.steps,
+                crashes: out.crashes as u64,
+                lock_blocks: out.lock_blocks,
+                disk_ops: out.disk_ops,
+                net_msgs: out.net_msgs,
+                model_ops: out.disk_reads
+                    + out.disk_writes
+                    + out.disk_flushes
+                    + out.net_sends
+                    + out.net_recvs,
+                duration_us: out.duration.as_micros() as u64,
+            });
+            p.record_lock_profile(&out.lock_profile);
+            if let Some(deps) = &out.deps {
+                p.record_deps(&out.decisions, deps);
+            }
+        }
     }
     coverage.crash_points_exercised = crash_point_set.len() as u64;
     coverage.distinct_traces = trace_set.len() as u64;
@@ -2246,6 +2312,17 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     report.incomplete = incomplete;
     report.wall_time = start.elapsed();
     report.execs_per_sec = report.executions as f64 / report.wall_time.as_secs_f64().max(1e-9);
+    report.env = telemetry::EnvStamp::current(workers as u64, config.strategy.name());
+    if let Some(p) = prof {
+        let strategy = crate::profile::StrategyProfile {
+            strategy: report.strategy.clone(),
+            pruned: report.pruned,
+            coverage_guided: report.coverage_guided,
+            prunes_by_resource: session.prunes_by_resource(),
+            coverage: session.coverage_introspection(),
+        };
+        report.profile = Some(p.finish(harness.name(), strategy, workers as u64, report.wall_time));
+    }
     if let Some((prev, started)) = pass_timer.lock().take() {
         telem.emit(&telemetry::ev_pass_end(prev, started.elapsed()));
     }

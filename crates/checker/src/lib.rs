@@ -28,6 +28,7 @@ pub mod harness;
 pub mod linearize;
 pub mod metrics;
 pub mod pass;
+pub mod profile;
 pub mod recorder;
 pub mod report;
 pub mod scenario;
@@ -50,11 +51,12 @@ pub use metrics::{
     trace_fingerprint, Coverage, Histogram, OutcomeCounts, OutcomeKind, PassMetrics,
 };
 pub use pass::{Pass, PassSet};
+pub use profile::{profile_to_json, render_profile, Profile};
 pub use recorder::{Recorder, DROPPED};
 pub use report::{describe_outcome, render_failure, render_summary, verdict_line};
 pub use scenario::{Scenario, ScenarioSet};
 pub use strategy::{CoverageGuided, Exhaustive, Random, SleepSetDpor, Strategy, StrategySession};
-pub use telemetry::{validate_json_line, TelemetrySink, TIMING_KEYS};
+pub use telemetry::{strip_timing, validate_json_line, EnvStamp, TelemetrySink, TIMING_KEYS};
 pub use timeline::{chrome_trace_json, render_explain};
 
 /// One-stop imports for writing and running harnesses:

@@ -101,6 +101,22 @@ pub trait Strategy: fmt::Debug + Send + Sync {
     fn session(&self, config: &CheckConfig) -> Box<dyn StrategySession>;
 }
 
+/// Corpus bookkeeping of a coverage-guided session, exposed for the
+/// profiler (see [`crate::profile`]). Every counter is driven by
+/// complete-wave feedback only, so the numbers are worker-count
+/// independent like [`StrategySession::guided`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverageIntrospection {
+    /// Executions whose ghost-trace fingerprint was previously unseen
+    /// (each one entered the corpus).
+    pub corpus_hits: u64,
+    /// Corpus entries dropped by the retention bound.
+    pub corpus_evictions: u64,
+    /// Complete waves that discovered no new fingerprint (the first one
+    /// ends the phase).
+    pub saturated_waves: u64,
+}
+
 /// Mutable per-run strategy state driven by the explorer's wave loop.
 pub trait StrategySession: Send {
     /// The next wave of schedules, or `None` when the phase is done.
@@ -114,6 +130,16 @@ pub trait StrategySession: Send {
     /// Executions whose seed/prefix was chosen by coverage feedback.
     fn guided(&self) -> u64 {
         0
+    }
+    /// Sleep-set prunes attributed to the resources in the sleeping
+    /// step's footprint, as `(resource, prunes)` in resource order.
+    /// Empty for strategies that never prune.
+    fn prunes_by_resource(&self) -> Vec<(u64, u64)> {
+        Vec::new()
+    }
+    /// Corpus bookkeeping, for strategies that keep one.
+    fn coverage_introspection(&self) -> Option<CoverageIntrospection> {
+        None
     }
 }
 
@@ -319,6 +345,7 @@ impl Strategy for SleepSetDpor {
             },
             issued: Vec::new(),
             pruned: 0,
+            prunes_by_resource: BTreeMap::new(),
         })
     }
 }
@@ -333,6 +360,10 @@ struct DporSession {
     /// (prefix, sleep set) of the outstanding DFS wave, in slot order.
     issued: Vec<(Vec<usize>, Vec<SleepEntry>)>,
     pruned: u64,
+    /// Prunes attributed to the distinct resources of the sleeping
+    /// step's footprint (profiler introspection; one prune can credit
+    /// several resources).
+    prunes_by_resource: BTreeMap<u64, u64>,
 }
 
 /// The footprint of `tid`'s next granted step strictly after depth `d`
@@ -387,17 +418,24 @@ impl DporSession {
                     explored.push((t0, fp.clone()));
                 }
                 for c in choice + 1..n {
-                    let asleep = edge.is_some_and(|(runnable, _, _)| {
+                    let sleeper = edge.and_then(|(runnable, _, _)| {
                         let tid_c = runnable[c];
-                        alive.iter().any(|(t, _)| *t == tid_c)
+                        alive.iter().find(|(t, _)| *t == tid_c)
                     });
-                    if asleep {
+                    if let Some((_, fp)) = sleeper {
                         // An equivalent interleaving was already
                         // explored; skip the branch but charge it to
                         // the DFS budget so reduction shows up as
-                        // fewer executions, not a longer frontier.
+                        // fewer executions, not a longer frontier. The
+                        // prune is credited to each distinct resource
+                        // of the sleeping step's footprint (profiler
+                        // attribution: *what* commuted).
                         self.pruned += 1;
                         self.budget = self.budget.saturating_sub(1);
+                        let resources: BTreeSet<u64> = fp.iter().map(|a| a.resource).collect();
+                        for r in resources {
+                            *self.prunes_by_resource.entry(r).or_insert(0) += 1;
+                        }
                         continue;
                     }
                     let mut q: Vec<usize> = exec.decisions[..d].iter().map(|(i, _)| *i).collect();
@@ -494,6 +532,13 @@ impl StrategySession for DporSession {
     fn pruned(&self) -> u64 {
         self.pruned
     }
+
+    fn prunes_by_resource(&self) -> Vec<(u64, u64)> {
+        self.prunes_by_resource
+            .iter()
+            .map(|(r, n)| (*r, *n))
+            .collect()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -531,6 +576,7 @@ impl Strategy for CoverageGuided {
             seen: BTreeSet::new(),
             corpus: Vec::new(),
             guided: 0,
+            introspection: CoverageIntrospection::default(),
         })
     }
 }
@@ -545,6 +591,8 @@ struct CoverageSession {
     /// Decision paths of novel runs, most recent first.
     corpus: Vec<Vec<usize>>,
     guided: u64,
+    /// Corpus bookkeeping for the profiler.
+    introspection: CoverageIntrospection,
 }
 
 impl StrategySession for CoverageSession {
@@ -593,15 +641,25 @@ impl StrategySession for CoverageSession {
         for exec in execs {
             if self.seen.insert(exec.trace_fp) {
                 self.novel_last_wave = true;
+                self.introspection.corpus_hits += 1;
                 self.corpus
                     .insert(0, exec.decisions.iter().map(|(i, _)| *i).collect());
             }
         }
+        self.introspection.corpus_evictions +=
+            self.corpus.len().saturating_sub(COVERAGE_CORPUS) as u64;
         self.corpus.truncate(COVERAGE_CORPUS);
+        if !self.novel_last_wave {
+            self.introspection.saturated_waves += 1;
+        }
     }
 
     fn guided(&self) -> u64 {
         self.guided
+    }
+
+    fn coverage_introspection(&self) -> Option<CoverageIntrospection> {
+        Some(self.introspection)
     }
 }
 

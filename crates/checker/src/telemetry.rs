@@ -253,12 +253,66 @@ fn hex64(v: u64) -> String {
     format!("{v:#018x}")
 }
 
+/// Where a record was produced: toolchain, crate version, worker count,
+/// and strategy. Stamped on every `run_start` record and on campaign
+/// report JSON / perf baselines, so streams and baselines from
+/// different machines are comparable — a perf diff against a baseline
+/// built by a different rustc or worker count is flagged, not silently
+/// trusted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnvStamp {
+    /// `rustc --version` of the compiler that built the checker.
+    pub rustc: String,
+    /// The checker crate's own version (`CARGO_PKG_VERSION`).
+    pub crate_version: String,
+    pub workers: u64,
+    pub strategy: String,
+}
+
+impl EnvStamp {
+    pub fn current(workers: u64, strategy: &str) -> Self {
+        EnvStamp {
+            rustc: env!("CHECKER_RUSTC_VERSION").to_string(),
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            workers,
+            strategy: strategy.to_string(),
+        }
+    }
+
+    pub fn to_json(&self) -> Value {
+        json!({
+            "rustc": self.rustc,
+            "crate_version": self.crate_version,
+            "workers": self.workers,
+            "strategy": self.strategy,
+        })
+    }
+
+    pub fn from_json(v: &Value) -> Option<EnvStamp> {
+        let Value::Object(m) = v else { return None };
+        let s = |key: &str| match m.get(key) {
+            Some(Value::String(s)) => Some(s.clone()),
+            _ => None,
+        };
+        Some(EnvStamp {
+            rustc: s("rustc")?,
+            crate_version: s("crate_version")?,
+            workers: match m.get("workers") {
+                Some(Value::Number(n)) if *n >= 0.0 => *n as u64,
+                _ => return None,
+            },
+            strategy: s("strategy")?,
+        })
+    }
+}
+
 pub fn ev_run_start(name: &str, config: &CheckConfig, workers: usize) -> Value {
     json!({
         "type": "run_start",
         "scenario": name,
         "seed": hex64(config.seed),
         "workers": workers,
+        "env": EnvStamp::current(workers as u64, config.strategy.name()).to_json(),
         "max_steps": config.max_steps,
         "dfs_max_executions": config.dfs_max_executions,
         "random_samples": config.random_samples,
@@ -396,7 +450,16 @@ pub fn ev_run_end(report: &CheckReport) -> Value {
 
 /// Keys whose values are wall-clock dependent. Strip these before
 /// comparing two streams of the same seeded run for byte equality.
-pub const TIMING_KEYS: [&str; 3] = ["duration_us", "wall_time_s", "execs_per_sec"];
+/// `busy_time_us` and `utilization` appear only in profile JSON
+/// ([`crate::profile::profile_to_json`]), never in telemetry events, so
+/// extending the list cannot destabilize existing streams.
+pub const TIMING_KEYS: [&str; 5] = [
+    "duration_us",
+    "wall_time_s",
+    "execs_per_sec",
+    "busy_time_us",
+    "utilization",
+];
 
 /// Validates one JSONL line: parseable, an object, with a string
 /// `type`. Returns the event type.
@@ -427,6 +490,10 @@ pub struct WalExec {
     pub disk_flushes: u64,
     pub net_sends: u64,
     pub net_recvs: u64,
+    /// Lock-contention count, preserved across resume so profiles built
+    /// from replayed outcomes keep their per-pass totals (per-lock
+    /// attribution is not in the WAL and resets to empty on replay).
+    pub lock_blocks: u64,
     pub trace_fp: u64,
 }
 
@@ -528,6 +595,7 @@ pub fn parse_wal(text: &str, scenario: &str) -> WalReplay {
                         disk_flushes: field_u64(&map, "disk_flushes").unwrap_or(0),
                         net_sends: field_u64(&map, "net_sends").unwrap_or(0),
                         net_recvs: field_u64(&map, "net_recvs").unwrap_or(0),
+                        lock_blocks: field_u64(&map, "lock_blocks").unwrap_or(0),
                         trace_fp,
                     },
                 );
@@ -635,7 +703,7 @@ mod tests {
             depth: 3,
             crashes: 1,
             helped: 2,
-            lock_blocks: 0,
+            lock_blocks: 6,
             disk_ops: 4,
             net_msgs: 5,
             disk_reads: 11,
@@ -769,6 +837,7 @@ mod tests {
                 disk_flushes: 13,
                 net_sends: 14,
                 net_recvs: 15,
+                lock_blocks: 6,
                 trace_fp: 0xdead_beef,
             }
         );

@@ -102,6 +102,9 @@ struct ThreadMeta {
 
 struct LockSlot {
     held_by: Option<Tid>,
+    /// Times a thread parked on this lock while held (the per-resource
+    /// share of `RtState::lock_blocks`, for contention attribution).
+    blocks: u64,
 }
 
 struct RtState {
@@ -704,7 +707,10 @@ impl ModelRt {
         // Allocation order determines the lock id.
         self.note_access(res::ALLOC, true);
         let mut s = self.state.lock();
-        s.locks.push(LockSlot { held_by: None });
+        s.locks.push(LockSlot {
+            held_by: None,
+            blocks: 0,
+        });
         s.locks.len() - 1
     }
 
@@ -748,6 +754,7 @@ impl ModelRt {
             );
             s.threads[tid].state = TState::Blocked(lock);
             s.lock_blocks += 1;
+            s.locks[lock].blocks += 1;
             self.trace_event_for(Some(tid), TraceKind::LockBlock { lock });
             self.cv.notify_all();
             loop {
@@ -929,6 +936,21 @@ impl ModelRt {
             net_sends: s.net_sends,
             net_recvs: s.net_recvs,
         }
+    }
+
+    /// Per-lock contention profile: `(res::lock(id), blocks)` for every
+    /// model lock that ever parked a thread, in lock-id order. The
+    /// entries sum to [`SchedStats::lock_blocks`] and obey the same
+    /// determinism contract: a pure function of the schedule and fault
+    /// plan, never of wall-clock time.
+    pub fn lock_block_profile(&self) -> Vec<(u64, u64)> {
+        let s = self.state.lock();
+        s.locks
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.blocks > 0)
+            .map(|(id, slot)| (res::lock(id), slot.blocks))
+            .collect()
     }
 
     /// Panic kinds of all panicked threads (excluding crash unwinds).
@@ -1229,6 +1251,35 @@ mod tests {
         assert_eq!(stats.disk_flushes, 0);
         assert_eq!(stats.net_sends, 0);
         assert_eq!(stats.net_recvs, 0);
+    }
+
+    #[test]
+    fn lock_block_profile_attributes_contention_per_lock() {
+        let rt = ModelRt::new(0, 10_000);
+        let hot = rt.new_lock();
+        let cold = rt.new_lock();
+        for label in ["a", "b"] {
+            let rt2 = Arc::clone(&rt);
+            rt.spawn(label, move || {
+                rt2.lock_acquire(hot);
+                rt2.yield_point(); // hold across a step to force contention
+                rt2.lock_release(hot);
+            });
+        }
+        run_round_robin(&rt);
+        let stats = rt.sched_stats();
+        let profile = rt.lock_block_profile();
+        assert!(stats.lock_blocks >= 1);
+        assert_eq!(
+            profile.iter().map(|(_, n)| n).sum::<u64>(),
+            stats.lock_blocks,
+            "per-lock counts must sum to the total: {profile:?}"
+        );
+        assert!(
+            profile.iter().all(|(r, _)| *r != res::lock(cold)),
+            "an uncontended lock must not appear: {profile:?}"
+        );
+        assert_eq!(profile[0].0, res::lock(hot));
     }
 
     #[test]

@@ -21,48 +21,37 @@
 //! telemetry stream (pass the same file to `--telemetry` to also
 //! extend it, making the run resumable in turn).
 
+use perennial_bench::args::{apply_strategy, flag, parse_args, value};
 use perennial_checker::{
-    chrome_trace_json, parse_shard, render_summary, verdict_line, CheckConfig, CoverageGuided,
-    Exhaustive, Pass, SleepSetDpor, TelemetrySink,
+    chrome_trace_json, parse_shard, render_summary, verdict_line, CheckConfig, Pass, TelemetrySink,
 };
 use perennial_suite::all_scenarios;
 
 fn main() {
-    let mut filter = String::new();
-    let mut faults = false;
-    let mut summary = false;
-    let mut telemetry_path: Option<String> = None;
-    let mut strategy = String::from("exhaustive");
-    let mut shard = None;
-    let mut resume: Option<String> = None;
-    let mut trace_out: Option<std::path::PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--faults" => faults = true,
-            "--summary" => summary = true,
-            "--telemetry" => {
-                telemetry_path = Some(args.next().expect("--telemetry needs a file path"));
-            }
-            "--strategy" => {
-                strategy = args.next().expect("--strategy needs a name");
-            }
-            "--shard" => {
-                let spec = args.next().expect("--shard needs I/N");
-                shard = Some(parse_shard(&spec).unwrap_or_else(|e| panic!("{e}")));
-            }
-            "--resume" => {
-                resume = Some(args.next().expect("--resume needs a file path"));
-            }
-            "--trace-out" => {
-                let dir = std::path::PathBuf::from(args.next().expect("--trace-out needs a dir"));
-                std::fs::create_dir_all(&dir)
-                    .unwrap_or_else(|e| panic!("cannot create {dir:?}: {e}"));
-                trace_out = Some(dir);
-            }
-            _ => filter = arg,
-        }
-    }
+    let spec = [
+        flag("--faults"),
+        flag("--summary"),
+        value("--telemetry"),
+        value("--strategy"),
+        value("--shard"),
+        value("--resume"),
+        value("--trace-out"),
+    ];
+    let args = parse_args(std::env::args().skip(1), &spec).unwrap_or_else(|e| panic!("{e}"));
+    let filter = args.positionals().first().cloned().unwrap_or_default();
+    let faults = args.flag("--faults");
+    let summary = args.flag("--summary");
+    let telemetry_path = args.value("--telemetry");
+    let shard = args
+        .value("--shard")
+        .map(|s| parse_shard(s).unwrap_or_else(|e| panic!("{e}")));
+    let resume = args.value("--resume");
+    let trace_out = args.value("--trace-out").map(|d| {
+        let dir = std::path::PathBuf::from(d);
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("cannot create {dir:?}: {e}"));
+        dir
+    });
+
     let mut builder = CheckConfig::builder()
         .seed(0)
         .dfs_max_executions(200)
@@ -70,24 +59,20 @@ fn main() {
         .random_crash_samples(20)
         .without_passes([Pass::NestedCrash])
         .shard_opt(shard);
-    if let Some(path) = &resume {
+    if let Some(path) = resume {
         builder = builder.resume_from(path);
     }
-    builder = match strategy.as_str() {
-        "exhaustive" => builder.strategy(Exhaustive),
-        "dpor" | "sleep-set-dpor" => builder.strategy(SleepSetDpor),
-        "coverage" | "coverage-guided" => builder.strategy(CoverageGuided),
-        other => panic!("unknown --strategy {other:?} (exhaustive|dpor|coverage)"),
-    };
+    builder = apply_strategy(builder, args.value("--strategy").unwrap_or("exhaustive"))
+        .unwrap_or_else(|e| panic!("{e}"));
     if faults {
         builder = builder.with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault]);
     }
-    if let Some(path) = &telemetry_path {
+    if let Some(path) = telemetry_path {
         // One shared sink: every scenario appends to the same JSONL
         // stream, distinguished by the `scenario` field on each record.
         // When resuming from this same file, append instead of
         // truncating — the existing records are the WAL being replayed.
-        let sink = if resume.as_deref() == Some(path.as_str()) {
+        let sink = if resume == Some(path) {
             TelemetrySink::append_file(path)
         } else {
             TelemetrySink::to_file(path)

@@ -43,6 +43,10 @@ impl Map {
         self.entries.get(key)
     }
 
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries.get_mut(key)
+    }
+
     pub fn len(&self) -> usize {
         self.entries.len()
     }

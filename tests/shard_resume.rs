@@ -295,3 +295,65 @@ fn exhausted_budget_degrades_to_partial_report() {
     );
     assert_eq!(report_fingerprint(&report), report_fingerprint(&r8));
 }
+
+/// Merge edge cases: an empty shard list is a loud error, a 1-shard
+/// campaign merges to exactly itself, and a merged (unsharded) report
+/// refuses to merge again.
+#[test]
+fn merge_edge_cases_hold() {
+    assert!(
+        merge_reports(Vec::new())
+            .unwrap_err()
+            .contains("nothing to merge"),
+        "empty merge must name the problem"
+    );
+
+    let s = scenario("patterns/wal");
+    let solo = s.run(&base_cfg().shard(0, 1).workers(1).build());
+    let merged = merge_reports(vec![solo.clone()]).expect("1-shard campaign merges");
+    assert_eq!(
+        report_fingerprint(&merged),
+        report_fingerprint(&solo),
+        "single-shard merge must be the identity"
+    );
+    assert_eq!(merged.executions, solo.executions);
+    assert_eq!(merged.outcomes, solo.outcomes);
+    assert_eq!(merged.coverage, solo.coverage);
+    // The merged report is no longer a shard; merging it again is an
+    // error, not a silent double-count.
+    assert!(merge_reports(vec![merged]).is_err());
+}
+
+/// The environment stamp survives the round trip CLI campaigns take:
+/// report -> JSON -> report -> merge. The merged stamp keeps the build
+/// facts and re-reports the *combined* worker count.
+#[test]
+fn env_stamp_survives_serialization_and_merge() {
+    use perennial_checker::{report_from_json, report_to_json, EnvStamp};
+    let s = scenario("patterns/wal");
+    let shards: Vec<_> = (0..2u32)
+        .map(|i| {
+            let r = s.run(
+                &base_cfg()
+                    .shard(i, 2)
+                    .workers(if i == 0 { 1 } else { 4 })
+                    .build(),
+            );
+            assert!(!r.env.rustc.is_empty(), "run did not stamp its environment");
+            report_from_json(&report_to_json(&r)).expect("round trip")
+        })
+        .collect();
+    let want = EnvStamp::current(0, "exhaustive");
+    for r in &shards {
+        assert_eq!(r.env.rustc, want.rustc, "rustc lost in serialization");
+        assert_eq!(r.env.crate_version, want.crate_version);
+        assert_eq!(r.env.strategy, "exhaustive");
+    }
+    let merged = merge_reports(shards).expect("shards merge");
+    assert_eq!(merged.env.rustc, want.rustc, "rustc lost in the merge");
+    assert_eq!(merged.env.crate_version, want.crate_version);
+    assert_eq!(
+        merged.env.workers, merged.workers as u64,
+        "merged stamp must report the combined pool, not one shard's"
+    );
+}
