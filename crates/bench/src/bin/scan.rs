@@ -6,6 +6,7 @@
 //!      [--out FILE] [--faults] [--strategy exhaustive|dpor|coverage]
 //!      [--workers N] [--budget N] [--seed N]
 //!      [--trace-out DIR] [--explain] [--profile FILE]
+//!      [--shrink] [--emit-test DIR]
 //! scan --merge FILE... [--out FILE]
 //! scan --dashboard PATH...
 //! ```
@@ -36,6 +37,17 @@
 //! side channel — fingerprints and WAL contents are unchanged, and all
 //! counts are worker-count independent.
 //!
+//! `--shrink` delta-debugs each winning counterexample down to a
+//! minimal reproducer before it is reported (DESIGN.md §16) — the
+//! summary, explain timeline, and Chrome trace all describe the
+//! *minimized* schedule. Unlike profiling this is not a pure side
+//! channel: the counterexample in the report (and hence the campaign
+//! fingerprint) changes, deterministically. `--emit-test DIR` (implies
+//! `--shrink`) additionally writes one self-contained replay test
+//! (`replay_<scenario>.rs`) per failing scenario into DIR; drop it in
+//! `tests/` and `cargo test --test replay_<scenario>` re-derives the
+//! failure deterministically.
+//!
 //! The final line is always `campaign fingerprint: 0x…` — a hash of the
 //! per-scenario report fingerprints (timing and worker-count excluded),
 //! which is the equality oracle CI uses for kill/resume and shard/merge.
@@ -45,9 +57,9 @@
 
 use perennial_bench::args::{apply_strategy, flag, parse_args, rest, value};
 use perennial_checker::{
-    chrome_trace_json, merge_reports, parse_shard, profile_to_json, render_dashboard,
+    chrome_trace_json, emit_test, merge_reports, parse_shard, profile_to_json, render_dashboard,
     render_explain, render_profile, report_fingerprint, report_from_json, report_to_json,
-    trace_fingerprint, CheckConfig, CheckReport, Dashboard, Pass, ScenarioSet,
+    test_file_name, trace_fingerprint, CheckConfig, CheckReport, Dashboard, Pass, ScenarioSet,
 };
 use std::path::{Path, PathBuf};
 
@@ -223,6 +235,8 @@ fn main() {
         value("--trace-out"),
         flag("--explain"),
         value("--profile"),
+        flag("--shrink"),
+        value("--emit-test"),
     ];
     let args = parse_args(std::env::args().skip(1), &spec).unwrap_or_else(|e| die(&e));
     if let [stray, ..] = args.positionals() {
@@ -254,6 +268,8 @@ fn main() {
     let trace_out = args.value("--trace-out").map(PathBuf::from);
     let explain = args.flag("--explain");
     let profile_out = args.value("--profile");
+    let emit_test_dir = args.value("--emit-test").map(PathBuf::from);
+    let shrink = args.flag("--shrink") || emit_test_dir.is_some();
 
     if !args.tail("--merge").is_empty() {
         std::process::exit(merge_mode(args.tail("--merge"), out));
@@ -268,6 +284,9 @@ fn main() {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("creating {dir:?}: {e}")));
     }
     if let Some(dir) = &trace_out {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("creating {dir:?}: {e}")));
+    }
+    if let Some(dir) = &emit_test_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("creating {dir:?}: {e}")));
     }
 
@@ -291,7 +310,8 @@ fn main() {
             .max_steps(200_000)
             .shard_opt(shard)
             .keep_going(true)
-            .profile(profile_out.is_some());
+            .profile(profile_out.is_some())
+            .shrink(shrink);
         if faults {
             cfg = cfg.with_passes([Pass::DiskFault, Pass::TornWrite, Pass::NetFault]);
         }
@@ -315,6 +335,25 @@ fn main() {
         // registry name so shard merging can group correctly.
         report.name = scenario.name().to_string();
         println!("{}", report.summary());
+        if let (Some(s), Some(cx)) = (&report.shrink, &report.counterexample) {
+            println!(
+                "(shrink: removed {} step(s) in {} round(s), {} re-runs; \
+                 now {} grant(s) + {} crash point(s), faults {})",
+                s.steps_removed,
+                s.rounds,
+                s.re_runs,
+                cx.schedule_prefix.len(),
+                cx.crash_points.len(),
+                cx.faults.compact(),
+            );
+        }
+        if let (Some(dir), Some(cx)) = (&emit_test_dir, &report.counterexample) {
+            let path = dir.join(test_file_name(&report.name));
+            let source = emit_test(&report.name, cx, 200_000);
+            std::fs::write(&path, source)
+                .unwrap_or_else(|e| die(&format!("writing {path:?}: {e}")));
+            println!("(replay test written to {})", path.display());
+        }
         if let Some(timeline) = report
             .counterexample
             .as_ref()

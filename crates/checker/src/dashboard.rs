@@ -25,30 +25,50 @@ use std::fmt::Write as _;
 /// The last `run_end` record of one scenario shard stream.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShardRun {
+    /// Whether the shard's verdict was a pass.
     pub passed: bool,
+    /// Whether the run was marked incomplete (budget hit, stream error).
     pub incomplete: bool,
+    /// Executions the shard finished.
     pub executions: u64,
+    /// Scheduler grants summed over the shard's executions.
     pub total_steps: u64,
+    /// Crashes the shard injected.
     pub crashes_injected: u64,
+    /// Fault plans the shard exercised.
     pub fault_plans: u64,
+    /// Counterexamples the shard recorded.
     pub counterexamples: u64,
+    /// Distinct absolute-grant-count crash points exercised.
     pub crash_points_exercised: u64,
+    /// Crash points the probe pass enumerated as reachable.
     pub crash_points_enumerable: u64,
+    /// Fault plans exercised across all fault surfaces.
     pub fault_plans_exercised: u64,
+    /// Fault plans enumerable across all fault surfaces.
     pub fault_plans_enumerable: u64,
+    /// Executions pruned by the strategy (DPOR sleep sets).
     pub pruned: u64,
+    /// Executions replayed from a WAL instead of re-run.
     pub replayed: u64,
+    /// Wall-clock seconds, accumulated across resumes.
     pub wall_time_s: f64,
 }
 
 /// One `exec_done` record's deterministic cost (dashboard profile feed).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecCostRow {
+    /// Pass name the execution ran under.
     pub pass: String,
+    /// Scheduler grants the execution consumed.
     pub steps: u64,
+    /// Crashes injected during the execution.
     pub crashes: u64,
+    /// Times a thread blocked on a contended lock.
     pub lock_blocks: u64,
+    /// Total disk operations.
     pub disk_ops: u64,
+    /// Total network messages.
     pub net_msgs: u64,
 }
 
@@ -85,36 +105,45 @@ impl ScenarioDash {
         self.shards.values().map(|s| s.wall_time_s).sum()
     }
 
-    /// Merged totals, following the same rules as `merge_reports`:
+    /// Merged executions, following the same rules as `merge_reports`:
     /// counted statistics sum across shards; enumerable horizons are
     /// probe-derived and agree across shards, so max = any.
     pub fn executions(&self) -> u64 {
         self.sum(|s| s.executions)
     }
+    /// Summed scheduler grants across shards.
     pub fn total_steps(&self) -> u64 {
         self.sum(|s| s.total_steps)
     }
+    /// Summed injected crashes across shards.
     pub fn crashes_injected(&self) -> u64 {
         self.sum(|s| s.crashes_injected)
     }
+    /// Summed fault plans exercised across shards.
     pub fn fault_plans(&self) -> u64 {
         self.sum(|s| s.fault_plans)
     }
+    /// Summed counterexamples across shards.
     pub fn counterexamples(&self) -> u64 {
         self.sum(|s| s.counterexamples)
     }
+    /// Summed per-surface fault plans exercised across shards.
     pub fn fault_plans_exercised(&self) -> u64 {
         self.sum(|s| s.fault_plans_exercised)
     }
+    /// Strategy-pruned executions (max: the spine is shared, not split).
     pub fn pruned(&self) -> u64 {
         self.max(|s| s.pruned)
     }
+    /// Summed WAL-replayed executions across shards.
     pub fn replayed(&self) -> u64 {
         self.sum(|s| s.replayed)
     }
+    /// Probe-enumerated crash-point horizon (agrees across shards).
     pub fn crash_points_enumerable(&self) -> u64 {
         self.max(|s| s.crash_points_enumerable)
     }
+    /// Probe-enumerated fault-plan horizon (agrees across shards).
     pub fn fault_plans_enumerable(&self) -> u64 {
         self.max(|s| s.fault_plans_enumerable)
     }
@@ -347,9 +376,14 @@ pub fn render_dashboard(d: &Dashboard) -> String {
         .max()
         .unwrap_or(8)
         .max(8);
+    // Crash coverage uses the same unit `render_failure()` reports:
+    // absolute grant counts from the start of the execution, not
+    // per-pass offsets.
     writeln!(
         out,
-        "  outcome grid ('.' shard passed, 'X' failed, '!' incomplete):"
+        "  outcome grid ('.' shard passed, 'X' failed, '!' incomplete; \
+         crash a/b = absolute-grant-count crash points exercised/enumerable, \
+         fault c/d = fault plans):"
     )
     .unwrap();
     for (name, s) in &d.scenarios {

@@ -19,7 +19,7 @@
 //!   assigned before it runs, independent of worker count or timing
 //!   (ranks in [`Pass`]).
 //! - Each execution's model seed is `hash(base_seed, pass_rank, index)`
-//!   (see [`exec_seed`]), never a shared mutable RNG.
+//!   (see `exec_seed`), never a shared mutable RNG.
 //! - The reported counterexample is the failure with the **minimum job
 //!   key**, not the first one found on the wall clock. A job is skipped
 //!   only when a failure with a *smaller* key is already known, which
@@ -135,7 +135,7 @@ pub struct CheckConfig {
     /// exploration itself always runs untraced, the re-run emits no
     /// telemetry, and report fingerprints are identical either way.
     pub trace_capture: bool,
-    /// Build a [`Profile`] (per-pass cost attribution, resource
+    /// Build a [`Profile`](crate::profile::Profile) (per-pass cost attribution, resource
     /// contention, strategy introspection, worker utilization) and
     /// attach it as [`CheckReport::profile`] (default off). Pure side
     /// channel: the profile is aggregated from counters the check
@@ -143,6 +143,17 @@ pub struct CheckConfig {
     /// fingerprints, and its deterministic counts are identical at
     /// every worker count (DESIGN.md §15).
     pub profile: bool,
+    /// Delta-debug the winning counterexample after exploration: greedily
+    /// drop schedule grants, crash points, and fault events while
+    /// re-running and requiring the failure fingerprint (outcome kind +
+    /// message, see [`crate::shrink::failure_fingerprint`]) to be
+    /// preserved (default off). **Not** a pure side channel: shrinking
+    /// rewrites [`CheckReport::counterexample`] in place, so serialized
+    /// reports (and their fingerprints) differ between shrink-on and
+    /// shrink-off runs — but the shrunk result itself is deterministic at
+    /// every worker count (DESIGN.md §16). Shrink statistics land in
+    /// [`CheckReport::shrink`].
+    pub shrink: bool,
 }
 
 impl Default for CheckConfig {
@@ -165,6 +176,7 @@ impl Default for CheckConfig {
             exec_budget: 0,
             trace_capture: true,
             profile: false,
+            shrink: false,
         }
     }
 }
@@ -223,26 +235,31 @@ pub struct CheckConfigBuilder {
 }
 
 impl CheckConfigBuilder {
+    /// Sets the base PRNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
         self
     }
 
+    /// Sets the per-execution scheduler-grant budget.
     pub fn max_steps(mut self, max_steps: u64) -> Self {
         self.config.max_steps = max_steps;
         self
     }
 
+    /// Caps the DFS pass's execution count.
     pub fn dfs_max_executions(mut self, n: usize) -> Self {
         self.config.dfs_max_executions = n;
         self
     }
 
+    /// Sets the random-schedule sample count.
     pub fn random_samples(mut self, n: usize) -> Self {
         self.config.random_samples = n;
         self
     }
 
+    /// Sets the random-crash-point sample count.
     pub fn random_crash_samples(mut self, n: usize) -> Self {
         self.config.random_crash_samples = n;
         self
@@ -276,11 +293,14 @@ impl CheckConfigBuilder {
         self
     }
 
+    /// Sets the worker-thread count (0 = one per available core).
     pub fn workers(mut self, workers: usize) -> Self {
         self.config.workers = workers;
         self
     }
 
+    /// Keeps exploring after the first counterexample instead of
+    /// stopping the run.
     pub fn keep_going(mut self, on: bool) -> Self {
         self.config.keep_going = on;
         self
@@ -357,6 +377,14 @@ impl CheckConfigBuilder {
         self
     }
 
+    /// Enables (or disables) counterexample shrinking; see
+    /// [`CheckConfig::shrink`].
+    pub fn shrink(mut self, on: bool) -> Self {
+        self.config.shrink = on;
+        self
+    }
+
+    /// Finalizes the configuration.
     pub fn build(self) -> CheckConfig {
         self.config
     }
@@ -526,6 +554,12 @@ pub struct CheckReport {
     /// Debug/observability payload: excluded from campaign JSON and
     /// report fingerprints exactly like a counterexample's timeline.
     pub profile: Option<crate::profile::Profile>,
+    /// Shrink statistics, present when [`CheckConfig::shrink`] was on
+    /// and a counterexample was found (the counterexample itself is then
+    /// the *shrunk* one). Observability payload: excluded from campaign
+    /// JSON like [`CheckReport::profile`] — the shrunk counterexample,
+    /// not its bookkeeping, is the durable artifact.
+    pub shrink: Option<crate::shrink::ShrinkStats>,
     /// Environment stamp (rustc, crate version, workers, strategy) for
     /// cross-machine comparability of serialized reports. Volatile:
     /// stripped by [`crate::report_fingerprint`].
@@ -2184,6 +2218,23 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
         counterexamples.retain(|cx| cx.key() <= cut);
     }
 
+    // Shrink the winning counterexample before the timeline is captured,
+    // so the causal trace below is recorded from the *minimized*
+    // schedule. Shrinking is sequential post-processing over one
+    // counterexample, so the result is deterministic at every worker
+    // count; its re-runs emit no telemetry and count toward no
+    // statistic (DESIGN.md §16).
+    let mut shrink_stats = None;
+    if config.shrink {
+        if let Some(first) = counterexamples.first_mut() {
+            shrink_stats = Some(crate::shrink::shrink_counterexample(
+                harness,
+                first,
+                config.max_steps,
+            ));
+        }
+    }
+
     // Attach a causal timeline to the winning counterexample by
     // re-running it with the trace recorder on. The re-run is a pure
     // side channel: it emits no telemetry, counts toward no statistic,
@@ -2298,6 +2349,7 @@ pub fn check<S: SpecTS, H: Harness<S>>(harness: &H, config: &CheckConfig) -> Che
     }
     report.counterexample = counterexamples.first().cloned();
     report.counterexamples = counterexamples;
+    report.shrink = shrink_stats;
     report.shard = config.shard;
     report.replayed = ctx.replayed.load(Ordering::Relaxed);
     if !budget.open() {
@@ -2368,6 +2420,28 @@ fn cx_policy(cx: &Counterexample) -> Policy {
         | Pass::NetFault => Policy::RoundRobin,
         Pass::Dfs => Policy::DfsPrefix(cx.schedule_prefix.clone()),
     }
+}
+
+/// Re-runs a shrink candidate: the counterexample's recorded policy,
+/// crash points, and fault plan, untraced and untracked. Returns the
+/// outcome plus the clamp depths and ghost trace of the re-run, which
+/// the shrinker folds back into an accepted candidate.
+pub(crate) fn rerun_candidate<S: SpecTS, H: Harness<S>>(
+    harness: &H,
+    cx: &Counterexample,
+    max_steps: u64,
+) -> (ExecOutcome, Vec<usize>, String) {
+    let r = run_one(
+        harness,
+        cx_policy(cx),
+        &cx.crash_points,
+        &cx.faults,
+        cx.seed,
+        max_steps,
+        false,
+        false,
+    );
+    (r.outcome, r.clamped, r.trace)
 }
 
 /// Replays a counterexample: reruns the execution with the recorded

@@ -112,11 +112,14 @@ pub trait Harness<S: SpecTS>: Sync {
 /// must not abort a campaign: the explorer isolates the panic and
 /// records the execution as [`crate::ExecOutcome::HarnessPanic`].
 pub struct PanicOnReset<H> {
+    /// The wrapped harness.
     pub inner: H,
+    /// The mutant's scenario name.
     pub name: String,
 }
 
 impl<H> PanicOnReset<H> {
+    /// Wraps `inner` under the mutant name `name`.
     pub fn new(name: impl Into<String>, inner: H) -> Self {
         PanicOnReset {
             inner,
@@ -185,11 +188,14 @@ impl<S: SpecTS, H: Harness<S>> Harness<S> for PanicOnReset<H> {
 /// [`crate::ExecOutcome::Wedged`] — never a checker hang. Use with a
 /// small step budget: each wedged execution costs the full budget.
 pub struct SpinForever<H> {
+    /// The wrapped harness.
     pub inner: H,
+    /// The mutant's scenario name.
     pub name: String,
 }
 
 impl<H> SpinForever<H> {
+    /// Wraps `inner` under the mutant name `name`.
     pub fn new(name: impl Into<String>, inner: H) -> Self {
         SpinForever {
             inner,

@@ -20,6 +20,12 @@
 //! A separate Wing–Gong [`linearize`] checker validates histories from
 //! observable events alone, as an independent cross-check of the
 //! commit-point instrumentation.
+//!
+//! When a check fails, [`shrink`] delta-debugs the counterexample down
+//! to a minimal reproducer and [`playback`] compiles it into a
+//! standalone replay test (DESIGN.md §16).
+
+#![warn(missing_docs)]
 
 pub mod campaign;
 pub mod dashboard;
@@ -28,10 +34,12 @@ pub mod harness;
 pub mod linearize;
 pub mod metrics;
 pub mod pass;
+pub mod playback;
 pub mod profile;
 pub mod recorder;
 pub mod report;
 pub mod scenario;
+pub mod shrink;
 pub mod strategy;
 pub mod telemetry;
 pub mod timeline;
@@ -51,10 +59,12 @@ pub use metrics::{
     trace_fingerprint, Coverage, Histogram, OutcomeCounts, OutcomeKind, PassMetrics,
 };
 pub use pass::{Pass, PassSet};
+pub use playback::{emit_test, test_file_name};
 pub use profile::{profile_to_json, render_profile, Profile};
 pub use recorder::{Recorder, DROPPED};
 pub use report::{describe_outcome, render_failure, render_summary, verdict_line};
 pub use scenario::{Scenario, ScenarioSet};
+pub use shrink::{failure_fingerprint, shrink_counterexample, ShrinkStats};
 pub use strategy::{CoverageGuided, Exhaustive, Random, SleepSetDpor, Strategy, StrategySession};
 pub use telemetry::{strip_timing, validate_json_line, EnvStamp, TelemetrySink, TIMING_KEYS};
 pub use timeline::{chrome_trace_json, render_explain};
@@ -69,6 +79,7 @@ pub mod prelude {
     pub use crate::harness::{Execution, Harness, ThreadBody, World};
     pub use crate::pass::{Pass, PassSet};
     pub use crate::scenario::{Scenario, ScenarioSet};
+    pub use crate::shrink::{failure_fingerprint, ShrinkStats};
     pub use crate::strategy::{CoverageGuided, Exhaustive, SleepSetDpor, Strategy};
     pub use crate::telemetry::TelemetrySink;
     pub use goose_rt::fault::{FaultPlan, FaultSurface, IoError, IoResult, NetFault, TornMode};

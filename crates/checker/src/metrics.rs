@@ -18,13 +18,21 @@ use std::time::Duration;
 /// histogram key; [`ExecOutcome`] carries the full payload).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum OutcomeKind {
+    /// Every obligation held ([`ExecOutcome::Ok`]).
     Ok,
+    /// Ghost capability rule violated ([`ExecOutcome::Violation`]).
     Violation,
+    /// Modelled undefined behaviour ([`ExecOutcome::Ub`]).
     Ub,
+    /// Plain panic in the code under test ([`ExecOutcome::Bug`]).
     Bug,
+    /// No runnable thread with work left ([`ExecOutcome::Deadlock`]).
     Deadlock,
+    /// Final predicate failed ([`ExecOutcome::FinalCheckFailed`]).
     FinalCheckFailed,
+    /// Step budget exhausted ([`ExecOutcome::Wedged`]).
     Wedged,
+    /// Controller-side hook panicked ([`ExecOutcome::HarnessPanic`]).
     HarnessPanic,
 }
 
@@ -61,17 +69,26 @@ impl OutcomeKind {
 /// Counts of executions by [`OutcomeKind`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OutcomeCounts {
+    /// Executions with [`OutcomeKind::Ok`].
     pub ok: u64,
+    /// Executions with [`OutcomeKind::Violation`].
     pub violation: u64,
+    /// Executions with [`OutcomeKind::Ub`].
     pub ub: u64,
+    /// Executions with [`OutcomeKind::Bug`].
     pub bug: u64,
+    /// Executions with [`OutcomeKind::Deadlock`].
     pub deadlock: u64,
+    /// Executions with [`OutcomeKind::FinalCheckFailed`].
     pub final_check_failed: u64,
+    /// Executions with [`OutcomeKind::Wedged`].
     pub wedged: u64,
+    /// Executions with [`OutcomeKind::HarnessPanic`].
     pub harness_panic: u64,
 }
 
 impl OutcomeCounts {
+    /// Bumps the bucket for one outcome.
     pub fn record(&mut self, kind: OutcomeKind) {
         match kind {
             OutcomeKind::Ok => self.ok += 1,
@@ -97,6 +114,7 @@ impl OutcomeCounts {
         self.harness_panic += other.harness_panic;
     }
 
+    /// Total executions recorded.
     pub fn total(&self) -> u64 {
         self.ok + self.failures()
     }
@@ -156,6 +174,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// Adds one sample.
     pub fn record(&mut self, v: u64) {
         let b = (64 - v.leading_zeros()) as usize; // 0 for v == 0
         if self.buckets.len() <= b {
@@ -197,18 +216,22 @@ impl Histogram {
         }
     }
 
+    /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
     }
 
+    /// Sum of all samples.
     pub fn sum(&self) -> u64 {
         self.sum
     }
 
+    /// Largest sample recorded (0 when empty).
     pub fn max(&self) -> u64 {
         self.max
     }
 
+    /// Arithmetic mean of the samples (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -259,10 +282,15 @@ pub struct PassMetrics {
     pub pass: Pass,
     /// Canonical pass rank (the report sort key).
     pub rank: u8,
+    /// Executions this pass scheduled (post-cutoff).
     pub executions: u64,
+    /// Scheduled steps summed over the pass's executions.
     pub steps: u64,
+    /// Crashes injected by the pass.
     pub crashes: u64,
+    /// Executions that ran with a non-empty fault plan.
     pub fault_plans: u64,
+    /// Executions that ended in a non-Ok outcome.
     pub failures: u64,
     /// Schedules the strategy pruned as redundant (attributed to the
     /// DFS pass; 0 elsewhere and under non-DPOR strategies).
@@ -288,12 +316,17 @@ pub struct Coverage {
     /// Crash points the systematic sweep enumerates: the baseline
     /// schedule's horizon (0 when the crash sweep is disabled).
     pub crash_points_enumerable: u64,
-    /// Distinct non-empty fault plans executed, by surface.
+    /// Distinct non-empty disk-fault plans executed.
     pub disk_fault_plans_exercised: u64,
+    /// Disk-fault plans the sweep enumerates.
     pub disk_fault_plans_enumerable: u64,
+    /// Distinct torn-write plans executed.
     pub torn_plans_exercised: u64,
+    /// Torn-write plans the sweep enumerates.
     pub torn_plans_enumerable: u64,
+    /// Distinct network-fault plans executed.
     pub net_plans_exercised: u64,
+    /// Network-fault plans the sweep enumerates.
     pub net_plans_enumerable: u64,
     /// Distinct ghost-trace fingerprints observed across executions — a
     /// proxy for behavioural coverage (two executions with the same
@@ -312,6 +345,8 @@ impl Coverage {
         }
     }
 
+    /// Crash points exercised over enumerable (1.0 when none are
+    /// enumerable).
     pub fn crash_point_ratio(&self) -> f64 {
         Self::ratio(self.crash_points_exercised, self.crash_points_enumerable)
     }
@@ -321,10 +356,12 @@ impl Coverage {
         Self::ratio(self.fault_plans_exercised(), self.fault_plans_enumerable())
     }
 
+    /// Non-empty fault plans executed, summed over every surface.
     pub fn fault_plans_exercised(&self) -> u64 {
         self.disk_fault_plans_exercised + self.torn_plans_exercised + self.net_plans_exercised
     }
 
+    /// Enumerable fault plans, summed over every surface.
     pub fn fault_plans_enumerable(&self) -> u64 {
         self.disk_fault_plans_enumerable + self.torn_plans_enumerable + self.net_plans_enumerable
     }

@@ -12,6 +12,28 @@ use std::str::FromStr;
 
 /// One exploration pass, in canonical rank order.
 ///
+/// The rank table (the major component of the job key — lower rank wins
+/// counterexample selection, see DESIGN.md §10):
+///
+/// | rank | variant            | wire name            | phase    |
+/// |-----:|--------------------|----------------------|----------|
+/// |    0 | `Dfs`              | `dfs`                | schedule |
+/// |    1 | `Random`           | `random`             | schedule |
+/// |    2 | `CrashSweepBase`   | `crash-sweep-base`   | probe    |
+/// |    3 | `CrashSweep`       | `crash-sweep`        | sweep    |
+/// |    4 | `NestedCrash`      | `nested-crash-sweep` | sweep    |
+/// |    5 | `RandomCrashProbe` | `random-crash-probe` | probe    |
+/// |    6 | `RandomCrash`      | `random-crash`       | sweep    |
+/// |    7 | `DiskFault`        | `disk-fault-sweep`   | sweep    |
+/// |    8 | `TornWrite`        | `torn-write-sweep`   | sweep    |
+/// |    9 | `NetFault`         | `net-fault-sweep`    | sweep    |
+///
+/// Schedule-phase passes explore thread interleavings with no injected
+/// faults; sweep-phase passes inject crashes/faults at named
+/// coordinates. The distinction matters to the shrinker: schedule-phase
+/// counterexamples minimize their DFS prefix, sweep-phase ones minimize
+/// injection coordinates (DESIGN.md §16).
+///
 /// `CrashSweepBase` and `RandomCrashProbe` are internal probe sub-passes
 /// (the fault-free executions that measure a schedule's horizon before
 /// the real sweep); they are not meant to be configured directly but

@@ -1,0 +1,190 @@
+//! Concrete playback: compile a shrunk counterexample into a
+//! self-contained Rust test (DESIGN.md §16).
+//!
+//! A counterexample report is evidence you have to trust; a generated
+//! test that *re-derives* the failure on every `cargo test` is evidence
+//! you can re-check. [`emit_test`] renders a [`Counterexample`] as a
+//! standalone integration-test source file: it looks the scenario up by
+//! registry name, rebuilds the pinned replay coordinates (pass, seed,
+//! schedule prefix, crash points, [`FaultPlan`]), replays them through
+//! the public [`Scenario::replay`](crate::Scenario::replay) entry
+//! point, and asserts both that the run fails and that its
+//! [`failure_fingerprint`] matches
+//! the recorded one. While the bug is present the test passes (the
+//! certificate holds); once the code is fixed the replay stops failing
+//! and the test trips — telling you the reproducer is stale and can be
+//! deleted.
+//!
+//! The emitted file is valid as a workspace integration test: drop it
+//! into `tests/` (the CI `playback` job does exactly that) and run
+//! `cargo test --test <name>`. Everything it needs is re-stated in the
+//! file — no side-channel fixture, no serialized blob.
+
+use crate::explore::Counterexample;
+use crate::pass::Pass;
+use crate::shrink::failure_fingerprint;
+use goose_rt::fault::{FaultPlan, NetFault, TornMode};
+use std::fmt::Write as _;
+
+/// The Rust path of a [`Pass`] variant, for codegen.
+fn pass_variant(pass: Pass) -> &'static str {
+    match pass {
+        Pass::Dfs => "Pass::Dfs",
+        Pass::Random => "Pass::Random",
+        Pass::CrashSweepBase => "Pass::CrashSweepBase",
+        Pass::CrashSweep => "Pass::CrashSweep",
+        Pass::NestedCrash => "Pass::NestedCrash",
+        Pass::RandomCrashProbe => "Pass::RandomCrashProbe",
+        Pass::RandomCrash => "Pass::RandomCrash",
+        Pass::DiskFault => "Pass::DiskFault",
+        Pass::TornWrite => "Pass::TornWrite",
+        Pass::NetFault => "Pass::NetFault",
+    }
+}
+
+/// Renders the statements that rebuild a [`FaultPlan`] into `name`.
+fn fault_plan_stmts(faults: &FaultPlan, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "    let mut {name} = FaultPlan::default();");
+    for p in &faults.transient_io {
+        let _ = writeln!(out, "    {name}.transient_io.insert({p});");
+    }
+    // Fully-qualified variant paths keep the emitted imports identical
+    // whether or not a fault family is present (no unused-import lint).
+    match faults.torn {
+        None => {}
+        Some(TornMode::KeepAll) => {
+            let _ = writeln!(
+                out,
+                "    {name}.torn = Some(perennial_checker::TornMode::KeepAll);"
+            );
+        }
+        Some(TornMode::KeepNone) => {
+            let _ = writeln!(
+                out,
+                "    {name}.torn = Some(perennial_checker::TornMode::KeepNone);"
+            );
+        }
+        Some(TornMode::Subset(s)) => {
+            let _ = writeln!(
+                out,
+                "    {name}.torn = Some(perennial_checker::TornMode::Subset({s}));"
+            );
+        }
+    }
+    if let Some((d, g)) = faults.disk_fail {
+        let _ = writeln!(out, "    {name}.disk_fail = Some(({d}, {g}));");
+    }
+    for (i, f) in &faults.net {
+        let variant = match f {
+            NetFault::Drop => "perennial_checker::NetFault::Drop",
+            NetFault::Duplicate => "perennial_checker::NetFault::Duplicate",
+            NetFault::Delay => "perennial_checker::NetFault::Delay",
+        };
+        let _ = writeln!(out, "    {name}.net.insert({i}, {variant});");
+    }
+    out
+}
+
+/// A registry name sanitized into a Rust identifier:
+/// `patterns/mutant/wal-skip-commit-flush` →
+/// `patterns_mutant_wal_skip_commit_flush`.
+pub fn sanitize_ident(name: &str) -> String {
+    let mut id: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        id.insert(0, '_');
+    }
+    id
+}
+
+/// The file name [`emit_test`]'s output should be saved under
+/// (`replay_<sanitized scenario name>.rs`) — also the `cargo test
+/// --test` target name, minus the extension.
+pub fn test_file_name(scenario_name: &str) -> String {
+    format!("replay_{}.rs", sanitize_ident(scenario_name))
+}
+
+/// Renders a self-contained integration-test source file that replays
+/// `cx` against the named scenario and pins its failure fingerprint.
+///
+/// The generated test resolves the scenario from the workspace facade's
+/// combined registry (`perennial_suite::all_scenarios()` +
+/// `all_mutant_scenarios()`), exactly like the `scan` driver, so any
+/// name `scan` can check, the emitted test can replay.
+pub fn emit_test(scenario_name: &str, cx: &Counterexample, max_steps: u64) -> String {
+    let ident = sanitize_ident(scenario_name);
+    let fp = failure_fingerprint(&cx.outcome);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "//! Auto-generated by `scan --shrink --emit-test`; do not edit.\n\
+         //!\n\
+         //! Scenario    : {scenario_name}\n\
+         //! Found by    : {} pass, execution #{}\n\
+         //! Fingerprint : {:#018x} (outcome kind + message)\n\
+         //!\n\
+         //! A concrete, deterministic replay of a shrunk counterexample\n\
+         //! (DESIGN.md \u{a7}16). The test passes while the failure still\n\
+         //! reproduces; once the underlying bug is fixed it trips, which\n\
+         //! means this file is stale and should be deleted.",
+        cx.pass, cx.index, fp,
+    );
+    out.push('\n');
+    out.push_str(
+        "use perennial_checker::shrink::failure_fingerprint;\n\
+         use perennial_checker::{CheckConfig, Counterexample, ExecOutcome, FaultPlan, Pass};\n\n",
+    );
+    let _ = writeln!(out, "#[test]");
+    let _ = writeln!(out, "fn replay_{ident}() {{");
+    let _ = writeln!(
+        out,
+        "    let mut registry = perennial_suite::all_scenarios();\n\
+         \x20   registry.extend(perennial_suite::all_mutant_scenarios());\n\
+         \x20   let scenario = registry\n\
+         \x20       .get(\"{scenario_name}\")\n\
+         \x20       .expect(\"scenario present in the workspace registry\");"
+    );
+    out.push_str(&fault_plan_stmts(&cx.faults, "faults"));
+    let _ = writeln!(
+        out,
+        "    let cx = Counterexample {{\n\
+         \x20       // Placeholder: replay ignores the recorded outcome and\n\
+         \x20       // recomputes it from the pinned coordinates below.\n\
+         \x20       outcome: ExecOutcome::Ok,\n\
+         \x20       pass: {},\n\
+         \x20       index: {},\n\
+         \x20       seed: {:#018x},\n\
+         \x20       schedule_prefix: vec!{:?},\n\
+         \x20       crash_points: vec!{:?},\n\
+         \x20       clamped: Vec::new(),\n\
+         \x20       faults,\n\
+         \x20       trace: String::new(),\n\
+         \x20       timeline: None,\n\
+         \x20   }};",
+        pass_variant(cx.pass),
+        cx.index,
+        cx.seed,
+        cx.schedule_prefix,
+        cx.crash_points,
+    );
+    let _ = writeln!(
+        out,
+        "    let config = CheckConfig::builder().max_steps({max_steps}).build();\n\
+         \x20   let (outcome, trace) = scenario.replay(&cx, &config);\n\
+         \x20   assert!(\n\
+         \x20       outcome.is_failure(),\n\
+         \x20       \"pinned counterexample no longer reproduces (bug fixed?); \\\n\
+         \x20        delete this file\\n{{trace}}\"\n\
+         \x20   );\n\
+         \x20   assert_eq!(\n\
+         \x20       failure_fingerprint(&outcome),\n\
+         \x20       {fp:#018x},\n\
+         \x20       \"replay failed, but with a different failure than the pinned one: {{outcome:?}}\"\n\
+         \x20   );\n\
+         }}"
+    );
+    out
+}

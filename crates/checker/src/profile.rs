@@ -19,7 +19,7 @@
 //! [`profile_to_json`] yields the canonical, machine-independent form
 //! (pinned by `tests/profile.rs`).
 //!
-//! The profile is a **pure side channel**: [`CheckReport::profile`]
+//! The profile is a **pure side channel**: [`CheckReport::profile`](crate::CheckReport)
 //! (see [`crate::CheckReport`]) is excluded from campaign JSON and
 //! report fingerprints exactly like a counterexample's timeline, and
 //! building it reads counters the explorer already collected — it
@@ -66,10 +66,15 @@ pub fn resource_kind(id: u64) -> &'static str {
 /// time those executions took (`busy_us`, the lone timing field).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PassCost {
+    /// Pass name.
     pub pass: String,
+    /// Pass rank (canonical ordering key).
     pub rank: u8,
+    /// Executions counted toward this pass.
     pub executions: u64,
+    /// Scheduler grants summed over the pass's executions.
     pub steps: u64,
+    /// Crashes injected by the pass.
     pub crashes: u64,
     /// Times a thread parked on a held model lock.
     pub lock_blocks: u64,
@@ -113,6 +118,7 @@ impl ResourceRow {
 /// What the schedule-phase strategy did with its feedback.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StrategyProfile {
+    /// Strategy name (`exhaustive`, `dpor`, `coverage`).
     pub strategy: String,
     /// Schedules pruned as redundant (sleep-set hits).
     pub pruned: u64,
@@ -130,6 +136,7 @@ pub struct StrategyProfile {
 /// deterministic tables.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WorkerUtilization {
+    /// Worker-thread count of the pool.
     pub workers: u64,
     /// Summed wall time of counted executions, µs.
     pub busy_us: u64,
@@ -152,6 +159,7 @@ impl WorkerUtilization {
 /// and render with [`render_profile`] or [`profile_to_json`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Profile {
+    /// Scenario name the profile belongs to.
     pub scenario: String,
     /// Per-pass cost attribution, in canonical rank order.
     pub passes: Vec<PassCost>,
@@ -161,21 +169,32 @@ pub struct Profile {
     /// Contended resources dropped by the top-N cut (never silently:
     /// the render says what it hid).
     pub resources_dropped: u64,
+    /// What the schedule-phase strategy did with its feedback.
     pub strategy: StrategyProfile,
+    /// Worker-pool utilization (timing-only).
     pub workers: WorkerUtilization,
 }
 
 /// One counted execution's contribution to the profile.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecCost {
+    /// Pass the execution ran under.
     pub pass: Pass,
+    /// The pass's rank.
     pub rank: u8,
+    /// Scheduler grants consumed.
     pub steps: u64,
+    /// Crashes injected.
     pub crashes: u64,
+    /// Times a thread parked on a held model lock.
     pub lock_blocks: u64,
+    /// Disk operations consulted against the fault plan.
     pub disk_ops: u64,
+    /// Network sends consulted against the fault plan.
     pub net_msgs: u64,
+    /// Folded model-op count (reads + writes + flushes + sends + recvs).
     pub model_ops: u64,
+    /// Wall time of the execution, µs (timing-only).
     pub duration_us: u64,
 }
 

@@ -163,6 +163,15 @@ pub fn render_failure(report: &CheckReport) -> Option<String> {
             cx.clamped
         );
     }
+    if let Some(s) = &report.shrink {
+        let _ = writeln!(
+            out,
+            "Shrinking       : removed {} step(s) in {} round(s) over {} re-run(s); \
+             the schedule/crash/fault coordinates above are the minimized ones \
+             (fingerprint-preserving, DESIGN.md \u{a7}16)",
+            s.steps_removed, s.rounds, s.re_runs
+        );
+    }
     let _ = writeln!(out);
     let _ = writeln!(out, "Spec-level trace up to the failure:");
     if cx.trace.is_empty() {

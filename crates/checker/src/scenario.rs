@@ -10,11 +10,14 @@
 //! Names are conventionally `"<system>/<scenario>"`, e.g.
 //! `"kv/cross-bucket"` or `"repldisk/write-race"`.
 
-use crate::explore::{check, CheckConfig, CheckReport};
+use crate::explore::{check, replay, CheckConfig, CheckReport, Counterexample, ExecOutcome};
 use crate::harness::Harness;
 use perennial_spec::SpecTS;
 use std::fmt;
 use std::sync::Arc;
+
+/// Type-erased [`replay`] closure over a scenario's harness.
+type Replayer = dyn Fn(&Counterexample, &CheckConfig) -> (ExecOutcome, String) + Send + Sync;
 
 /// A named, runnable check scenario.
 #[derive(Clone)]
@@ -22,6 +25,7 @@ pub struct Scenario {
     name: String,
     description: String,
     runner: Arc<dyn Fn(&CheckConfig) -> CheckReport + Send + Sync>,
+    replayer: Arc<Replayer>,
 }
 
 impl Scenario {
@@ -31,10 +35,13 @@ impl Scenario {
         S: SpecTS,
         H: Harness<S> + Send + 'static,
     {
+        let harness = Arc::new(harness);
+        let run_harness = Arc::clone(&harness);
         Scenario {
             name: name.into(),
             description: description.into(),
-            runner: Arc::new(move |config| check(&harness, config)),
+            runner: Arc::new(move |config| check(&*run_harness, config)),
+            replayer: Arc::new(move |cx, config| replay(&*harness, cx, config)),
         }
     }
 
@@ -51,6 +58,17 @@ impl Scenario {
     /// Runs the full exploration over this scenario's harness.
     pub fn run(&self, config: &CheckConfig) -> CheckReport {
         (self.runner)(config)
+    }
+
+    /// Replays one pinned counterexample against this scenario's
+    /// harness — the registry-level entry point behind emitted playback
+    /// tests (see [`crate::playback`]), forwarding to
+    /// [`replay`]. Only the counterexample's
+    /// replay coordinates (pass, seed, schedule prefix, crash points,
+    /// fault plan) matter; its recorded outcome/trace fields are ignored
+    /// and recomputed.
+    pub fn replay(&self, cx: &Counterexample, config: &CheckConfig) -> (ExecOutcome, String) {
+        (self.replayer)(cx, config)
     }
 }
 
@@ -73,6 +91,7 @@ pub struct ScenarioSet {
 }
 
 impl ScenarioSet {
+    /// An empty set.
     pub fn new() -> Self {
         ScenarioSet::default()
     }
@@ -114,14 +133,17 @@ impl ScenarioSet {
         self.scenarios.iter().map(|s| s.name()).collect()
     }
 
+    /// Iterates scenarios in registration order.
     pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
         self.scenarios.iter()
     }
 
+    /// Number of registered scenarios.
     pub fn len(&self) -> usize {
         self.scenarios.len()
     }
 
+    /// Whether the set has no scenarios.
     pub fn is_empty(&self) -> bool {
         self.scenarios.is_empty()
     }

@@ -54,18 +54,27 @@ pub enum ScheduleSpec {
     /// With `track_deps`, the run records per-grant dependency
     /// footprints for partial-order reduction.
     Dfs {
+        /// Forced scheduler choices, replayed in order before DFS order
+        /// takes over.
         prefix: Vec<usize>,
+        /// Record per-grant dependency footprints for partial-order
+        /// reduction.
         track_deps: bool,
     },
     /// Seeded random schedule, optionally replaying a recorded decision
     /// prefix first (coverage-guided re-seeding).
-    Random { prefix: Vec<usize> },
+    Random {
+        /// Recorded decision prefix to replay before random choice.
+        prefix: Vec<usize>,
+    },
 }
 
 /// A batch of schedules to run under one pass.
 #[derive(Debug)]
 pub struct Wave {
+    /// The pass the batch's executions are attributed to.
     pub pass: Pass,
+    /// The schedules to execute, in slot order.
     pub specs: Vec<ScheduleSpec>,
 }
 
@@ -74,7 +83,9 @@ pub struct Wave {
 /// granted step.
 #[derive(Debug, Clone, Default)]
 pub struct DepTrace {
+    /// Runnable thread set at each scheduler decision.
     pub runnables: Vec<Vec<Tid>>,
+    /// Dependency footprint of the granted step at each decision.
     pub accesses: Vec<Vec<StepAccess>>,
 }
 
@@ -94,6 +105,29 @@ pub struct ObservedExec {
 }
 
 /// A schedule-phase exploration strategy (factory for sessions).
+///
+/// # Contract
+///
+/// A strategy decides *which* crash-free schedules run; it never
+/// executes anything itself. The explorer drives a [`StrategySession`]
+/// in a wave loop — `next_wave` → execute every spec → `observe` with
+/// the complete wave's results — and implementations must uphold:
+///
+/// - **Determinism across worker counts.** Decisions may depend only on
+///   the config (seed included) and on *complete-wave* feedback, never
+///   on completion order or timing within a wave. The explored set must
+///   be identical at `workers = 1` and `workers = 8` (pinned by
+///   `tests/strategy.rs`).
+/// - **Canonical job indices.** Specs are numbered by wave-slot order;
+///   the explorer turns them into job keys `(pass.rank(), index)`.
+///   A strategy must emit specs in a stable order so indices — and
+///   therefore counterexample selection — are reproducible.
+/// - **Termination.** `next_wave` must eventually return `None`;
+///   budgets (`dfs_max_executions`, sample counts) are the strategy's
+///   responsibility to enforce.
+/// - **Soundness of pruning.** A strategy may skip schedules only when
+///   they are provably equivalent to an explored one (e.g. sleep-set
+///   commutation); pruned counts are reported, never silent.
 pub trait Strategy: fmt::Debug + Send + Sync {
     /// Stable name (telemetry, reports).
     fn name(&self) -> &'static str;

@@ -138,14 +138,17 @@ impl MetricsSink {
         self.executions.fetch_add(1, Ordering::Relaxed) + 1
     }
 
+    /// Executions finished so far.
     pub fn executions(&self) -> u64 {
         self.executions.load(Ordering::Relaxed)
     }
 
+    /// Scheduler steps granted so far, summed over all executions.
     pub fn steps(&self) -> u64 {
         self.steps.load(Ordering::Relaxed)
     }
 
+    /// Executions that ended in a failure outcome so far.
     pub fn failures(&self) -> u64 {
         self.failures.load(Ordering::Relaxed)
     }
@@ -166,10 +169,15 @@ impl MetricsSink {
 /// Per-run telemetry context threaded through the explorer: the
 /// optional event stream, the live counters, and the progress cadence.
 pub struct RunTelemetry {
+    /// The JSONL event stream, when one was configured and opened.
     pub stream: Option<TelemetrySink>,
+    /// Live in-memory counters backing the progress line.
     pub live: MetricsSink,
+    /// Print the progress line every this many executions (0 = never).
     pub progress_every: u64,
+    /// When the run started, for the execs/s rate in the progress line.
     pub start: Instant,
+    /// Scenario name, stamped onto every emitted record.
     pub name: String,
     /// Set when the configured telemetry file could not be opened: the
     /// run degrades to in-memory metrics instead of aborting, and the
@@ -178,6 +186,9 @@ pub struct RunTelemetry {
 }
 
 impl RunTelemetry {
+    /// Builds the telemetry context for one run, opening the configured
+    /// stream (shared sink, or file path — appending when resuming into
+    /// the same file the WAL was replayed from).
     pub fn new(name: &str, config: &CheckConfig) -> Self {
         let mut open_error = None;
         let stream = config.telemetry.clone().or_else(|| {
@@ -216,6 +227,8 @@ impl RunTelemetry {
         self.stream.as_ref().and_then(|s| s.last_error())
     }
 
+    /// Writes one event to the stream (no-op when no stream is open),
+    /// stamping the scenario name onto records that lack one.
     pub fn emit(&self, event: &Value) {
         if let Some(stream) = &self.stream {
             // Stamp every record with its scenario, so streams holding
@@ -265,11 +278,14 @@ pub struct EnvStamp {
     pub rustc: String,
     /// The checker crate's own version (`CARGO_PKG_VERSION`).
     pub crate_version: String,
+    /// Worker-thread count the run used.
     pub workers: u64,
+    /// Exploration strategy name (`exhaustive`, `dpor`, `coverage`).
     pub strategy: String,
 }
 
 impl EnvStamp {
+    /// The stamp for this build and run configuration.
     pub fn current(workers: u64, strategy: &str) -> Self {
         EnvStamp {
             rustc: env!("CHECKER_RUSTC_VERSION").to_string(),
@@ -279,6 +295,7 @@ impl EnvStamp {
         }
     }
 
+    /// Serializes the stamp as the `env` object of a `run_start` record.
     pub fn to_json(&self) -> Value {
         json!({
             "rustc": self.rustc,
@@ -288,6 +305,8 @@ impl EnvStamp {
         })
     }
 
+    /// Parses a stamp back out of report/baseline JSON; `None` when any
+    /// field is missing or mistyped.
     pub fn from_json(v: &Value) -> Option<EnvStamp> {
         let Value::Object(m) = v else { return None };
         let s = |key: &str| match m.get(key) {
@@ -306,6 +325,9 @@ impl EnvStamp {
     }
 }
 
+/// The `run_start` record: the full deterministic configuration of the
+/// run. Deliberately excludes observer-only knobs (trace capture,
+/// profiling, shrinking) so enabling them never invalidates a WAL.
 pub fn ev_run_start(name: &str, config: &CheckConfig, workers: usize) -> Value {
     json!({
         "type": "run_start",
@@ -325,6 +347,7 @@ pub fn ev_run_start(name: &str, config: &CheckConfig, workers: usize) -> Value {
     })
 }
 
+/// The `pass_start` record: a pass began enumerating jobs.
 pub fn ev_pass_start(pass: Pass) -> Value {
     json!({
         "type": "pass_start",
@@ -348,30 +371,51 @@ pub fn ev_pass_end(pass: Pass, duration: Duration) -> Value {
 /// One finished execution, as recorded in the JSONL stream. The record
 /// doubles as the campaign WAL entry: it carries every deterministic
 /// statistic a resumed run needs to reconstruct the execution's
-/// [`crate::JobOutcome`] without re-running it.
+/// outcome record without re-running it.
 #[derive(Debug, Clone)]
 pub struct ExecEvent<'a> {
+    /// Which pass produced this execution.
     pub pass: Pass,
+    /// The execution's index within its pass (job key = rank + index).
     pub index: u64,
+    /// The per-execution PRNG seed.
     pub seed: u64,
+    /// How the execution ended.
     pub outcome: OutcomeKind,
+    /// Scheduler grants consumed.
     pub steps: u64,
+    /// Deepest schedule depth reached.
     pub depth: u64,
+    /// Crashes injected during the execution.
     pub crashes: u64,
+    /// Helping steps granted to blocked threads.
     pub helped: u64,
+    /// Times a thread blocked on a contended lock.
     pub lock_blocks: u64,
+    /// Total disk operations (reads + writes + flushes).
     pub disk_ops: u64,
+    /// Total network messages (sends + receives).
     pub net_msgs: u64,
+    /// Disk reads performed.
     pub disk_reads: u64,
+    /// Disk writes performed.
     pub disk_writes: u64,
+    /// Disk flushes performed.
     pub disk_flushes: u64,
+    /// Network sends performed.
     pub net_sends: u64,
+    /// Network receives performed.
     pub net_recvs: u64,
+    /// FNV fingerprint of the execution's ghost trace.
     pub trace_fp: u64,
+    /// Compact description of the fault plan in force (empty = none).
     pub faults: &'a str,
+    /// Wall-clock time the execution took (a [`TIMING_KEYS`] field).
     pub duration: Duration,
 }
 
+/// The `exec_done` record (also the campaign WAL entry) for one
+/// finished execution.
 pub fn ev_exec_done(e: &ExecEvent<'_>) -> Value {
     json!({
         "type": "exec_done",
@@ -397,6 +441,8 @@ pub fn ev_exec_done(e: &ExecEvent<'_>) -> Value {
     })
 }
 
+/// The `counterexample` record: the replay coordinates of one failure
+/// (pass, index, seed, schedule prefix, crash points, fault plan).
 pub fn ev_counterexample(cx: &Counterexample) -> Value {
     json!({
         "type": "counterexample",
@@ -410,12 +456,15 @@ pub fn ev_counterexample(cx: &Counterexample) -> Value {
     })
 }
 
+/// The `run_end` record: the report's deterministic totals and verdict.
+/// Shrink statistics are appended only when shrinking ran, so
+/// shrink-off streams stay byte-identical to pre-shrink ones.
 pub fn ev_run_end(report: &CheckReport) -> Value {
     let mut outcomes = serde_json::Map::new();
     for (name, n) in report.outcomes.entries() {
         outcomes.insert(name.to_string(), serde_json::to_value(&n));
     }
-    json!({
+    let mut ev = json!({
         "type": "run_end",
         "scenario": report.name,
         "passed": report.passed(),
@@ -445,7 +494,23 @@ pub fn ev_run_end(report: &CheckReport) -> Value {
         "workers": report.workers,
         "wall_time_s": report.wall_time.as_secs_f64(),
         "execs_per_sec": report.execs_per_sec,
-    })
+    });
+    // Shrink bookkeeping rides along only when shrinking actually ran,
+    // so shrink-off streams stay byte-identical to pre-shrink ones.
+    if let Some(s) = &report.shrink {
+        if let Value::Object(map) = &mut ev {
+            map.insert(
+                "shrink_steps_removed".to_string(),
+                serde_json::to_value(&s.steps_removed),
+            );
+            map.insert("shrink_rounds".to_string(), serde_json::to_value(&s.rounds));
+            map.insert(
+                "shrink_re_runs".to_string(),
+                serde_json::to_value(&s.re_runs),
+            );
+        }
+    }
+    ev
 }
 
 /// Keys whose values are wall-clock dependent. Strip these before
@@ -479,21 +544,33 @@ pub fn validate_json_line(line: &str) -> Result<String, String> {
 /// synthesize the execution's outcome without re-running it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalExec {
+    /// Scheduler grants the execution consumed.
     pub steps: u64,
+    /// Crashes injected during the execution.
     pub crashes: u64,
+    /// Helping steps granted to blocked threads.
     pub helped: u64,
+    /// Deepest schedule depth reached.
     pub depth: u64,
+    /// Total disk operations.
     pub disk_ops: u64,
+    /// Total network messages.
     pub net_msgs: u64,
+    /// Disk reads performed.
     pub disk_reads: u64,
+    /// Disk writes performed.
     pub disk_writes: u64,
+    /// Disk flushes performed.
     pub disk_flushes: u64,
+    /// Network sends performed.
     pub net_sends: u64,
+    /// Network receives performed.
     pub net_recvs: u64,
     /// Lock-contention count, preserved across resume so profiles built
     /// from replayed outcomes keep their per-pass totals (per-lock
     /// attribution is not in the WAL and resets to empty on replay).
     pub lock_blocks: u64,
+    /// FNV fingerprint of the execution's ghost trace.
     pub trace_fp: u64,
 }
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker (the CI `docs` job).
+
+Walks every tracked *.md file, extracts inline links and images
+(`[text](target)`), and fails if a relative target does not exist on
+disk. External schemes (http/https/mailto) and pure in-page anchors
+are skipped — this checks repo-internal references only, so stale
+file moves and deleted docs are caught without any network access.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def tracked_markdown(root: Path) -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return [root / line for line in out.stdout.splitlines() if line]
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        # Fenced code blocks show sample output, not real links.
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            # Drop an in-page anchor suffix; an empty remainder is a
+            # pure self-anchor, which needs no file to exist.
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (
+                (root / target.lstrip("/"))
+                if target.startswith("/")
+                else (path.parent / target)
+            )
+            if not resolved.exists():
+                rel = path.relative_to(root)
+                errors.append(f"{rel}:{lineno}: broken link -> {match.group(1)}")
+    return errors
+
+
+def main() -> int:
+    root = Path(
+        subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    )
+    files = tracked_markdown(root)
+    errors = []
+    for f in files:
+        errors.extend(check_file(f, root))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
